@@ -1,0 +1,75 @@
+// Command attackzoo trains one model per implemented backdoor attack and
+// reports clean accuracy and attack success rate — the substrate validation
+// behind the paper's Tables 13–15.
+//
+// Usage:
+//
+//	attackzoo -dataset cifar10 -epochs 15
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"bprom/internal/attack"
+	"bprom/internal/data"
+	"bprom/internal/nn"
+	"bprom/internal/rng"
+	"bprom/internal/trainer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "attackzoo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dataset  = flag.String("dataset", data.CIFAR10, "dataset preset")
+		perClass = flag.Int("per-class", 50, "training samples per class")
+		epochs   = flag.Int("epochs", 15, "training epochs")
+		seed     = flag.Uint64("seed", 1, "root seed")
+	)
+	flag.Parse()
+	spec, ok := data.SpecFor(*dataset)
+	if !ok {
+		return fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	ctx := context.Background()
+	gen := data.NewGenerator(spec, *seed)
+	train, test := gen.GenerateSplit(*perClass, *perClass/2+1, rng.New(*seed))
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "attack\tpoison%\tcover%\tACC\tASR")
+	cfgs := attack.DefaultConfigs(*dataset)
+	for _, kind := range attack.AllKinds() {
+		cfg := cfgs[kind]
+		cfg.Seed = *seed
+		poisoned, _, err := attack.Poison(train, cfg, rng.New(*seed+7))
+		if err != nil {
+			return fmt.Errorf("%s: %w", kind, err)
+		}
+		m, err := nn.Build(nn.ArchConfig{
+			Arch: nn.ArchConvLite, C: spec.Shape.C, H: spec.Shape.H, W: spec.Shape.W,
+			NumClasses: spec.Classes, Hidden: 24,
+		}, rng.New(*seed+13))
+		if err != nil {
+			return err
+		}
+		if _, err := trainer.Train(ctx, m, poisoned, trainer.Config{Epochs: *epochs}, rng.New(*seed+17)); err != nil {
+			return err
+		}
+		acc := trainer.Evaluate(m, test, 0)
+		asr, err := attack.ASR(m, test, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.3f\t%.3f\n", kind, cfg.PoisonRate*100, cfg.CoverRate*100, acc, asr)
+	}
+	return w.Flush()
+}

@@ -1,0 +1,128 @@
+// Command bprom trains a BPROM detector and inspects a suspicious model —
+// either a model file or a remote MLaaS endpoint (black-box over HTTP).
+//
+// Usage:
+//
+//	bprom -model suspicious.bin
+//	bprom -url http://127.0.0.1:8080
+//	bprom -model m.bin -source cifar10 -external stl10 -shadows 8 -scale small
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bprom/internal/bprom"
+	"bprom/internal/data"
+	"bprom/internal/exp"
+	"bprom/internal/meta"
+	"bprom/internal/mlaas"
+	"bprom/internal/nn"
+	"bprom/internal/oracle"
+	"bprom/internal/rng"
+	"bprom/internal/trainer"
+	"bprom/internal/vp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bprom:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		modelPath = flag.String("model", "", "suspicious model file")
+		url       = flag.String("url", "", "suspicious MLaaS endpoint base URL")
+		source    = flag.String("source", data.CIFAR10, "suspicious model's training domain")
+		external  = flag.String("external", data.STL10, "external clean dataset DT")
+		scale     = flag.String("scale", "small", "detector scale: tiny | small | full")
+		shadows   = flag.Int("shadows", 0, "override shadow count per class label (clean+backdoor)")
+		seed      = flag.Uint64("seed", 42, "detector seed")
+	)
+	flag.Parse()
+	if (*modelPath == "") == (*url == "") {
+		return fmt.Errorf("pass exactly one of -model or -url")
+	}
+
+	ctx := context.Background()
+	var sus oracle.Oracle
+	if *modelPath != "" {
+		m, err := nn.LoadFile(*modelPath)
+		if err != nil {
+			return err
+		}
+		sus = oracle.NewModelOracle(m)
+	} else {
+		c, err := mlaas.Dial(ctx, *url, mlaas.ClientConfig{})
+		if err != nil {
+			return err
+		}
+		sus = c
+	}
+
+	p := exp.ParamsFor(exp.Scale(*scale))
+	p.Seed = *seed
+	if *shadows > 0 {
+		p.ShadowClean, p.ShadowBackdoor = *shadows, *shadows
+	}
+	srcSpec, ok := data.SpecFor(*source)
+	if !ok {
+		return fmt.Errorf("unknown source dataset %q", *source)
+	}
+	extSpec, ok := data.SpecFor(*external)
+	if !ok {
+		return fmt.Errorf("unknown external dataset %q", *external)
+	}
+	if sus.NumClasses() != srcSpec.Classes || sus.InputDim() != srcSpec.Shape.Dim() {
+		return fmt.Errorf("suspicious model reports %d classes / dim %d; %s expects %d / %d",
+			sus.NumClasses(), sus.InputDim(), *source, srcSpec.Classes, srcSpec.Shape.Dim())
+	}
+
+	r := rng.New(p.Seed)
+	srcGen := data.NewGenerator(srcSpec, p.Seed^0x5151)
+	_, srcTest := srcGen.GenerateSplit(1, p.SrcTest, r.Split("src"))
+	tgtGen := data.NewGenerator(extSpec, p.Seed^0xA7A7)
+	tgtTrain, tgtTest := tgtGen.GenerateSplit(p.TgtTrain, p.TgtTest, r.Split("tgt"))
+
+	fmt.Printf("training detector (scale %s: %d+%d shadows) ...\n", *scale, p.ShadowClean, p.ShadowBackdoor)
+	start := time.Now()
+	det, err := bprom.Train(ctx, bprom.Config{
+		Reserved:      srcTest.Reserve(p.ReservedFrac, r.Split("reserve")),
+		ExternalTrain: tgtTrain,
+		ExternalTest:  tgtTest,
+		NumClean:      p.ShadowClean,
+		NumBackdoor:   p.ShadowBackdoor,
+		ShadowArch:    nn.ArchConfig{Arch: nn.ArchConvLite, Hidden: p.Hidden},
+		ShadowTrain:   trainer.Config{Epochs: p.Epochs},
+		PromptFrac:    p.PromptFrac,
+		WhiteBox:      vp.WhiteBoxConfig{Epochs: p.WBEpochs},
+		BlackBox:      vp.BlackBoxConfig{Iterations: p.CMAIters},
+		QuerySamples:  p.QuerySamples,
+		Forest:        meta.TrainConfig{Trees: p.ForestTrees},
+		Seed:          p.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("detector ready in %s; prompting suspicious model (black-box) ...\n",
+		time.Since(start).Round(time.Millisecond))
+
+	v, err := det.Inspect(ctx, sus, 0)
+	if err != nil {
+		return err
+	}
+	verdict := "CLEAN"
+	if v.Backdoored {
+		verdict = "BACKDOORED"
+	}
+	fmt.Printf("verdict:           %s\n", verdict)
+	fmt.Printf("backdoor score:    %.3f (threshold 0.5)\n", v.Score)
+	fmt.Printf("prompted accuracy: %.3f on %s (low accuracy = class-subspace inconsistency)\n", v.PromptedAcc, *external)
+	fmt.Printf("oracle queries:    %d samples\n", v.Queries)
+	return nil
+}

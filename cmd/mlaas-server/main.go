@@ -1,0 +1,96 @@
+// Command mlaas-server serves a model file as an MLaaS prediction endpoint
+// (the black-box boundary of the paper's threat model). Without -model it
+// trains a demo model — optionally backdoored — on the synthetic CIFAR-10
+// analogue first.
+//
+// Usage:
+//
+//	mlaas-server -addr :8080 -model model.bin
+//	mlaas-server -addr :8080 -demo badnets    # train a backdoored demo model
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"bprom/internal/attack"
+	"bprom/internal/data"
+	"bprom/internal/mlaas"
+	"bprom/internal/nn"
+	"bprom/internal/rng"
+	"bprom/internal/trainer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mlaas-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		modelPath = flag.String("model", "", "model file to serve (nn binary format)")
+		demo      = flag.String("demo", "", "train a demo model instead: 'clean' or an attack name (badnets, blend, ...)")
+		seed      = flag.Uint64("seed", 1, "demo training seed")
+	)
+	flag.Parse()
+
+	var model *nn.Model
+	switch {
+	case *modelPath != "":
+		m, err := nn.LoadFile(*modelPath)
+		if err != nil {
+			return err
+		}
+		model = m
+	case *demo != "":
+		m, err := trainDemo(*demo, *seed)
+		if err != nil {
+			return err
+		}
+		model = m
+	default:
+		return fmt.Errorf("pass -model <path> or -demo clean|badnets|...")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := mlaas.NewServer(model, mlaas.ServerConfig{Name: "bprom-demo"})
+	ready := make(chan string, 1)
+	go func() {
+		fmt.Printf("serving on http://%s (classes=%d dim=%d); Ctrl-C to stop\n",
+			<-ready, model.NumClasses, model.InputDim)
+	}()
+	return srv.Serve(ctx, *addr, ready)
+}
+
+func trainDemo(kind string, seed uint64) (*nn.Model, error) {
+	gen := data.NewGenerator(data.MustSpec(data.CIFAR10), seed)
+	train := gen.Generate(50, rng.New(seed))
+	if kind != "clean" {
+		cfg := attack.Config{Kind: attack.Kind(kind), PoisonRate: 0.15, Seed: seed}
+		poisoned, _, err := attack.Poison(train, cfg, rng.New(seed+1))
+		if err != nil {
+			return nil, err
+		}
+		train = poisoned
+		fmt.Printf("trained demo model carries a %s backdoor (target class 0)\n", kind)
+	}
+	m, err := nn.Build(nn.ArchConfig{
+		Arch: nn.ArchConvLite, C: train.Shape.C, H: train.Shape.H, W: train.Shape.W,
+		NumClasses: train.Classes, Hidden: 24,
+	}, rng.New(seed+2))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := trainer.Train(context.Background(), m, train, trainer.Config{Epochs: 14}, rng.New(seed+3)); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,77 @@
+// Command tables regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tables -list
+//	tables -table table5 -scale small
+//	tables -all -scale tiny -csv out/
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bprom/internal/exp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		table  = flag.String("table", "", "experiment ID to run (see -list)")
+		scale  = flag.String("scale", "tiny", "experiment scale: tiny | small | full")
+		all    = flag.Bool("all", false, "run every experiment")
+		list   = flag.Bool("list", false, "list experiment IDs")
+		csvDir = flag.String("csv", "", "directory to also write CSV outputs into")
+		seed   = flag.Uint64("seed", 1, "root seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	p := exp.ParamsFor(exp.Scale(*scale))
+	p.Seed = *seed
+
+	var ids []string
+	switch {
+	case *all:
+		ids = exp.IDs()
+	case *table != "":
+		ids = []string{*table}
+	default:
+		return fmt.Errorf("pass -table <id>, -all, or -list")
+	}
+	ctx := context.Background()
+	for _, id := range ids {
+		start := time.Now()
+		t, err := exp.Run(ctx, id, p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(t.Render())
+		fmt.Printf("(%s in %s at scale %s)\n\n", id, time.Since(start).Round(time.Millisecond), *scale)
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*csvDir, id+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				return fmt.Errorf("write %s: %w", path, err)
+			}
+		}
+	}
+	return nil
+}

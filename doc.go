@@ -1,0 +1,7 @@
+// Package bprom is the repository root of a pure-Go reproduction of
+// "Prompting the Unseen: Detecting Hidden Backdoors in Black-Box Models"
+// (IEEE/IFIP DSN 2025). The implementation lives under internal/; the
+// benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation section. See README.md for the tour and DESIGN.md for
+// the system inventory and substitution notes.
+package bprom

@@ -1,0 +1,94 @@
+// MLaaS example: detection across a REAL network boundary. A backdoored
+// model is served over HTTP; the BPROM detector dials the endpoint and
+// decides clean/backdoor using only the prediction API — exactly the paper's
+// MLaaS threat model.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"bprom/internal/attack"
+	"bprom/internal/bprom"
+	"bprom/internal/data"
+	"bprom/internal/mlaas"
+	"bprom/internal/nn"
+	"bprom/internal/rng"
+	"bprom/internal/trainer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	srcGen := data.NewGenerator(data.MustSpec(data.CIFAR10), 1)
+	srcTrain, srcTest := srcGen.GenerateSplit(50, 150, rng.New(2))
+	tgtGen := data.NewGenerator(data.MustSpec(data.STL10), 3)
+	tgtTrain, tgtTest := tgtGen.GenerateSplit(20, 10, rng.New(4))
+
+	// The "attacker" side: train a Trojan-backdoored model and serve it.
+	fmt.Println("attacker: training and serving a trojaned model ...")
+	atk := attack.Config{Kind: attack.Trojan, PoisonRate: 0.15, Target: 2, Seed: 5}
+	poisoned, _, err := attack.Poison(srcTrain, atk, rng.New(6))
+	if err != nil {
+		return err
+	}
+	model, err := nn.Build(nn.ArchConfig{
+		Arch: nn.ArchConvLite, C: srcTrain.Shape.C, H: srcTrain.Shape.H, W: srcTrain.Shape.W,
+		NumClasses: srcTrain.Classes, Hidden: 24,
+	}, rng.New(7))
+	if err != nil {
+		return err
+	}
+	if _, err := trainer.Train(ctx, model, poisoned, trainer.Config{Epochs: 14}, rng.New(8)); err != nil {
+		return err
+	}
+	server := mlaas.NewServer(model, mlaas.ServerConfig{Name: "model-zoo/animal-classifier"})
+	ready := make(chan string, 1)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.Serve(ctx, "127.0.0.1:0", ready) }()
+	addr := <-ready
+	fmt.Printf("attacker: model live at http://%s\n", addr)
+
+	// The defender side: dial the endpoint (black-box!) and run BPROM.
+	client, err := mlaas.Dial(ctx, "http://"+addr, mlaas.ClientConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("defender: endpoint reports %d classes, input dim %d\n", client.NumClasses(), client.InputDim())
+
+	fmt.Println("defender: training BPROM detector locally ...")
+	det, err := bprom.Train(ctx, bprom.Config{
+		Reserved:      srcTest.Reserve(0.10, rng.New(9)),
+		ExternalTrain: tgtTrain,
+		ExternalTest:  tgtTest,
+		NumClean:      6,
+		NumBackdoor:   6,
+		ShadowArch:    nn.ArchConfig{Arch: nn.ArchConvLite, Hidden: 24},
+		ShadowTrain:   trainer.Config{Epochs: 14},
+		Seed:          42,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("defender: prompting the remote model over HTTP (CMA-ES, confidence queries only) ...")
+	v, err := det.Inspect(ctx, client, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("defender: verdict backdoored=%v (score %.3f, prompted acc %.3f, %d HTTP-queried samples)\n",
+		v.Backdoored, v.Score, v.PromptedAcc, v.Queries)
+
+	cancel()
+	if err := <-serveErr; err != nil {
+		return err
+	}
+	return nil
+}

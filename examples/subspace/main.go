@@ -1,0 +1,130 @@
+// Subspace visualization: emit the PCA scatter data behind the paper's
+// Figures 3 and 5 as CSV on stdout, plus silhouette summaries. Pipe the
+// output into any plotting tool:
+//
+//	go run ./examples/subspace > subspace.csv
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"bprom/internal/attack"
+	"bprom/internal/bprom"
+	"bprom/internal/data"
+	"bprom/internal/nn"
+	"bprom/internal/rng"
+	"bprom/internal/stats"
+	"bprom/internal/trainer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	srcGen := data.NewGenerator(data.MustSpec(data.CIFAR10), 1)
+	srcTrain, srcTest := srcGen.GenerateSplit(50, 150, rng.New(2))
+	tgtGen := data.NewGenerator(data.MustSpec(data.STL10), 3)
+	tgtTrain, tgtTest := tgtGen.GenerateSplit(20, 10, rng.New(4))
+
+	// Figure 3 panels (a) and (c): class subspaces of a clean vs an
+	// infected source model, projected onto their top-2 PCA directions.
+	train := func(ds *data.Dataset, seed uint64) (*nn.Model, error) {
+		m, err := nn.Build(nn.ArchConfig{
+			Arch: nn.ArchConvLite, C: ds.Shape.C, H: ds.Shape.H, W: ds.Shape.W,
+			NumClasses: ds.Classes, Hidden: 24,
+		}, rng.New(seed))
+		if err != nil {
+			return nil, err
+		}
+		_, err = trainer.Train(ctx, m, ds, trainer.Config{Epochs: 14}, rng.New(seed+1))
+		return m, err
+	}
+	clean, err := train(srcTrain, 10)
+	if err != nil {
+		return err
+	}
+	cfg := attack.Config{Kind: attack.BadNets, PoisonRate: 0.20, Target: 0, Seed: 5}
+	poisoned, _, err := attack.Poison(srcTrain, cfg, rng.New(6))
+	if err != nil {
+		return err
+	}
+	infected, err := train(poisoned, 20)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("panel,model,x,y,class")
+	for _, mc := range []struct {
+		name string
+		m    *nn.Model
+	}{{"clean-source", clean}, {"infected-source", infected}} {
+		if err := emitScatter(mc.name, mc.m, srcTest, 150); err != nil {
+			return err
+		}
+	}
+
+	// Figure 5: meta-feature PCA of shadow models from a trained detector.
+	det, err := bprom.Train(ctx, bprom.Config{
+		Reserved:      srcTest.Reserve(0.10, rng.New(7)),
+		ExternalTrain: tgtTrain,
+		ExternalTest:  tgtTest,
+		NumClean:      6,
+		NumBackdoor:   6,
+		ShadowArch:    nn.ArchConfig{Arch: nn.ArchConvLite, Hidden: 24},
+		ShadowTrain:   trainer.Config{Epochs: 14},
+		Seed:          42,
+	})
+	if err != nil {
+		return err
+	}
+	var rows [][]float64
+	var labels []int
+	for _, s := range det.Shadows {
+		rows = append(rows, s.Features)
+		if s.Backdoor {
+			labels = append(labels, 1)
+		} else {
+			labels = append(labels, 0)
+		}
+	}
+	comps, _, err := stats.PCA(rows, 2, rng.New(8))
+	if err != nil {
+		return err
+	}
+	proj := stats.Project(rows, comps)
+	for i, pnt := range proj {
+		fmt.Printf("meta-features,shadow,%.4f,%.4f,%d\n", pnt[0], pnt[1], labels[i])
+	}
+	fmt.Fprintf(os.Stderr, "meta-feature silhouette (clean vs backdoor): %.3f\n", stats.Silhouette(proj, labels))
+	return nil
+}
+
+func emitScatter(panel string, m *nn.Model, ds *data.Dataset, n int) error {
+	idx := rng.New(9).Sample(ds.Len(), n)
+	sub := ds.Subset(idx)
+	f := m.Features(sub.Tensor())
+	d := f.Dim(1)
+	rows := make([][]float64, sub.Len())
+	for i := range rows {
+		rows[i] = append([]float64(nil), f.Data[i*d:(i+1)*d]...)
+	}
+	comps, _, err := stats.PCA(rows, 2, rng.New(10))
+	if err != nil {
+		return err
+	}
+	proj := stats.Project(rows, comps)
+	labels := make([]int, sub.Len())
+	copy(labels, sub.Y)
+	for i, pnt := range proj {
+		fmt.Printf("%s,source,%.4f,%.4f,%d\n", panel, pnt[0], pnt[1], labels[i])
+	}
+	fmt.Fprintf(os.Stderr, "%s class silhouette: %.3f\n", panel, stats.Silhouette(proj, labels))
+	return nil
+}

@@ -1,0 +1,324 @@
+package attack
+
+import (
+	"context"
+	"testing"
+
+	"bprom/internal/data"
+	"bprom/internal/nn"
+	"bprom/internal/rng"
+	"bprom/internal/trainer"
+)
+
+func cifar(t *testing.T, seed uint64, perClass int) *data.Dataset {
+	t.Helper()
+	return data.NewGenerator(data.MustSpec(data.CIFAR10), seed).Generate(perClass, rng.New(seed))
+}
+
+func TestPoisonBasicInvariants(t *testing.T) {
+	clean := cifar(t, 1, 20)
+	for _, kind := range AllKinds() {
+		cfg := Config{Kind: kind, PoisonRate: 0.1, Target: 0, Seed: 7}
+		poisoned, info, err := Poison(clean, cfg, rng.New(2))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if poisoned.Len() != clean.Len() {
+			t.Fatalf("%s: size changed %d -> %d", kind, clean.Len(), poisoned.Len())
+		}
+		if info.NumPoisoned == 0 {
+			t.Fatalf("%s: nothing poisoned", kind)
+		}
+		for _, v := range poisoned.X {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s: pixel %v outside [0,1]", kind, v)
+			}
+		}
+		props := PropertiesOf(kind)
+		for i := range poisoned.Y {
+			if info.IsPoisoned[i] {
+				if props.CleanLabel {
+					if poisoned.Y[i] != clean.Y[i] {
+						t.Fatalf("%s: clean-label attack changed a label", kind)
+					}
+				} else if poisoned.Y[i] != cfg.Target {
+					t.Fatalf("%s: poisoned label %d != target %d", kind, poisoned.Y[i], cfg.Target)
+				}
+			} else if !info.IsCover[i] {
+				if poisoned.Y[i] != clean.Y[i] {
+					t.Fatalf("%s: clean sample label changed", kind)
+				}
+				// pixels of untouched samples must be identical
+				a, b := poisoned.Sample(i), clean.Sample(i)
+				for j := range a {
+					if a[j] != b[j] {
+						t.Fatalf("%s: clean sample %d pixels modified", kind, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPoisonDoesNotMutateInput(t *testing.T) {
+	clean := cifar(t, 3, 10)
+	before := append([]float64(nil), clean.X...)
+	if _, _, err := Poison(clean, Config{Kind: BadNets, PoisonRate: 0.3, Target: 1}, rng.New(4)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if clean.X[i] != before[i] {
+			t.Fatal("Poison mutated its input dataset")
+		}
+	}
+}
+
+func TestPoisonCoverSamples(t *testing.T) {
+	clean := cifar(t, 5, 20)
+	cfg := Config{Kind: AdapBlend, PoisonRate: 0.1, CoverRate: 0.05, Target: 0}
+	poisoned, info, err := Poison(clean, cfg, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumCover == 0 {
+		t.Fatal("no cover samples created")
+	}
+	for i := range poisoned.Y {
+		if info.IsCover[i] {
+			if poisoned.Y[i] != clean.Y[i] {
+				t.Fatal("cover sample label changed")
+			}
+			changed := false
+			for j, v := range poisoned.Sample(i) {
+				if v != clean.Sample(i)[j] {
+					changed = true
+					break
+				}
+			}
+			if !changed {
+				t.Fatal("cover sample pixels unchanged")
+			}
+		}
+	}
+}
+
+func TestPoisonValidation(t *testing.T) {
+	clean := cifar(t, 7, 5)
+	cases := []Config{
+		{Kind: BadNets, PoisonRate: 0, Target: 0},
+		{Kind: BadNets, PoisonRate: 1.5, Target: 0},
+		{Kind: BadNets, PoisonRate: 0.1, Target: -1},
+		{Kind: BadNets, PoisonRate: 0.1, Target: 99},
+		{Kind: "bogus", PoisonRate: 0.1, Target: 0},
+		{Kind: BadNets, PoisonRate: 0.1, Target: 8, NumTargets: 5},
+	}
+	for i, cfg := range cases {
+		if _, _, err := Poison(clean, cfg, rng.New(8)); err == nil {
+			t.Errorf("case %d (%+v): expected error", i, cfg)
+		}
+	}
+}
+
+func TestMultiTargetPoisoning(t *testing.T) {
+	clean := cifar(t, 9, 30)
+	cfg := Config{Kind: BadNets, PoisonRate: 0.3, Target: 0, NumTargets: 3}
+	poisoned, info, err := Poison(clean, cfg, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for i := range poisoned.Y {
+		if info.IsPoisoned[i] {
+			seen[poisoned.Y[i]] = true
+			if poisoned.Y[i] < 0 || poisoned.Y[i] > 2 {
+				t.Fatalf("poisoned label %d outside target range", poisoned.Y[i])
+			}
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("multi-target used %d target labels, want 3", len(seen))
+	}
+}
+
+func TestAllToAllPoisoning(t *testing.T) {
+	clean := cifar(t, 11, 20)
+	cfg := Config{Kind: BadNets, PoisonRate: 0.2, Target: 0, AllToAll: true}
+	poisoned, info, err := Poison(clean, cfg, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range poisoned.Y {
+		if info.IsPoisoned[i] {
+			if poisoned.Y[i] != (clean.Y[i]+1)%clean.Classes {
+				t.Fatalf("all-to-all label %d for original %d", poisoned.Y[i], clean.Y[i])
+			}
+		}
+	}
+}
+
+func TestTriggersDeterministic(t *testing.T) {
+	sh := data.Shape{C: 3, H: 12, W: 12}
+	src := make([]float64, sh.Dim())
+	rng.New(1).Uniform(src, 0, 1)
+	for _, kind := range AllKinds() {
+		cfg := Config{Kind: kind, PoisonRate: 0.1, Seed: 99}
+		t1, err := MakeTrigger(cfg, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, err := MakeTrigger(cfg, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := make([]float64, len(src)), make([]float64, len(src))
+		t1.Stamp(a, src, sh, 5, 0, true)
+		t2.Stamp(b, src, sh, 5, 0, true)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: stamp not deterministic", kind)
+			}
+		}
+	}
+}
+
+func TestTriggersActuallyModify(t *testing.T) {
+	sh := data.Shape{C: 3, H: 12, W: 12}
+	src := make([]float64, sh.Dim())
+	rng.New(2).Uniform(src, 0.2, 0.8)
+	for _, kind := range AllKinds() {
+		trig, err := MakeTrigger(Config{Kind: kind, PoisonRate: 0.1, Seed: 3}, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float64, len(src))
+		trig.Stamp(dst, src, sh, 0, 0, true)
+		diff := 0.0
+		for i := range src {
+			d := dst[i] - src[i]
+			diff += d * d
+		}
+		if diff == 0 {
+			t.Errorf("%s: full-strength stamp left image unchanged", kind)
+		}
+	}
+}
+
+func TestAdaptiveTrainWeakerThanTest(t *testing.T) {
+	sh := data.Shape{C: 3, H: 12, W: 12}
+	src := make([]float64, sh.Dim())
+	rng.New(4).Uniform(src, 0.2, 0.8)
+	for _, kind := range []Kind{AdapBlend, AdapPatch} {
+		trig, err := MakeTrigger(Config{Kind: kind, PoisonRate: 0.1, Seed: 5}, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := make([]float64, len(src))
+		train := make([]float64, len(src))
+		trig.Stamp(full, src, sh, 1, 0, true)
+		trig.Stamp(train, src, sh, 1, 0, false)
+		fullDiff, trainDiff := 0.0, 0.0
+		for i := range src {
+			fd, td := full[i]-src[i], train[i]-src[i]
+			fullDiff += fd * fd
+			trainDiff += td * td
+		}
+		if trainDiff >= fullDiff {
+			t.Errorf("%s: train-time stamp (%v) not weaker than test-time (%v)", kind, trainDiff, fullDiff)
+		}
+	}
+}
+
+func TestDynamicTriggerSampleSpecific(t *testing.T) {
+	sh := data.Shape{C: 3, H: 12, W: 12}
+	src := make([]float64, sh.Dim())
+	rng.New(6).Uniform(src, 0.2, 0.8)
+	trig, err := MakeTrigger(Config{Kind: Dynamic, PoisonRate: 0.1, Seed: 7}, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := make([]float64, len(src)), make([]float64, len(src))
+	trig.Stamp(a, src, sh, 1, 0, true)
+	trig.Stamp(b, src, sh, 2, 0, true)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("dynamic trigger identical across samples")
+	}
+}
+
+func TestTriggeredTestSetExcludesTarget(t *testing.T) {
+	test := cifar(t, 13, 10)
+	cfg := Config{Kind: BadNets, PoisonRate: 0.1, Target: 3}
+	trigSet, err := TriggeredTestSet(test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := test.Len() - len(test.ClassIndices(3))
+	if trigSet.Len() != wantLen {
+		t.Fatalf("triggered set has %d samples, want %d", trigSet.Len(), wantLen)
+	}
+	for _, y := range trigSet.Y {
+		if y != 3 {
+			t.Fatalf("triggered label %d != target", y)
+		}
+	}
+}
+
+// TestBackdoorTrainsToHighASR is the substrate's core integration check: a
+// poisoned model must keep high clean accuracy while the trigger flips
+// predictions (paper Tables 14/15 establish ACC>0.9, ASR>0.98 before any
+// detection experiment makes sense).
+func TestBackdoorTrainsToHighASR(t *testing.T) {
+	clean := cifar(t, 15, 60)
+	train, test := clean.Split(0.25, rng.New(16))
+	for _, kind := range []Kind{BadNets, Blend, Trojan} {
+		cfg := Config{Kind: kind, PoisonRate: 0.10, Target: 0, Seed: 17}
+		poisoned, _, err := Poison(train, cfg, rng.New(18))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := nn.Build(nn.ArchConfig{
+			Arch: nn.ArchResNetLite, C: clean.Shape.C, H: clean.Shape.H, W: clean.Shape.W,
+			NumClasses: clean.Classes, Hidden: 32,
+		}, rng.New(19))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := trainer.Train(context.Background(), m, poisoned, trainer.Config{Epochs: 15}, rng.New(20)); err != nil {
+			t.Fatal(err)
+		}
+		acc := trainer.Evaluate(m, test, 0)
+		asr, err := ASR(m, test, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc < 0.8 {
+			t.Errorf("%s: clean accuracy %.3f < 0.8", kind, acc)
+		}
+		if asr < 0.8 {
+			t.Errorf("%s: ASR %.3f < 0.8", kind, asr)
+		}
+	}
+}
+
+func TestDefaultConfigsCoverTableAttacks(t *testing.T) {
+	for _, ds := range []string{data.CIFAR10, data.GTSRB} {
+		cfgs := DefaultConfigs(ds)
+		for _, k := range AllKinds() {
+			if _, ok := cfgs[k]; !ok {
+				t.Errorf("%s: no default config for %s", ds, k)
+			}
+		}
+		paper := PaperConfigs(ds)
+		for _, k := range []Kind{BadNets, Blend, Trojan, WaNet, Dynamic, AdapBlend, AdapPatch} {
+			if _, ok := paper[k]; !ok {
+				t.Errorf("%s: no paper config for %s", ds, k)
+			}
+		}
+	}
+}

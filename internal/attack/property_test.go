@@ -1,0 +1,185 @@
+package attack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bprom/internal/data"
+	"bprom/internal/rng"
+)
+
+// Property-based checks on the poisoning pipeline and triggers, exercising
+// random shapes, rates and seeds beyond the fixed-value tests.
+
+func TestPoisonRateHonoredProperty(t *testing.T) {
+	f := func(seed uint64, rawRate uint8, rawTarget uint8) bool {
+		clean := data.NewGenerator(data.MustSpec(data.CIFAR10), seed%8).Generate(12, rng.New(seed))
+		rate := 0.05 + float64(rawRate%40)/100 // 5%..44%
+		cfg := Config{Kind: BadNets, PoisonRate: rate, Target: int(rawTarget) % 10, Seed: seed}
+		poisoned, info, err := Poison(clean, cfg, rng.New(seed+1))
+		if err != nil {
+			return false
+		}
+		want := int(rate * float64(clean.Len()))
+		if want < 1 {
+			want = 1
+		}
+		// nPoison is capped by the eligible pool; with <=44% rates and 10
+		// balanced classes the pool (90% of samples) is never the binding
+		// constraint here.
+		if info.NumPoisoned != want {
+			return false
+		}
+		flipped := 0
+		for i := range poisoned.Y {
+			if info.IsPoisoned[i] {
+				flipped++
+			}
+		}
+		return flipped == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStampPreservesRangeProperty(t *testing.T) {
+	kinds := AllKinds()
+	f := func(seed uint64, kindIdx, sampleID, variant uint8) bool {
+		kind := kinds[int(kindIdx)%len(kinds)]
+		sh := data.Shape{C: 3, H: 12, W: 12}
+		src := make([]float64, sh.Dim())
+		rng.New(seed).Uniform(src, 0, 1)
+		trig, err := MakeTrigger(Config{Kind: kind, PoisonRate: 0.1, Seed: seed}, sh)
+		if err != nil {
+			return false
+		}
+		dst := make([]float64, len(src))
+		for _, full := range []bool{false, true} {
+			trig.Stamp(dst, src, sh, int(sampleID), int(variant)%3, full)
+			for _, v := range dst {
+				if v < 0 || v > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStampDoesNotReadDst(t *testing.T) {
+	// Stamp must fully overwrite dst regardless of its prior contents.
+	sh := data.Shape{C: 3, H: 12, W: 12}
+	src := make([]float64, sh.Dim())
+	rng.New(1).Uniform(src, 0, 1)
+	for _, kind := range AllKinds() {
+		trig, err := MakeTrigger(Config{Kind: kind, PoisonRate: 0.1, Seed: 2}, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := make([]float64, len(src))
+		b := make([]float64, len(src))
+		for i := range b {
+			b[i] = 0.777 // garbage prior contents
+		}
+		trig.Stamp(a, src, sh, 3, 0, true)
+		trig.Stamp(b, src, sh, 3, 0, true)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: Stamp output depends on dst's prior contents", kind)
+			}
+		}
+	}
+}
+
+func TestTriggerSeedChangesPattern(t *testing.T) {
+	// Different Config.Seed draws must yield different trigger patterns —
+	// the property BPROM's shadow diversity relies on.
+	sh := data.Shape{C: 3, H: 12, W: 12}
+	src := make([]float64, sh.Dim())
+	rng.New(4).Uniform(src, 0.3, 0.7)
+	for _, kind := range []Kind{Blend, Trojan, Dynamic, Refool, PoisonInk, LC} {
+		t1, err := MakeTrigger(Config{Kind: kind, PoisonRate: 0.1, Seed: 1}, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, err := MakeTrigger(Config{Kind: kind, PoisonRate: 0.1, Seed: 2}, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := make([]float64, len(src))
+		b := make([]float64, len(src))
+		t1.Stamp(a, src, sh, 0, 0, true)
+		t2.Stamp(b, src, sh, 0, 0, true)
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: seeds 1 and 2 produced identical triggers", kind)
+		}
+	}
+}
+
+func TestVariantsDiffer(t *testing.T) {
+	// Multi-target backdoors need per-target trigger variants.
+	sh := data.Shape{C: 3, H: 12, W: 12}
+	src := make([]float64, sh.Dim())
+	rng.New(5).Uniform(src, 0.3, 0.7)
+	for _, kind := range []Kind{BadNets, Blend, Trojan, WaNet} {
+		trig, err := MakeTrigger(Config{Kind: kind, PoisonRate: 0.1, Seed: 6}, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := make([]float64, len(src))
+		b := make([]float64, len(src))
+		trig.Stamp(a, src, sh, 0, 0, true)
+		trig.Stamp(b, src, sh, 0, 1, true)
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: variants 0 and 1 produced identical triggers", kind)
+		}
+	}
+}
+
+func TestCleanLabelPoolRestrictedToTarget(t *testing.T) {
+	clean := data.NewGenerator(data.MustSpec(data.CIFAR10), 7).Generate(15, rng.New(7))
+	for _, kind := range []Kind{SIG, LC} {
+		cfg := Config{Kind: kind, PoisonRate: 0.05, Target: 4, Seed: 8}
+		poisoned, info, err := Poison(clean, cfg, rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range poisoned.Y {
+			if info.IsPoisoned[i] && clean.Y[i] != 4 {
+				t.Fatalf("%s: poisoned a sample of class %d, target is 4", kind, clean.Y[i])
+			}
+		}
+	}
+}
+
+func TestTriggeredTestSetAllToAll(t *testing.T) {
+	test := data.NewGenerator(data.MustSpec(data.CIFAR10), 10).Generate(5, rng.New(10))
+	cfg := Config{Kind: BadNets, PoisonRate: 0.1, AllToAll: true}
+	trigSet, err := TriggeredTestSet(test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// all-to-all keeps every sample (no target class to exclude) and labels
+	// them y+1 mod K.
+	if trigSet.Len() != test.Len() {
+		t.Fatalf("all-to-all kept %d of %d samples", trigSet.Len(), test.Len())
+	}
+}

@@ -1,0 +1,553 @@
+package attack
+
+import (
+	"math"
+
+	"bprom/internal/data"
+	"bprom/internal/rng"
+)
+
+// blendEq applies the paper's poisoning equation at one pixel:
+// out = (1-m)·x + m·((1-α)t + α·x).
+func blendEq(x, t, m, alpha float64) float64 {
+	return (1-m)*x + m*((1-alpha)*t+alpha*x)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// --- patch triggers (BadNets, Trojan) ------------------------------------------
+
+type patternFn func(y, x int, r *rng.RNG) float64
+
+// patternChecker is the classic BadNets black/white checkerboard.
+func patternChecker(y, x int, _ *rng.RNG) float64 {
+	if (x+y)%2 == 0 {
+		return 1
+	}
+	return 0
+}
+
+// patternHighFreq simulates a Trojan reverse-engineered trigger: a fixed
+// high-contrast random pattern (optimized triggers are high-saliency noise).
+func patternHighFreq(_, _ int, r *rng.RNG) float64 {
+	if r.Float64() < 0.5 {
+		return 0
+	}
+	return 1
+}
+
+// patchTrigger stamps a size×size pattern anchored near the bottom-right
+// corner, one variant per target class shifted along the bottom edge.
+type patchTrigger struct {
+	name    string
+	size    int
+	alpha   float64
+	pattern []float64 // size*size, shared across channels
+}
+
+func newPatchTrigger(name string, sh data.Shape, size int, alpha float64, f patternFn, r *rng.RNG) *patchTrigger {
+	p := &patchTrigger{name: name, size: size, alpha: alpha, pattern: make([]float64, size*size)}
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			p.pattern[y*size+x] = f(y, x, r)
+		}
+	}
+	return p
+}
+
+func (p *patchTrigger) Name() string { return p.name }
+
+func (p *patchTrigger) Stamp(dst, src []float64, sh data.Shape, sampleID, variant int, full bool) {
+	copy(dst, src)
+	stampPatch(dst, sh, p.pattern, p.size, p.alpha, variant)
+}
+
+// stampPatch writes pattern at the bottom-right corner, offset left by
+// variant*(size+1) so multi-target variants are spatially distinct.
+func stampPatch(dst []float64, sh data.Shape, pattern []float64, size int, alpha float64, variant int) {
+	x0 := sh.W - size - variant*(size+1)
+	if x0 < 0 {
+		x0 = variant % max(1, sh.W-size+1) // wrap for many variants on tiny images
+	}
+	y0 := sh.H - size
+	for c := 0; c < sh.C; c++ {
+		off := c * sh.H * sh.W
+		for y := 0; y < size; y++ {
+			for x := 0; x < size; x++ {
+				i := off + (y0+y)*sh.W + (x0 + x)
+				dst[i] = clamp01(blendEq(dst[i], pattern[y*size+x], 1, alpha))
+			}
+		}
+	}
+}
+
+// --- blend trigger ---------------------------------------------------------------
+
+// blendTrigger blends a fixed random pattern over a size×size region (the
+// "hello kitty" blend of Chen et al., with region size playing the paper's
+// trigger-size role in Tables 3/8).
+type blendTrigger struct {
+	name    string
+	size    int
+	alpha   float64
+	pattern []float64 // full-image pattern, per channel
+}
+
+func newBlendTrigger(name string, sh data.Shape, size int, alpha float64, r *rng.RNG) *blendTrigger {
+	b := &blendTrigger{name: name, size: size, alpha: alpha, pattern: make([]float64, sh.Dim())}
+	r.Uniform(b.pattern, 0, 1)
+	return b
+}
+
+func (b *blendTrigger) Name() string { return b.name }
+
+func (b *blendTrigger) Stamp(dst, src []float64, sh data.Shape, sampleID, variant int, full bool) {
+	copy(dst, src)
+	b.stampRegion(dst, sh, variant, nil)
+}
+
+// stampRegion blends the pattern into the trigger region. active, when
+// non-nil, masks which cells of a 2x2 block grid participate (used by the
+// adaptive wrapper's split-trigger training stamps).
+func (b *blendTrigger) stampRegion(dst []float64, sh data.Shape, variant int, active func(y, x int) bool) {
+	size := b.size
+	x0 := sh.W - size - variant*(size+1)
+	if x0 < 0 {
+		x0 = variant % max(1, sh.W-size+1)
+	}
+	y0 := sh.H - size
+	for c := 0; c < sh.C; c++ {
+		off := c * sh.H * sh.W
+		for y := 0; y < size; y++ {
+			for x := 0; x < size; x++ {
+				if active != nil && !active(y, x) {
+					continue
+				}
+				i := off + (y0+y)*sh.W + (x0 + x)
+				dst[i] = clamp01(blendEq(dst[i], b.pattern[i], 1, b.alpha))
+			}
+		}
+	}
+}
+
+// --- WaNet: smooth warping field --------------------------------------------------
+
+type warpTrigger struct {
+	dx, dy []float64 // per-pixel displacement fields
+	sh     data.Shape
+}
+
+// newWarpTrigger draws a coarse control grid of displacements and upsamples
+// it bilinearly to a smooth per-pixel warp, following WaNet's construction.
+func newWarpTrigger(sh data.Shape, r *rng.RNG) *warpTrigger {
+	const grid = 4
+	strength := float64(sh.W) * 0.35
+	cdx := make([]float64, grid*grid)
+	cdy := make([]float64, grid*grid)
+	r.Uniform(cdx, -strength, strength)
+	r.Uniform(cdy, -strength, strength)
+	w := &warpTrigger{sh: sh, dx: make([]float64, sh.H*sh.W), dy: make([]float64, sh.H*sh.W)}
+	for y := 0; y < sh.H; y++ {
+		for x := 0; x < sh.W; x++ {
+			fy := float64(y) / float64(sh.H-1) * float64(grid-1)
+			fx := float64(x) / float64(sh.W-1) * float64(grid-1)
+			w.dx[y*sh.W+x] = bilerpGrid(cdx, grid, fy, fx)
+			w.dy[y*sh.W+x] = bilerpGrid(cdy, grid, fy, fx)
+		}
+	}
+	return w
+}
+
+func bilerpGrid(g []float64, n int, fy, fx float64) float64 {
+	y0, x0 := int(fy), int(fx)
+	y1, x1 := y0+1, x0+1
+	if y1 >= n {
+		y1 = n - 1
+	}
+	if x1 >= n {
+		x1 = n - 1
+	}
+	wy, wx := fy-float64(y0), fx-float64(x0)
+	return g[y0*n+x0]*(1-wy)*(1-wx) + g[y0*n+x1]*(1-wy)*wx + g[y1*n+x0]*wy*(1-wx) + g[y1*n+x1]*wy*wx
+}
+
+func (w *warpTrigger) Name() string { return string(WaNet) }
+
+func (w *warpTrigger) Stamp(dst, src []float64, sh data.Shape, sampleID, variant int, full bool) {
+	// Variant shifts the warp phase slightly so multi-target variants differ.
+	scale := 1.0 + 0.3*float64(variant)
+	for c := 0; c < sh.C; c++ {
+		off := c * sh.H * sh.W
+		for y := 0; y < sh.H; y++ {
+			for x := 0; x < sh.W; x++ {
+				sx := float64(x) + scale*w.dx[y*sh.W+x]
+				sy := float64(y) + scale*w.dy[y*sh.W+x]
+				dst[off+y*sh.W+x] = sampleBilinear(src, off, sh, sy, sx)
+			}
+		}
+	}
+}
+
+func sampleBilinear(img []float64, off int, sh data.Shape, fy, fx float64) float64 {
+	if fy < 0 {
+		fy = 0
+	}
+	if fx < 0 {
+		fx = 0
+	}
+	if fy > float64(sh.H-1) {
+		fy = float64(sh.H - 1)
+	}
+	if fx > float64(sh.W-1) {
+		fx = float64(sh.W - 1)
+	}
+	y0, x0 := int(fy), int(fx)
+	y1, x1 := y0+1, x0+1
+	if y1 >= sh.H {
+		y1 = sh.H - 1
+	}
+	if x1 >= sh.W {
+		x1 = sh.W - 1
+	}
+	wy, wx := fy-float64(y0), fx-float64(x0)
+	return img[off+y0*sh.W+x0]*(1-wy)*(1-wx) + img[off+y0*sh.W+x1]*(1-wy)*wx +
+		img[off+y1*sh.W+x0]*wy*(1-wx) + img[off+y1*sh.W+x1]*wy*wx
+}
+
+// --- Dynamic (input-aware) trigger --------------------------------------------------
+
+// dynamicTrigger places a sample-specific pattern at a sample-specific
+// location, mimicking input-aware dynamic backdoors where a generator emits
+// per-sample triggers.
+type dynamicTrigger struct {
+	size  int
+	alpha float64
+	seed  uint64
+}
+
+func newDynamicTrigger(sh data.Shape, size int, alpha float64, r *rng.RNG) *dynamicTrigger {
+	return &dynamicTrigger{size: size, alpha: alpha, seed: r.Uint64()}
+}
+
+func (d *dynamicTrigger) Name() string { return string(Dynamic) }
+
+func (d *dynamicTrigger) Stamp(dst, src []float64, sh data.Shape, sampleID, variant int, full bool) {
+	copy(dst, src)
+	// The per-sample stream derives from the trigger seed and the sample
+	// identity, so the same sample always receives the same trigger — the
+	// property that makes dynamic backdoors learnable.
+	sr := rng.New(d.seed).Split("dyn", sampleID, variant)
+	x0 := sr.Intn(max(1, sh.W-d.size+1))
+	y0 := sr.Intn(max(1, sh.H-d.size+1))
+	for c := 0; c < sh.C; c++ {
+		off := c * sh.H * sh.W
+		for y := 0; y < d.size; y++ {
+			for x := 0; x < d.size; x++ {
+				i := off + (y0+y)*sh.W + (x0 + x)
+				t := 0.0
+				if sr.Float64() < 0.5 {
+					t = 1
+				}
+				dst[i] = clamp01(blendEq(dst[i], t, 1, d.alpha))
+			}
+		}
+	}
+}
+
+// --- Adaptive attacks (Qi et al.) ----------------------------------------------------
+
+// adaptiveTrigger wraps a blend trigger with the "payload splitting" of
+// Adap-Blend: at train time only a random half of the trigger cells are
+// applied; at test time the full trigger fires.
+type adaptiveTrigger struct {
+	inner *blendTrigger
+	seed  uint64
+}
+
+func newAdaptiveTrigger(inner *blendTrigger, sh data.Shape, r *rng.RNG) *adaptiveTrigger {
+	return &adaptiveTrigger{inner: inner, seed: r.Uint64()}
+}
+
+func (a *adaptiveTrigger) Name() string { return string(AdapBlend) }
+
+func (a *adaptiveTrigger) Stamp(dst, src []float64, sh data.Shape, sampleID, variant int, full bool) {
+	copy(dst, src)
+	if full {
+		a.inner.stampRegion(dst, sh, variant, nil)
+		return
+	}
+	sr := rng.New(a.seed).Split("adap", sampleID)
+	// Activate a random half of 2x2 cell blocks within the trigger region.
+	active := make(map[int]bool)
+	blocks := (a.inner.size + 1) / 2
+	for by := 0; by < blocks; by++ {
+		for bx := 0; bx < blocks; bx++ {
+			if sr.Float64() < 0.5 {
+				active[by*blocks+bx] = true
+			}
+		}
+	}
+	a.inner.stampRegion(dst, sh, variant, func(y, x int) bool {
+		return active[(y/2)*blocks+x/2]
+	})
+}
+
+// adaptivePatchTrigger implements Adap-Patch: k small patches scattered over
+// the image; training stamps a random subset, testing stamps all of them.
+type adaptivePatchTrigger struct {
+	patches []patchSpec
+	alpha   float64
+	seed    uint64
+}
+
+type patchSpec struct {
+	x0, y0, size int
+	pattern      []float64
+}
+
+func newAdaptivePatchTrigger(sh data.Shape, size int, alpha float64, r *rng.RNG) *adaptivePatchTrigger {
+	const k = 4
+	small := max(2, size/2)
+	t := &adaptivePatchTrigger{alpha: alpha, seed: r.Uint64()}
+	corners := [][2]int{{0, 0}, {sh.W - small, 0}, {0, sh.H - small}, {sh.W - small, sh.H - small}}
+	for i := 0; i < k; i++ {
+		p := patchSpec{x0: corners[i][0], y0: corners[i][1], size: small, pattern: make([]float64, small*small)}
+		r.Uniform(p.pattern, 0, 1)
+		for j := range p.pattern {
+			if p.pattern[j] < 0.5 {
+				p.pattern[j] = 0
+			} else {
+				p.pattern[j] = 1
+			}
+		}
+		t.patches = append(t.patches, p)
+	}
+	return t
+}
+
+func (a *adaptivePatchTrigger) Name() string { return string(AdapPatch) }
+
+func (a *adaptivePatchTrigger) Stamp(dst, src []float64, sh data.Shape, sampleID, variant int, full bool) {
+	copy(dst, src)
+	// Train-time stamps exactly half the patches (a random pair including a
+	// rotating anchor); test-time stamps all of them. The strict subset is
+	// what defeats latent-separation defenses in Qi et al.'s construction.
+	var use map[int]bool
+	if !full {
+		sr := rng.New(a.seed).Split("adpatch", sampleID)
+		first := sr.Intn(len(a.patches))
+		second := (first + 1 + sr.Intn(len(a.patches)-1)) % len(a.patches)
+		use = map[int]bool{first: true, second: true}
+	}
+	for pi, p := range a.patches {
+		if use != nil && !use[pi] {
+			continue
+		}
+		for c := 0; c < sh.C; c++ {
+			off := c * sh.H * sh.W
+			for y := 0; y < p.size; y++ {
+				for x := 0; x < p.size; x++ {
+					i := off + (p.y0+y)*sh.W + (p.x0 + x)
+					dst[i] = clamp01(blendEq(dst[i], p.pattern[y*p.size+x], 1, a.alpha))
+				}
+			}
+		}
+	}
+}
+
+// --- BPP: quantization + dithering ------------------------------------------------------
+
+// bppTrigger quantizes pixels to few levels with per-sample dithering, the
+// image-quantization backdoor of Wang et al. (2022).
+type bppTrigger struct {
+	levels int
+	seed   uint64
+}
+
+func newBPPTrigger(r *rng.RNG) *bppTrigger {
+	return &bppTrigger{levels: 4, seed: r.Uint64()}
+}
+
+func (b *bppTrigger) Name() string { return string(BPP) }
+
+func (b *bppTrigger) Stamp(dst, src []float64, sh data.Shape, sampleID, variant int, full bool) {
+	sr := rng.New(b.seed).Split("bpp", sampleID)
+	l := float64(b.levels - 1 - variant%2)
+	for i, v := range src {
+		dither := (sr.Float64() - 0.5) / l
+		dst[i] = clamp01(math.Round((v+dither)*l) / l)
+	}
+}
+
+// --- Refool: reflection backdoor -----------------------------------------------------------
+
+type refoolTrigger struct {
+	reflection []float64
+	alpha      float64
+}
+
+// newRefoolTrigger builds a smooth "reflection layer" (low-pass noise) that
+// is ghosted onto images, as in the reflection backdoor of Liu et al.
+func newRefoolTrigger(sh data.Shape, alpha float64, r *rng.RNG) *refoolTrigger {
+	t := &refoolTrigger{alpha: alpha, reflection: make([]float64, sh.Dim())}
+	raw := make([]float64, sh.Dim())
+	r.Uniform(raw, 0, 1)
+	// 3x3 box blur per channel to make the reflection smooth.
+	for c := 0; c < sh.C; c++ {
+		off := c * sh.H * sh.W
+		for y := 0; y < sh.H; y++ {
+			for x := 0; x < sh.W; x++ {
+				sum, cnt := 0.0, 0
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						yy, xx := y+dy, x+dx
+						if yy < 0 || yy >= sh.H || xx < 0 || xx >= sh.W {
+							continue
+						}
+						sum += raw[off+yy*sh.W+xx]
+						cnt++
+					}
+				}
+				t.reflection[off+y*sh.W+x] = sum / float64(cnt)
+			}
+		}
+	}
+	return t
+}
+
+func (t *refoolTrigger) Name() string { return string(Refool) }
+
+func (t *refoolTrigger) Stamp(dst, src []float64, sh data.Shape, sampleID, variant int, full bool) {
+	// Ghosting: shifted double image of the reflection.
+	shift := 1 + variant%2
+	for c := 0; c < sh.C; c++ {
+		off := c * sh.H * sh.W
+		for y := 0; y < sh.H; y++ {
+			for x := 0; x < sh.W; x++ {
+				i := off + y*sh.W + x
+				sx := (x + shift) % sh.W
+				r := 0.5*t.reflection[i] + 0.5*t.reflection[off+y*sh.W+sx]
+				dst[i] = clamp01(t.alpha*src[i] + (1-t.alpha)*r)
+			}
+		}
+	}
+}
+
+// --- Poison Ink: edge-aligned invisible trigger ----------------------------------------------
+
+type poisonInkTrigger struct {
+	ink []float64 // per-pixel ink pattern, small amplitude
+}
+
+func newPoisonInkTrigger(sh data.Shape, r *rng.RNG) *poisonInkTrigger {
+	t := &poisonInkTrigger{ink: make([]float64, sh.H*sh.W)}
+	r.Uniform(t.ink, -0.35, 0.35)
+	return t
+}
+
+func (t *poisonInkTrigger) Name() string { return string(PoisonInk) }
+
+func (t *poisonInkTrigger) Stamp(dst, src []float64, sh data.Shape, sampleID, variant int, full bool) {
+	copy(dst, src)
+	// Edge mask from luminance gradients of channel 0; ink is injected only
+	// along structural edges, making it imperceptible (Zhang et al. 2022).
+	for y := 0; y < sh.H; y++ {
+		for x := 0; x < sh.W; x++ {
+			gx, gy := 0.0, 0.0
+			if x+1 < sh.W {
+				gx = src[y*sh.W+x+1] - src[y*sh.W+x]
+			}
+			if y+1 < sh.H {
+				gy = src[(y+1)*sh.W+x] - src[y*sh.W+x]
+			}
+			mag := math.Abs(gx) + math.Abs(gy)
+			if mag < 0.05 {
+				continue
+			}
+			for c := 0; c < sh.C; c++ {
+				i := c*sh.H*sh.W + y*sh.W + x
+				dst[i] = clamp01(dst[i] + t.ink[y*sh.W+x])
+			}
+		}
+	}
+}
+
+// --- SIG: sinusoidal clean-label trigger ---------------------------------------------------
+
+type sigTrigger struct{}
+
+func newSIGTrigger() *sigTrigger { return &sigTrigger{} }
+
+func (s *sigTrigger) Name() string { return string(SIG) }
+
+func (s *sigTrigger) Stamp(dst, src []float64, sh data.Shape, sampleID, variant int, full bool) {
+	// Horizontal sinusoidal stripes: x' = x + Δ·sin(2πfx/W) (Barni et al.).
+	const delta = 0.15
+	freq := 4.0 + float64(variant)
+	for c := 0; c < sh.C; c++ {
+		off := c * sh.H * sh.W
+		for y := 0; y < sh.H; y++ {
+			for x := 0; x < sh.W; x++ {
+				i := off + y*sh.W + x
+				dst[i] = clamp01(src[i] + delta*math.Sin(2*math.Pi*freq*float64(x)/float64(sh.W)))
+			}
+		}
+	}
+}
+
+// --- LC: label-consistent trigger ------------------------------------------------------------
+
+// lcTrigger combines four tiny corner patches with an adversarial-style
+// perturbation (seeded noise here), following Turner et al.'s construction
+// where the perturbation makes clean features harder to use so the model
+// leans on the patches.
+type lcTrigger struct {
+	alpha float64
+	noise []float64
+}
+
+func newLCTrigger(sh data.Shape, alpha float64, r *rng.RNG) *lcTrigger {
+	t := &lcTrigger{alpha: alpha, noise: make([]float64, sh.Dim())}
+	r.Uniform(t.noise, -0.12, 0.12)
+	return t
+}
+
+func (t *lcTrigger) Name() string { return string(LC) }
+
+func (t *lcTrigger) Stamp(dst, src []float64, sh data.Shape, sampleID, variant int, full bool) {
+	for i, v := range src {
+		dst[i] = clamp01(v + t.noise[i])
+	}
+	size := 2
+	corners := [][2]int{{0, 0}, {sh.W - size, 0}, {0, sh.H - size}, {sh.W - size, sh.H - size}}
+	for _, c0 := range corners {
+		for c := 0; c < sh.C; c++ {
+			off := c * sh.H * sh.W
+			for y := 0; y < size; y++ {
+				for x := 0; x < size; x++ {
+					i := off + (c0[1]+y)*sh.W + (c0[0] + x)
+					v := 0.0
+					if (x+y)%2 == 0 {
+						v = 1
+					}
+					dst[i] = clamp01(blendEq(dst[i], v, 1, t.alpha))
+				}
+			}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

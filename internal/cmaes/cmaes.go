@@ -1,0 +1,224 @@
+// Package cmaes implements the gradient-free optimizers BPROM uses to learn
+// visual prompts against a black-box oracle: CMA-ES with full covariance
+// adaptation (Hansen's (μ/μ_w, λ) strategy) for low-dimensional prompts,
+// the separable sep-CMA-ES variant whose diagonal covariance scales to
+// high-dimensional prompts, and SPSA as a cheap baseline.
+//
+// All three minimize a possibly stochastic objective f: R^n -> R using only
+// function evaluations — exactly the access a defender has to an MLaaS
+// endpoint (confidence vectors in, loss out).
+package cmaes
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bprom/internal/rng"
+)
+
+// Objective is a function to minimize. It may be stochastic (mini-batch
+// losses); rank-based selection makes CMA-ES robust to that noise.
+type Objective func(x []float64) float64
+
+// Options configures a minimization run.
+type Options struct {
+	// Sigma0 is the initial step size. Default 0.3.
+	Sigma0 float64
+	// PopSize overrides λ (default 4+⌊3·ln n⌋).
+	PopSize int
+	// MaxIters bounds the number of generations. Default 100.
+	MaxIters int
+	// MaxEvals bounds total objective evaluations (0 = unlimited).
+	MaxEvals int
+	// Lo/Hi clip candidate coordinates when Hi > Lo (box constraint for
+	// pixel-valued prompts).
+	Lo, Hi float64
+	// TolFun stops when the best value improves by less than this across a
+	// generation window. <= 0 disables.
+	TolFun float64
+}
+
+func (o *Options) defaults(n int) {
+	if o.Sigma0 <= 0 {
+		o.Sigma0 = 0.3
+	}
+	if o.PopSize <= 0 {
+		o.PopSize = 4 + int(3*math.Log(float64(n)))
+	}
+	if o.PopSize < 4 {
+		o.PopSize = 4
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 100
+	}
+}
+
+// Result reports the best point found.
+type Result struct {
+	Best      []float64
+	BestValue float64
+	Evals     int
+	Iters     int
+}
+
+// weightsFor returns the standard log-rank recombination weights and μ_eff.
+func weightsFor(lambda int) (w []float64, mu int, muEff float64) {
+	mu = lambda / 2
+	w = make([]float64, mu)
+	sum := 0.0
+	for i := 0; i < mu; i++ {
+		w[i] = math.Log(float64(lambda)/2+0.5) - math.Log(float64(i+1))
+		sum += w[i]
+	}
+	sqSum := 0.0
+	for i := range w {
+		w[i] /= sum
+		sqSum += w[i] * w[i]
+	}
+	return w, mu, 1 / sqSum
+}
+
+func clipInto(x []float64, lo, hi float64) {
+	if hi <= lo {
+		return
+	}
+	for i, v := range x {
+		if v < lo {
+			x[i] = lo
+		} else if v > hi {
+			x[i] = hi
+		}
+	}
+}
+
+// MinimizeSep runs sep-CMA-ES (diagonal covariance) from x0. It is the
+// default for visual prompts, whose dimension (hundreds of pixels) makes the
+// full covariance update unnecessary and slow.
+func MinimizeSep(obj Objective, x0 []float64, opt Options, r *rng.RNG) (Result, error) {
+	n := len(x0)
+	if n == 0 {
+		return Result{}, fmt.Errorf("cmaes: empty start point")
+	}
+	opt.defaults(n)
+	lambda := opt.PopSize
+	w, mu, muEff := weightsFor(lambda)
+
+	// Strategy constants (Ros & Hansen 2008 for the separable variant; c_cov
+	// scaled by (n+2)/3 relative to full CMA).
+	cs := (muEff + 2) / (float64(n) + muEff + 5)
+	ds := 1 + 2*math.Max(0, math.Sqrt((muEff-1)/float64(n+1))-1) + cs
+	cc := (4 + muEff/float64(n)) / (float64(n) + 4 + 2*muEff/float64(n))
+	c1 := 2 / (math.Pow(float64(n)+1.3, 2) + muEff) * (float64(n) + 2) / 3
+	cmu := math.Min(1-c1, 2*(muEff-2+1/muEff)/(math.Pow(float64(n)+2, 2)+muEff)*(float64(n)+2)/3)
+	chiN := math.Sqrt(float64(n)) * (1 - 1/(4*float64(n)) + 1/(21*float64(n)*float64(n)))
+
+	mean := append([]float64(nil), x0...)
+	sigma := opt.Sigma0
+	diag := make([]float64, n) // diagonal of C
+	for i := range diag {
+		diag[i] = 1
+	}
+	ps := make([]float64, n)
+	pc := make([]float64, n)
+
+	type cand struct {
+		x, z []float64
+		f    float64
+	}
+	pop := make([]cand, lambda)
+	for i := range pop {
+		pop[i].x = make([]float64, n)
+		pop[i].z = make([]float64, n)
+	}
+
+	res := Result{Best: append([]float64(nil), x0...), BestValue: math.Inf(1)}
+	prevBest := math.Inf(1)
+	stale := 0
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		for i := range pop {
+			for j := 0; j < n; j++ {
+				z := r.NormFloat64()
+				pop[i].z[j] = z
+				pop[i].x[j] = mean[j] + sigma*math.Sqrt(diag[j])*z
+			}
+			clipInto(pop[i].x, opt.Lo, opt.Hi)
+			pop[i].f = obj(pop[i].x)
+			res.Evals++
+			if pop[i].f < res.BestValue {
+				res.BestValue = pop[i].f
+				copy(res.Best, pop[i].x)
+			}
+			if opt.MaxEvals > 0 && res.Evals >= opt.MaxEvals {
+				res.Iters = iter + 1
+				return res, nil
+			}
+		}
+		// sort ascending by f (selection)
+		sort.Slice(pop, func(a, b int) bool { return pop[a].f < pop[b].f })
+
+		// recombination in z-space and x-space
+		zMean := make([]float64, n)
+		newMean := make([]float64, n)
+		for i := 0; i < mu; i++ {
+			for j := 0; j < n; j++ {
+				zMean[j] += w[i] * pop[i].z[j]
+				newMean[j] += w[i] * pop[i].x[j]
+			}
+		}
+		copy(mean, newMean)
+
+		// step-size path (coordinates are already whitened in z-space)
+		psNorm := 0.0
+		for j := 0; j < n; j++ {
+			ps[j] = (1-cs)*ps[j] + math.Sqrt(cs*(2-cs)*muEff)*zMean[j]
+			psNorm += ps[j] * ps[j]
+		}
+		psNorm = math.Sqrt(psNorm)
+		sigma *= math.Exp((cs / ds) * (psNorm/chiN - 1))
+		if math.IsNaN(sigma) {
+			return res, fmt.Errorf("cmaes: step size became NaN at iteration %d", iter)
+		}
+		// Box-clipped runs can flatten selection at a boundary, sending the
+		// step-size random walk upward; cap it instead of diverging.
+		if maxSigma := 100 * opt.Sigma0; sigma > maxSigma {
+			sigma = maxSigma
+		}
+		if sigma < 1e-14 {
+			sigma = 1e-14
+		}
+
+		// covariance path and diagonal update
+		hsig := 0.0
+		if psNorm/math.Sqrt(1-math.Pow(1-cs, 2*float64(iter+1)))/chiN < 1.4+2/(float64(n)+1) {
+			hsig = 1
+		}
+		for j := 0; j < n; j++ {
+			pc[j] = (1-cc)*pc[j] + hsig*math.Sqrt(cc*(2-cc)*muEff)*math.Sqrt(diag[j])*zMean[j]
+		}
+		for j := 0; j < n; j++ {
+			rankMu := 0.0
+			for i := 0; i < mu; i++ {
+				rankMu += w[i] * diag[j] * pop[i].z[j] * pop[i].z[j]
+			}
+			diag[j] = (1-c1-cmu)*diag[j] + c1*pc[j]*pc[j] + cmu*rankMu
+			if diag[j] < 1e-12 {
+				diag[j] = 1e-12
+			}
+		}
+
+		res.Iters = iter + 1
+		if opt.TolFun > 0 {
+			if prevBest-res.BestValue < opt.TolFun {
+				stale++
+				if stale >= 10 {
+					break
+				}
+			} else {
+				stale = 0
+			}
+			prevBest = res.BestValue
+		}
+	}
+	return res, nil
+}

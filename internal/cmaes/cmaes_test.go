@@ -1,0 +1,247 @@
+package cmaes
+
+import (
+	"math"
+	"testing"
+
+	"bprom/internal/rng"
+)
+
+func sphere(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+func shiftedSphere(target []float64) Objective {
+	return func(x []float64) float64 {
+		s := 0.0
+		for i, v := range x {
+			d := v - target[i]
+			s += d * d
+		}
+		return s
+	}
+}
+
+func ellipse(x []float64) float64 {
+	s := 0.0
+	for i, v := range x {
+		s += math.Pow(10, 3*float64(i)/float64(len(x)-1)) * v * v
+	}
+	return s
+}
+
+func rosenbrock(x []float64) float64 {
+	s := 0.0
+	for i := 0; i < len(x)-1; i++ {
+		a := x[i+1] - x[i]*x[i]
+		b := 1 - x[i]
+		s += 100*a*a + b*b
+	}
+	return s
+}
+
+func TestMinimizeSphere(t *testing.T) {
+	x0 := []float64{2, -3, 1, 4, -2}
+	res, err := Minimize(sphere, x0, Options{MaxIters: 200, Sigma0: 1}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestValue > 1e-6 {
+		t.Fatalf("full CMA on sphere: best %v", res.BestValue)
+	}
+}
+
+func TestMinimizeSepSphere(t *testing.T) {
+	x0 := make([]float64, 20)
+	rng.New(2).Uniform(x0, -3, 3)
+	res, err := MinimizeSep(sphere, x0, Options{MaxIters: 300, Sigma0: 1}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestValue > 1e-4 {
+		t.Fatalf("sep-CMA on sphere: best %v", res.BestValue)
+	}
+}
+
+func TestMinimizeSepShiftedTarget(t *testing.T) {
+	target := []float64{1, -2, 0.5, 3}
+	res, err := MinimizeSep(shiftedSphere(target), make([]float64, 4), Options{MaxIters: 300, Sigma0: 1}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Best {
+		if math.Abs(v-target[i]) > 0.01 {
+			t.Fatalf("dim %d: %v, want %v", i, v, target[i])
+		}
+	}
+}
+
+func TestMinimizeEllipse(t *testing.T) {
+	// Ill-conditioned problem: full covariance adaptation should still solve it.
+	x0 := []float64{3, 3, 3, 3, 3, 3}
+	res, err := Minimize(ellipse, x0, Options{MaxIters: 400, Sigma0: 1}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestValue > 1e-4 {
+		t.Fatalf("full CMA on ellipse: best %v", res.BestValue)
+	}
+}
+
+func TestMinimizeRosenbrock(t *testing.T) {
+	x0 := make([]float64, 4)
+	res, err := Minimize(rosenbrock, x0, Options{MaxIters: 600, Sigma0: 0.5}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestValue > 1e-2 {
+		t.Fatalf("full CMA on rosenbrock: best %v", res.BestValue)
+	}
+}
+
+func TestBoundsRespected(t *testing.T) {
+	// minimum at 2 but box is [-1, 1]: solution should ride the boundary.
+	obj := shiftedSphere([]float64{2, 2, 2})
+	res, err := MinimizeSep(obj, make([]float64, 3), Options{MaxIters: 200, Sigma0: 0.5, Lo: -1, Hi: 1}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Best {
+		if v < -1-1e-12 || v > 1+1e-12 {
+			t.Fatalf("candidate outside box: %v", v)
+		}
+	}
+	if res.Best[0] < 0.9 {
+		t.Fatalf("expected boundary solution near 1, got %v", res.Best[0])
+	}
+}
+
+func TestMaxEvalsBudget(t *testing.T) {
+	evals := 0
+	obj := func(x []float64) float64 {
+		evals++
+		return sphere(x)
+	}
+	res, err := MinimizeSep(obj, []float64{5, 5}, Options{MaxIters: 1000, MaxEvals: 40}, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evals > 40 || res.Evals > 40 {
+		t.Fatalf("budget exceeded: %d evals (reported %d)", evals, res.Evals)
+	}
+}
+
+func TestNoisyObjective(t *testing.T) {
+	// CMA-ES must tolerate mini-batch style noise.
+	noise := rng.New(9)
+	obj := func(x []float64) float64 {
+		return sphere(x) + 0.05*noise.NormFloat64()
+	}
+	res, err := MinimizeSep(obj, []float64{3, -3, 2}, Options{MaxIters: 250, Sigma0: 1}, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// true value at the returned point (without noise)
+	if sphere(res.Best) > 0.5 {
+		t.Fatalf("noisy sphere: true value %v at best point", sphere(res.Best))
+	}
+}
+
+func TestEmptyStartRejected(t *testing.T) {
+	if _, err := Minimize(sphere, nil, Options{}, rng.New(1)); err == nil {
+		t.Fatal("expected error for empty x0")
+	}
+	if _, err := MinimizeSep(sphere, nil, Options{}, rng.New(1)); err == nil {
+		t.Fatal("expected error for empty x0")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	x0 := []float64{1, 2, 3}
+	r1, err := MinimizeSep(sphere, x0, Options{MaxIters: 50}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := MinimizeSep(sphere, x0, Options{MaxIters: 50}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.BestValue != r2.BestValue {
+		t.Fatal("same seed produced different trajectories")
+	}
+	for i := range r1.Best {
+		if r1.Best[i] != r2.Best[i] {
+			t.Fatal("same seed produced different best points")
+		}
+	}
+}
+
+func TestSPSAConverges(t *testing.T) {
+	res := SPSA(sphere, []float64{3, -2, 4}, 500, 0.2, 0.1, Options{}, rng.New(12))
+	if res.BestValue > 0.1 {
+		t.Fatalf("SPSA best %v", res.BestValue)
+	}
+}
+
+func TestSPSABounds(t *testing.T) {
+	res := SPSA(shiftedSphere([]float64{5, 5}), []float64{0, 0}, 200, 0.3, 0.1, Options{Lo: -1, Hi: 1}, rng.New(13))
+	for _, v := range res.Best {
+		if v < -1 || v > 1 {
+			t.Fatalf("SPSA left the box: %v", v)
+		}
+	}
+}
+
+func TestJacobiEigenIdentityAndDiag(t *testing.T) {
+	v, eig, err := jacobiEigen([][]float64{{3, 0}, {0, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[float64]bool{}
+	for _, e := range eig {
+		got[math.Round(e)] = true
+	}
+	if !got[3] || !got[7] {
+		t.Fatalf("eigenvalues %v, want {3,7}", eig)
+	}
+	// eigenvectors orthonormal
+	dot := v[0][0]*v[0][1] + v[1][0]*v[1][1]
+	if math.Abs(dot) > 1e-9 {
+		t.Fatalf("eigenvectors not orthogonal: %v", dot)
+	}
+}
+
+func TestJacobiEigenSymmetric(t *testing.T) {
+	// A = Q Λ Qᵀ reconstruction check on a random symmetric matrix.
+	r := rng.New(14)
+	n := 5
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := r.NormFloat64()
+			a[i][j], a[j][i] = v, v
+		}
+	}
+	v, eig, err := jacobiEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			recon := 0.0
+			for k := 0; k < n; k++ {
+				recon += v[i][k] * eig[k] * v[j][k]
+			}
+			if math.Abs(recon-a[i][j]) > 1e-8 {
+				t.Fatalf("reconstruction error at (%d,%d): %v vs %v", i, j, recon, a[i][j])
+			}
+		}
+	}
+}

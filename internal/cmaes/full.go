@@ -1,0 +1,282 @@
+package cmaes
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bprom/internal/rng"
+)
+
+// Minimize runs full-covariance CMA-ES from x0. Suitable for prompts up to a
+// few dozen dimensions; above that prefer MinimizeSep (the eigendecomposition
+// is O(n³)).
+func Minimize(obj Objective, x0 []float64, opt Options, r *rng.RNG) (Result, error) {
+	n := len(x0)
+	if n == 0 {
+		return Result{}, fmt.Errorf("cmaes: empty start point")
+	}
+	opt.defaults(n)
+	lambda := opt.PopSize
+	w, mu, muEff := weightsFor(lambda)
+
+	cs := (muEff + 2) / (float64(n) + muEff + 5)
+	ds := 1 + 2*math.Max(0, math.Sqrt((muEff-1)/float64(n+1))-1) + cs
+	cc := (4 + muEff/float64(n)) / (float64(n) + 4 + 2*muEff/float64(n))
+	c1 := 2 / (math.Pow(float64(n)+1.3, 2) + muEff)
+	cmu := math.Min(1-c1, 2*(muEff-2+1/muEff)/(math.Pow(float64(n)+2, 2)+muEff))
+	chiN := math.Sqrt(float64(n)) * (1 - 1/(4*float64(n)) + 1/(21*float64(n)*float64(n)))
+
+	mean := append([]float64(nil), x0...)
+	sigma := opt.Sigma0
+	c := identity(n)
+	b := identity(n) // eigenbasis
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = 1
+	}
+	ps := make([]float64, n)
+	pc := make([]float64, n)
+	eigenStale := 0
+
+	type cand struct {
+		x, y, z []float64 // y = B D z (unscaled step), x = mean + sigma*y
+		f       float64
+	}
+	pop := make([]cand, lambda)
+	for i := range pop {
+		pop[i].x = make([]float64, n)
+		pop[i].y = make([]float64, n)
+		pop[i].z = make([]float64, n)
+	}
+	res := Result{Best: append([]float64(nil), x0...), BestValue: math.Inf(1)}
+
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		// refresh eigendecomposition periodically
+		if eigenStale == 0 {
+			var err error
+			b, d, err = jacobiEigen(c)
+			if err != nil {
+				return res, fmt.Errorf("cmaes: eigendecomposition failed: %w", err)
+			}
+			for i := range d {
+				if d[i] < 1e-14 {
+					d[i] = 1e-14
+				}
+				d[i] = math.Sqrt(d[i])
+			}
+		}
+		eigenStale = (eigenStale + 1) % maxI(1, n/10)
+
+		for i := range pop {
+			for j := 0; j < n; j++ {
+				pop[i].z[j] = r.NormFloat64()
+			}
+			// y = B * (D .* z)
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += b[j][k] * d[k] * pop[i].z[k]
+				}
+				pop[i].y[j] = s
+				pop[i].x[j] = mean[j] + sigma*s
+			}
+			clipInto(pop[i].x, opt.Lo, opt.Hi)
+			pop[i].f = obj(pop[i].x)
+			res.Evals++
+			if pop[i].f < res.BestValue {
+				res.BestValue = pop[i].f
+				copy(res.Best, pop[i].x)
+			}
+			if opt.MaxEvals > 0 && res.Evals >= opt.MaxEvals {
+				res.Iters = iter + 1
+				return res, nil
+			}
+		}
+		sort.Slice(pop, func(a, bb int) bool { return pop[a].f < pop[bb].f })
+
+		yMean := make([]float64, n)
+		for i := 0; i < mu; i++ {
+			for j := 0; j < n; j++ {
+				yMean[j] += w[i] * pop[i].y[j]
+			}
+		}
+		for j := 0; j < n; j++ {
+			mean[j] += sigma * yMean[j]
+		}
+
+		// ps update needs C^{-1/2} yMean = B D^{-1} Bᵀ yMean
+		cInvHalfY := make([]float64, n)
+		tmp := make([]float64, n)
+		for k := 0; k < n; k++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += b[j][k] * yMean[j]
+			}
+			tmp[k] = s / d[k]
+		}
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += b[j][k] * tmp[k]
+			}
+			cInvHalfY[j] = s
+		}
+		psNorm := 0.0
+		for j := 0; j < n; j++ {
+			ps[j] = (1-cs)*ps[j] + math.Sqrt(cs*(2-cs)*muEff)*cInvHalfY[j]
+			psNorm += ps[j] * ps[j]
+		}
+		psNorm = math.Sqrt(psNorm)
+		sigma *= math.Exp((cs / ds) * (psNorm/chiN - 1))
+		if math.IsNaN(sigma) {
+			return res, fmt.Errorf("cmaes: step size became NaN at iteration %d", iter)
+		}
+		// Box-clipped runs can flatten selection at a boundary, sending the
+		// step-size random walk upward; cap it instead of diverging.
+		if maxSigma := 100 * opt.Sigma0; sigma > maxSigma {
+			sigma = maxSigma
+		}
+		if sigma < 1e-14 {
+			sigma = 1e-14
+		}
+
+		hsig := 0.0
+		if psNorm/math.Sqrt(1-math.Pow(1-cs, 2*float64(iter+1)))/chiN < 1.4+2/(float64(n)+1) {
+			hsig = 1
+		}
+		for j := 0; j < n; j++ {
+			pc[j] = (1-cc)*pc[j] + hsig*math.Sqrt(cc*(2-cc)*muEff)*yMean[j]
+		}
+		// rank-one + rank-mu covariance update
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				rankMu := 0.0
+				for k := 0; k < mu; k++ {
+					rankMu += w[k] * pop[k].y[i] * pop[k].y[j]
+				}
+				c[i][j] = (1-c1-cmu)*c[i][j] + c1*(pc[i]*pc[j]+(1-hsig)*cc*(2-cc)*c[i][j]) + cmu*rankMu
+			}
+		}
+		res.Iters = iter + 1
+	}
+	return res, nil
+}
+
+// SPSA minimizes obj by simultaneous-perturbation stochastic approximation:
+// two evaluations per step estimate a descent direction. Cheapest in queries;
+// noisier than CMA-ES. Used as an ablation against CMA-ES prompting.
+func SPSA(obj Objective, x0 []float64, steps int, a, cGain float64, opt Options, r *rng.RNG) Result {
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	res := Result{Best: append([]float64(nil), x0...), BestValue: math.Inf(1)}
+	delta := make([]float64, n)
+	plus := make([]float64, n)
+	minus := make([]float64, n)
+	for k := 0; k < steps; k++ {
+		ak := a / math.Pow(float64(k+1), 0.602)
+		ck := cGain / math.Pow(float64(k+1), 0.101)
+		for i := range delta {
+			if r.Float64() < 0.5 {
+				delta[i] = 1
+			} else {
+				delta[i] = -1
+			}
+			plus[i] = x[i] + ck*delta[i]
+			minus[i] = x[i] - ck*delta[i]
+		}
+		clipInto(plus, opt.Lo, opt.Hi)
+		clipInto(minus, opt.Lo, opt.Hi)
+		fp, fm := obj(plus), obj(minus)
+		res.Evals += 2
+		for i := range x {
+			g := (fp - fm) / (2 * ck * delta[i])
+			x[i] -= ak * g
+		}
+		clipInto(x, opt.Lo, opt.Hi)
+		f := obj(x)
+		res.Evals++
+		if f < res.BestValue {
+			res.BestValue = f
+			copy(res.Best, x)
+		}
+		res.Iters = k + 1
+	}
+	return res
+}
+
+func identity(n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][i] = 1
+	}
+	return m
+}
+
+// jacobiEigen diagonalizes a symmetric matrix with cyclic Jacobi rotations,
+// returning eigenvectors (columns of v) and eigenvalues.
+func jacobiEigen(a [][]float64) (v [][]float64, eig []float64, err error) {
+	n := len(a)
+	// work on a copy
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	v = identity(n)
+	for sweep := 0; sweep < 50; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-20 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-18 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				cth := 1 / math.Sqrt(t*t+1)
+				s := t * cth
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k][p], m[k][q]
+					m[k][p] = cth*mkp - s*mkq
+					m[k][q] = s*mkp + cth*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p][k], m[q][k]
+					m[p][k] = cth*mpk - s*mqk
+					m[q][k] = s*mpk + cth*mqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = cth*vkp - s*vkq
+					v[k][q] = s*vkp + cth*vkq
+				}
+			}
+		}
+	}
+	eig = make([]float64, n)
+	for i := range eig {
+		eig[i] = m[i][i]
+		if math.IsNaN(eig[i]) {
+			return nil, nil, fmt.Errorf("cmaes: NaN eigenvalue")
+		}
+	}
+	return v, eig, nil
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

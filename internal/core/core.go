@@ -1,0 +1,32 @@
+// Package core re-exports the paper's primary contribution — the BPROM
+// black-box model-level backdoor detector — under the workspace's canonical
+// "core" path. The implementation lives in internal/bprom; see that
+// package's documentation for the algorithm walkthrough.
+package core
+
+import (
+	"context"
+
+	"bprom/internal/bprom"
+	"bprom/internal/oracle"
+)
+
+// Config configures detector training (alias of bprom.Config).
+type Config = bprom.Config
+
+// Detector is a trained BPROM instance (alias of bprom.Detector).
+type Detector = bprom.Detector
+
+// Verdict is the result of inspecting a suspicious model.
+type Verdict = bprom.Verdict
+
+// Shadow is one trained + prompted shadow model.
+type Shadow = bprom.Shadow
+
+// Oracle is black-box access to a suspicious model.
+type Oracle = oracle.Oracle
+
+// Train runs BPROM's Algorithm 1 and returns a ready detector.
+func Train(ctx context.Context, cfg Config) (*Detector, error) {
+	return bprom.Train(ctx, cfg)
+}

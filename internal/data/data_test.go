@@ -1,0 +1,307 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bprom/internal/rng"
+)
+
+func TestSpecPresetsMatchPaperClassCounts(t *testing.T) {
+	want := map[string]int{
+		CIFAR10: 10, GTSRB: 43, STL10: 10, SVHN: 10,
+		CIFAR100: 100, TinyImageNet: 200, ImageNet: 1000,
+	}
+	for name, classes := range want {
+		spec, ok := SpecFor(name)
+		if !ok {
+			t.Fatalf("preset %q missing", name)
+		}
+		if spec.Classes != classes {
+			t.Errorf("%s: %d classes, want %d", name, spec.Classes, classes)
+		}
+		if !spec.Shape.Valid() {
+			t.Errorf("%s: invalid shape %+v", name, spec.Shape)
+		}
+	}
+	if _, ok := SpecFor("mnist-of-doom"); ok {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	spec := MustSpec(CIFAR10)
+	g1 := NewGenerator(spec, 7)
+	g2 := NewGenerator(spec, 7)
+	d1 := g1.Generate(3, rng.New(1))
+	d2 := g2.Generate(3, rng.New(1))
+	if d1.Len() != d2.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range d1.X {
+		if d1.X[i] != d2.X[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+}
+
+func TestGeneratorPixelsInRange(t *testing.T) {
+	g := NewGenerator(MustSpec(SVHN), 3)
+	d := g.Generate(5, rng.New(2))
+	for _, v := range d.X {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v outside [0,1]", v)
+		}
+	}
+}
+
+func TestGeneratorBalancedClasses(t *testing.T) {
+	g := NewGenerator(MustSpec(CIFAR10), 4)
+	d := g.Generate(6, rng.New(3))
+	counts := make([]int, d.Classes)
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != 6 {
+			t.Fatalf("class %d has %d samples, want 6", c, n)
+		}
+	}
+}
+
+// Classes must be separable: intra-class distance noticeably below
+// inter-class distance, otherwise nothing downstream can learn.
+func TestClassClusterSeparation(t *testing.T) {
+	g := NewGenerator(MustSpec(CIFAR10), 5)
+	d := g.Generate(10, rng.New(4))
+	centroid := make([][]float64, d.Classes)
+	counts := make([]int, d.Classes)
+	w := d.Shape.Dim()
+	for c := range centroid {
+		centroid[c] = make([]float64, w)
+	}
+	for i := 0; i < d.Len(); i++ {
+		y := d.Y[i]
+		counts[y]++
+		for j, v := range d.Sample(i) {
+			centroid[y][j] += v
+		}
+	}
+	for c := range centroid {
+		for j := range centroid[c] {
+			centroid[c][j] /= float64(counts[c])
+		}
+	}
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := 0; i < d.Len(); i++ {
+		y := d.Y[i]
+		intra += dist(d.Sample(i), centroid[y])
+		nIntra++
+	}
+	for a := 0; a < d.Classes; a++ {
+		for b := a + 1; b < d.Classes; b++ {
+			inter += dist(centroid[a], centroid[b])
+			nInter++
+		}
+	}
+	intra /= float64(nIntra)
+	inter /= float64(nInter)
+	if inter < 1.5*intra {
+		t.Fatalf("classes not separable: intra %.3f vs inter %.3f", intra, inter)
+	}
+}
+
+func dist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestSubsetAndSampleViews(t *testing.T) {
+	g := NewGenerator(MustSpec(CIFAR10), 1)
+	d := g.Generate(2, rng.New(1))
+	sub := d.Subset([]int{0, 5, 7})
+	if sub.Len() != 3 {
+		t.Fatalf("Subset len %d", sub.Len())
+	}
+	if sub.Y[1] != d.Y[5] {
+		t.Fatal("Subset labels wrong")
+	}
+	// Subset must copy
+	sub.Sample(0)[0] = -99
+	if d.Sample(0)[0] == -99 {
+		t.Fatal("Subset must not alias parent data")
+	}
+	// Sample is a view
+	d.Sample(1)[0] = 0.123
+	if d.X[d.Shape.Dim()] != 0.123 {
+		t.Fatal("Sample must be a view")
+	}
+}
+
+func TestSplitStratifiedAndDisjoint(t *testing.T) {
+	g := NewGenerator(MustSpec(CIFAR10), 2)
+	d := g.Generate(10, rng.New(5))
+	train, test := d.Split(0.3, rng.New(6))
+	if train.Len()+test.Len() != d.Len() {
+		t.Fatalf("split sizes %d + %d != %d", train.Len(), test.Len(), d.Len())
+	}
+	counts := make([]int, d.Classes)
+	for _, y := range test.Y {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != 3 {
+			t.Fatalf("test class %d has %d samples, want 3", c, n)
+		}
+	}
+}
+
+func TestReserveFraction(t *testing.T) {
+	g := NewGenerator(MustSpec(CIFAR10), 3)
+	d := g.Generate(20, rng.New(7))
+	for _, frac := range []float64{0.01, 0.05, 0.10} {
+		res := d.Reserve(frac, rng.New(8))
+		wantPerClass := int(math.Ceil(frac * 20))
+		if res.Len() != wantPerClass*d.Classes {
+			t.Fatalf("Reserve(%v) kept %d samples, want %d", frac, res.Len(), wantPerClass*d.Classes)
+		}
+	}
+}
+
+func TestReservePanicsOnBadFrac(t *testing.T) {
+	g := NewGenerator(MustSpec(CIFAR10), 3)
+	d := g.Generate(2, rng.New(7))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Reserve(0, rng.New(1))
+}
+
+func TestAppendShapeMismatch(t *testing.T) {
+	a := NewGenerator(MustSpec(CIFAR10), 1).Generate(1, rng.New(1))
+	b := NewGenerator(MustSpec(STL10), 1).Generate(1, rng.New(1))
+	if err := a.Append(b); err == nil {
+		t.Fatal("expected shape-mismatch error")
+	}
+	c := NewGenerator(MustSpec(CIFAR10), 2).Generate(1, rng.New(2))
+	n := a.Len()
+	if err := a.Append(c); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != n+c.Len() {
+		t.Fatal("append did not grow dataset")
+	}
+}
+
+func TestBatchMaterialization(t *testing.T) {
+	d := NewGenerator(MustSpec(CIFAR10), 1).Generate(3, rng.New(1))
+	x, y := d.Batch([]int{2, 0})
+	if x.Dim(0) != 2 || x.Dim(1) != d.Shape.Dim() {
+		t.Fatalf("batch shape %v", x.Shape())
+	}
+	if y[0] != d.Y[2] || y[1] != d.Y[0] {
+		t.Fatal("batch labels wrong")
+	}
+	if x.Data[0] != d.Sample(2)[0] {
+		t.Fatal("batch pixels wrong")
+	}
+}
+
+func TestResizeIdentity(t *testing.T) {
+	d := NewGenerator(MustSpec(CIFAR10), 1).Generate(2, rng.New(1))
+	same := d.Resize(d.Shape.H, d.Shape.W)
+	for i := range d.X {
+		if math.Abs(d.X[i]-same.X[i]) > 1e-12 {
+			t.Fatal("identity resize changed pixels")
+		}
+	}
+}
+
+func TestResizePreservesRangeAndShape(t *testing.T) {
+	f := func(seed uint64, rh, rw uint8) bool {
+		h, w := int(rh%10)+2, int(rw%10)+2
+		d := NewGenerator(MustSpec(STL10), seed).Generate(1, rng.New(seed))
+		out := d.Resize(h, w)
+		if out.Shape.H != h || out.Shape.W != w || out.Shape.C != d.Shape.C {
+			return false
+		}
+		for _, v := range out.X {
+			if v < -1e-9 || v > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResizeConstantImageStaysConstant(t *testing.T) {
+	src := make([]float64, 3*4*4)
+	for i := range src {
+		src[i] = 0.7
+	}
+	dst := make([]float64, 3*9*9)
+	ResizeImage(src, Shape{3, 4, 4}, dst, Shape{3, 9, 9})
+	for _, v := range dst {
+		if math.Abs(v-0.7) > 1e-12 {
+			t.Fatalf("constant image resampled to %v", v)
+		}
+	}
+}
+
+func TestClassIndices(t *testing.T) {
+	d := NewGenerator(MustSpec(CIFAR10), 1).Generate(3, rng.New(9))
+	idx := d.ClassIndices(4)
+	if len(idx) != 3 {
+		t.Fatalf("ClassIndices(4) len %d", len(idx))
+	}
+	for _, i := range idx {
+		if d.Y[i] != 4 {
+			t.Fatal("ClassIndices returned wrong class")
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := NewGenerator(MustSpec(CIFAR10), 1).Generate(1, rng.New(1))
+	c := d.Clone()
+	c.X[0] = -5
+	c.Y[0] = 9
+	if d.X[0] == -5 || (d.Y[0] == 9 && d.Y[0] != c.Y[0]) {
+		t.Fatal("Clone aliases parent")
+	}
+}
+
+func TestGenerateSplitDisjointStreams(t *testing.T) {
+	g := NewGenerator(MustSpec(CIFAR10), 11)
+	train, test := g.GenerateSplit(5, 2, rng.New(12))
+	if train.Len() != 5*10 || test.Len() != 2*10 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	// Train and test should not share identical samples (jitter should differ).
+	w := train.Shape.Dim()
+	for i := 0; i < test.Len(); i++ {
+		for j := 0; j < train.Len(); j++ {
+			same := true
+			for k := 0; k < w; k++ {
+				if test.X[i*w+k] != train.X[j*w+k] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatal("identical sample appears in both train and test")
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package defense
+
+import (
+	"context"
+	"math"
+
+	"bprom/internal/nn"
+	"bprom/internal/rng"
+	"bprom/internal/stats"
+	"bprom/internal/tensor"
+)
+
+// NeuralCleanse (Wang et al., S&P 2019) inverts a minimal trigger per class:
+// it optimizes a mask m and pattern t such that stamping (m, t) onto clean
+// samples flips them into the class, with an L1 penalty on the mask. A
+// backdoor target class admits an anomalously SMALL mask (the paper's core
+// observation — the one BPROM's class-subspace-inconsistency argument builds
+// on). The model score is the MAD-normalized deviation of the smallest
+// per-class mask size.
+//
+// This is the white-box member of the model-level baselines: it uses input
+// gradients, which the nn substrate exposes.
+type NeuralCleanse struct {
+	// Steps of mask/pattern optimization per class (default 60).
+	Steps int
+	// Lambda is the L1 mask penalty weight (default 0.05).
+	Lambda float64
+	// Batch is the number of clean carrier samples (default 16).
+	Batch int
+	// LR is the optimization step size (default 0.3).
+	LR float64
+}
+
+var _ ModelLevel = (*NeuralCleanse)(nil)
+
+func (d *NeuralCleanse) Name() string { return "neural-cleanse" }
+
+func (d *NeuralCleanse) defaults() {
+	if d.Steps <= 0 {
+		d.Steps = 60
+	}
+	if d.Lambda <= 0 {
+		d.Lambda = 0.05
+	}
+	if d.Batch <= 0 {
+		d.Batch = 16
+	}
+	if d.LR <= 0 {
+		d.LR = 0.3
+	}
+}
+
+func (d *NeuralCleanse) ScoreModel(ctx context.Context, m *nn.Model, env Env) (float64, error) {
+	if err := validateEnv(d.Name(), env); err != nil {
+		return 0, err
+	}
+	d.defaults()
+	r := rng.New(env.Seed).Split("neural-cleanse")
+	k := m.NumClasses
+	sizes := make([]float64, k)
+	for c := 0; c < k; c++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		size, err := d.invertTrigger(m, env, c, r.Split("class", c))
+		if err != nil {
+			return 0, err
+		}
+		sizes[c] = size
+	}
+	// Anomaly: how far BELOW the median the smallest mask lies.
+	med := stats.Median(sizes)
+	mad := stats.MAD(sizes)
+	if mad < 1e-9 {
+		mad = 1e-9
+	}
+	maxDev := 0.0
+	for _, v := range sizes {
+		if dev := (med - v) / mad; dev > maxDev {
+			maxDev = dev
+		}
+	}
+	return maxDev, nil
+}
+
+// invertTrigger optimizes (mask, pattern) toward class c and returns the
+// resulting L1 mask size. Mask and pattern are parameterized through a
+// sigmoid so gradient steps keep them in [0,1].
+func (d *NeuralCleanse) invertTrigger(m *nn.Model, env Env, c int, r *rng.RNG) (float64, error) {
+	dim := m.InputDim
+	maskW := make([]float64, dim) // pre-sigmoid mask weights
+	patW := make([]float64, dim)  // pre-sigmoid pattern weights
+	r.Gaussian(maskW, -2, 0.1)    // start near-transparent
+	r.Gaussian(patW, 0, 0.5)
+
+	n := d.Batch
+	if n > env.Clean.Len() {
+		n = env.Clean.Len()
+	}
+	carriers := env.Clean.Subset(r.Sample(env.Clean.Len(), n))
+	base := carriers.Tensor()
+	x := tensor.New(n, dim)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = c
+	}
+	mask := make([]float64, dim)
+	pattern := make([]float64, dim)
+	for step := 0; step < d.Steps; step++ {
+		for j := 0; j < dim; j++ {
+			mask[j] = sigmoid(maskW[j])
+			pattern[j] = sigmoid(patW[j])
+		}
+		// x = (1-mask)*carrier + mask*pattern
+		for i := 0; i < n; i++ {
+			row := x.Data[i*dim : (i+1)*dim]
+			b := base.Data[i*dim : (i+1)*dim]
+			for j := 0; j < dim; j++ {
+				row[j] = (1-mask[j])*b[j] + mask[j]*pattern[j]
+			}
+		}
+		logits := m.Forward(x, false)
+		_, grad := nn.CrossEntropy(logits, labels)
+		m.ZeroGrad()
+		dx := m.Backward(grad)
+		// Chain rule to the reparameterized mask and pattern; L1 penalty on
+		// the mask pushes it small.
+		for j := 0; j < dim; j++ {
+			var gMask, gPat float64
+			for i := 0; i < n; i++ {
+				g := dx.Data[i*dim+j]
+				b := base.Data[i*dim+j]
+				gMask += g * (pattern[j] - b)
+				gPat += g * mask[j]
+			}
+			gMask = gMask/float64(n) + d.Lambda*1 // d|mask|/dmask = 1 (mask >= 0)
+			sm := mask[j] * (1 - mask[j])
+			sp := pattern[j] * (1 - pattern[j])
+			maskW[j] -= d.LR * gMask * sm
+			patW[j] -= d.LR * gPat / float64(n) * sp
+		}
+	}
+	size := 0.0
+	for j := 0; j < dim; j++ {
+		size += sigmoid(maskW[j])
+	}
+	return size, nil
+}
+
+func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }

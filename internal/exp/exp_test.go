@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bprom/internal/attack"
+	"bprom/internal/data"
+)
+
+func TestParamsForScales(t *testing.T) {
+	for _, s := range []Scale{Tiny, Small, Full} {
+		p := ParamsFor(s)
+		if p.Scale != s {
+			t.Fatalf("ParamsFor(%s).Scale = %s", s, p.Scale)
+		}
+		if p.SrcTrain <= 0 || p.Epochs <= 0 || p.ShadowClean <= 0 {
+			t.Fatalf("ParamsFor(%s) has zero fields: %+v", s, p)
+		}
+	}
+	tiny, full := ParamsFor(Tiny), ParamsFor(Full)
+	if tiny.SrcTrain >= full.SrcTrain || tiny.Epochs >= full.Epochs {
+		t.Fatal("tiny must be smaller than full")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID: "x", Caption: "demo",
+		Header: []string{"a", "bb"},
+	}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	out := tab.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "333") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	csv := tab.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 || lines[0] != "a,bb" || lines[2] != "333,4" {
+		t.Fatalf("csv wrong:\n%s", csv)
+	}
+}
+
+func TestRegistryCoversPaperExperiments(t *testing.T) {
+	reg := Registry()
+	// Every table 1..26 plus both figures and the training-time report.
+	for i := 1; i <= 26; i++ {
+		id := "table" + strconv.Itoa(i)
+		if _, ok := reg[id]; !ok {
+			t.Errorf("registry missing %s", id)
+		}
+	}
+	for _, id := range []string{"figure3", "figure5", "training-time"} {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("registry missing %s", id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run(context.Background(), "table999", ParamsFor(Tiny)); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestBuildWorldCapsClasses(t *testing.T) {
+	p := ParamsFor(Tiny)
+	w, err := buildWorld(p, data.TinyImageNet, data.STL10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.srcTrain.Classes != p.MaxClasses {
+		t.Fatalf("Tiny-ImageNet classes %d, want cap %d", w.srcTrain.Classes, p.MaxClasses)
+	}
+	if _, err := buildWorld(p, "bogus", data.STL10, 1); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestTable13Static(t *testing.T) {
+	// table13 is data-free and fast: a full correctness check.
+	tab, err := Run(context.Background(), "table13", ParamsFor(Tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 14 { // 7 attacks x 2 datasets
+		t.Fatalf("table13 has %d rows, want 14", len(tab.Rows))
+	}
+}
+
+// TestTable2EndToEnd runs one real (tiny) experiment end to end: it verifies
+// the harness plumbing and the headline phenomenon's direction.
+func TestTable2EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs model training")
+	}
+	p := ParamsFor(Tiny)
+	p.SusPerAttack = 1
+	tab, err := Run(context.Background(), "table2", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("table2 rows: %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != 4 {
+			t.Fatalf("table2 row width: %v", row)
+		}
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil || v < 0 || v > 1 {
+				t.Fatalf("table2 cell %q not a valid accuracy", cell)
+			}
+		}
+	}
+}
+
+func TestAttackConfigsForCoversKinds(t *testing.T) {
+	kinds := table5Attacks()
+	cfgs := attackConfigsFor(data.CIFAR10, kinds)
+	if len(cfgs) != len(kinds) {
+		t.Fatalf("%d configs for %d kinds", len(cfgs), len(kinds))
+	}
+	for _, k := range kinds {
+		if cfgs[k].Kind != k {
+			t.Fatalf("config for %s has kind %s", k, cfgs[k].Kind)
+		}
+	}
+}
+
+func TestAvgHelper(t *testing.T) {
+	m := map[attack.Kind]float64{attack.BadNets: 1, attack.Blend: 0}
+	if got := avg(m, []attack.Kind{attack.BadNets, attack.Blend}); got != 0.5 {
+		t.Fatalf("avg = %v", got)
+	}
+	if got := avg(m, []attack.Kind{attack.Trojan}); got != 0 {
+		t.Fatalf("avg over missing kinds = %v", got)
+	}
+}

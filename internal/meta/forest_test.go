@@ -1,0 +1,218 @@
+package meta
+
+import (
+	"testing"
+
+	"bprom/internal/metric"
+	"bprom/internal/rng"
+)
+
+// twoBlob builds a linearly separable binary dataset.
+func twoBlob(n int, gap float64, r *rng.RNG) ([][]float64, []bool) {
+	x := make([][]float64, 0, 2*n)
+	y := make([]bool, 0, 2*n)
+	for i := 0; i < n; i++ {
+		x = append(x, []float64{r.NormFloat64(), r.NormFloat64()})
+		y = append(y, false)
+		x = append(x, []float64{gap + r.NormFloat64(), gap + r.NormFloat64()})
+		y = append(y, true)
+	}
+	return x, y
+}
+
+func TestForestSeparableData(t *testing.T) {
+	r := rng.New(1)
+	x, y := twoBlob(30, 6, r)
+	f, err := Train(x, y, TrainConfig{Trees: 50}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := twoBlob(20, 6, rng.New(2))
+	correct := 0
+	for i := range xt {
+		pred, err := f.Predict(xt[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred == yt[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(xt)); acc < 0.95 {
+		t.Fatalf("forest accuracy %.3f on separable data", acc)
+	}
+}
+
+func TestForestScoreAUROC(t *testing.T) {
+	r := rng.New(3)
+	x, y := twoBlob(25, 3, r)
+	f, err := Train(x, y, TrainConfig{Trees: 100}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := twoBlob(25, 3, rng.New(4))
+	scores := make([]float64, len(xt))
+	for i := range xt {
+		s, err := f.Score(xt[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < 0 || s > 1 {
+			t.Fatalf("score %v outside [0,1]", s)
+		}
+		scores[i] = s
+	}
+	auc, err := metric.AUROC(scores, yt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.95 {
+		t.Fatalf("forest AUROC %.3f", auc)
+	}
+}
+
+func TestForestHighDimFewSamples(t *testing.T) {
+	// The BPROM regime: ~20 samples, hundreds of features, signal in a few.
+	r := rng.New(5)
+	n, d := 20, 300
+	x := make([][]float64, n)
+	y := make([]bool, n)
+	for i := range x {
+		x[i] = make([]float64, d)
+		r.Gaussian(x[i], 0, 1)
+		y[i] = i%2 == 0
+		if y[i] {
+			x[i][7] += 3 // informative feature
+			x[i][42] += 3
+		}
+	}
+	f, err := Train(x, y, TrainConfig{Trees: 200}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fresh draws from the same distribution
+	correct := 0
+	for i := 0; i < 40; i++ {
+		row := make([]float64, d)
+		r.Gaussian(row, 0, 1)
+		label := i%2 == 0
+		if label {
+			row[7] += 3
+			row[42] += 3
+		}
+		pred, err := f.Predict(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred == label {
+			correct++
+		}
+	}
+	if correct < 30 {
+		t.Fatalf("high-dim forest got %d/40", correct)
+	}
+}
+
+func TestForestDeterministic(t *testing.T) {
+	x, y := twoBlob(10, 4, rng.New(6))
+	f1, err := Train(x, y, TrainConfig{Trees: 20}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Train(x, y, TrainConfig{Trees: 20}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{1, 1}
+	s1, _ := f1.Score(probe)
+	s2, _ := f2.Score(probe)
+	if s1 != s2 {
+		t.Fatal("same seed produced different forests")
+	}
+}
+
+func TestForestValidation(t *testing.T) {
+	if _, err := Train(nil, nil, TrainConfig{}, rng.New(1)); err == nil {
+		t.Fatal("expected error for empty set")
+	}
+	if _, err := Train([][]float64{{1}}, []bool{true, false}, TrainConfig{}, rng.New(1)); err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+	if _, err := Train([][]float64{{1}, {2, 3}}, []bool{true, false}, TrainConfig{}, rng.New(1)); err == nil {
+		t.Fatal("expected error for ragged rows")
+	}
+	if _, err := Train([][]float64{{1}, {2}}, []bool{true, true}, TrainConfig{}, rng.New(1)); err == nil {
+		t.Fatal("expected error for single-class labels")
+	}
+}
+
+func TestForestScoreDimensionCheck(t *testing.T) {
+	x, y := twoBlob(10, 4, rng.New(8))
+	f, err := Train(x, y, TrainConfig{Trees: 10}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Score([]float64{1}); err == nil {
+		t.Fatal("expected error for wrong feature count")
+	}
+}
+
+func TestOOBScoresUnbiasedOrdering(t *testing.T) {
+	r := rng.New(21)
+	x, y := twoBlob(20, 3, r)
+	f, err := Train(x, y, TrainConfig{Trees: 100}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oob, err := f.OOBScores(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oob) != len(x) {
+		t.Fatalf("%d OOB scores for %d rows", len(oob), len(x))
+	}
+	var cSum, bSum float64
+	var cN, bN int
+	for i, s := range oob {
+		if s < 0 || s > 1 {
+			t.Fatalf("OOB score %v outside [0,1]", s)
+		}
+		if y[i] {
+			bSum += s
+			bN++
+		} else {
+			cSum += s
+			cN++
+		}
+	}
+	if bSum/float64(bN) <= cSum/float64(cN) {
+		t.Fatalf("OOB positives (%.3f) not above negatives (%.3f)", bSum/float64(bN), cSum/float64(cN))
+	}
+	// In-sample Score overfits toward 0/1; OOB must be strictly less
+	// extreme on average for the positives.
+	var inSum float64
+	for i := range x {
+		if !y[i] {
+			continue
+		}
+		s, err := f.Score(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		inSum += s
+	}
+	if bSum/float64(bN) > inSum/float64(bN)+1e-9 {
+		t.Fatalf("OOB positive mean %.3f exceeds in-sample %.3f", bSum/float64(bN), inSum/float64(bN))
+	}
+}
+
+func TestOOBScoresDimCheck(t *testing.T) {
+	x, y := twoBlob(6, 4, rng.New(22))
+	f, err := Train(x, y, TrainConfig{Trees: 10}, rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.OOBScores([][]float64{{1}}); err == nil {
+		t.Fatal("expected feature-count error")
+	}
+}

@@ -1,0 +1,341 @@
+// Package mlaas provides a Machine-Learning-as-a-Service layer: an HTTP
+// server that exposes a model as a prediction API (confidence vectors only,
+// exactly the paper's threat model) and a client that implements
+// oracle.Oracle over the wire. BPROM runs unchanged against either an
+// in-process model or a remote endpoint — the examples and integration
+// tests exercise detection across a real network boundary.
+//
+// API:
+//
+//	GET  /v1/info     -> {"classes": K, "input_dim": D, "name": "..."}
+//	POST /v1/predict  {"inputs": [[f64,...],...]} -> {"confidences": [[f64,...],...]}
+//
+// The server bounds request sizes and concurrent inference; the client adds
+// timeouts and bounded retries with exponential backoff for transient
+// failures.
+package mlaas
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"bprom/internal/nn"
+	"bprom/internal/oracle"
+	"bprom/internal/tensor"
+)
+
+// ServerConfig tunes the service.
+type ServerConfig struct {
+	// Name is reported by /v1/info (a model-zoo listing name).
+	Name string
+	// MaxBatch bounds samples per request. Default 512.
+	MaxBatch int
+	// MaxConcurrent bounds simultaneous inference calls. Default 4.
+	MaxConcurrent int
+}
+
+func (c *ServerConfig) defaults() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 512
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+}
+
+// Server serves one frozen model.
+type Server struct {
+	cfg   ServerConfig
+	model *nn.Model
+	mu    sync.Mutex // nn layer caches are not concurrency-safe; serialize inference
+	sem   chan struct{}
+}
+
+// NewServer wraps a frozen model. The model must not be mutated afterwards.
+func NewServer(model *nn.Model, cfg ServerConfig) *Server {
+	cfg.defaults()
+	return &Server{cfg: cfg, model: model, sem: make(chan struct{}, cfg.MaxConcurrent)}
+}
+
+// Handler returns the HTTP handler for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/info", s.handleInfo)
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	return mux
+}
+
+// infoResponse is the /v1/info payload.
+type infoResponse struct {
+	Name     string `json:"name"`
+	Classes  int    `json:"classes"`
+	InputDim int    `json:"input_dim"`
+}
+
+type predictRequest struct {
+	Inputs [][]float64 `json:"inputs"`
+}
+
+type predictResponse struct {
+	Confidences [][]float64 `json:"confidences"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, infoResponse{
+		Name:     s.cfg.Name,
+		Classes:  s.model.NumClasses,
+		InputDim: s.model.InputDim,
+	})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	// Bound the request body: MaxBatch samples of InputDim float64s encoded
+	// as JSON need at most ~25 bytes per number.
+	limit := int64(s.cfg.MaxBatch*s.model.InputDim*25 + 1024)
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "read body: " + err.Error()})
+		return
+	}
+	if int64(len(body)) > limit {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: "request too large"})
+		return
+	}
+	var req predictRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decode: " + err.Error()})
+		return
+	}
+	n := len(req.Inputs)
+	if n == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty batch"})
+		return
+	}
+	if n > s.cfg.MaxBatch {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("batch %d exceeds limit %d", n, s.cfg.MaxBatch)})
+		return
+	}
+	x := tensor.New(n, s.model.InputDim)
+	for i, row := range req.Inputs {
+		if len(row) != s.model.InputDim {
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: fmt.Sprintf("sample %d has %d values, want %d", i, len(row), s.model.InputDim),
+			})
+			return
+		}
+		copy(x.Data[i*s.model.InputDim:(i+1)*s.model.InputDim], row)
+	}
+
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-r.Context().Done():
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "cancelled while queued"})
+		return
+	}
+	s.mu.Lock()
+	probs := s.model.Predict(x)
+	s.mu.Unlock()
+
+	resp := predictResponse{Confidences: make([][]float64, n)}
+	k := s.model.NumClasses
+	for i := 0; i < n; i++ {
+		resp.Confidences[i] = append([]float64(nil), probs.Data[i*k:(i+1)*k]...)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past the header cannot be reported to the client;
+	// they surface as a truncated body on the client side.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Serve listens on addr until ctx is cancelled, then shuts down gracefully.
+// It reports the bound address through ready (useful with addr ":0").
+func (s *Server) Serve(ctx context.Context, addr string, ready chan<- string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("mlaas: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("mlaas: shutdown: %w", err)
+		}
+		return nil
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return fmt.Errorf("mlaas: serve: %w", err)
+	}
+}
+
+// --- Client ---------------------------------------------------------------------
+
+// ClientConfig tunes the HTTP oracle.
+type ClientConfig struct {
+	// Timeout per request. Default 30s.
+	Timeout time.Duration
+	// Retries on transient failure (network errors and 5xx). Default 2.
+	Retries int
+	// HTTPClient overrides the transport (tests).
+	HTTPClient *http.Client
+}
+
+func (c *ClientConfig) defaults() {
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+}
+
+// Client is an oracle.Oracle backed by a remote MLaaS endpoint.
+type Client struct {
+	base     string
+	cfg      ClientConfig
+	classes  int
+	inputDim int
+}
+
+var _ oracle.Oracle = (*Client)(nil)
+
+// Dial fetches /v1/info and returns a ready client.
+func Dial(ctx context.Context, baseURL string, cfg ClientConfig) (*Client, error) {
+	cfg.defaults()
+	c := &Client{base: baseURL, cfg: cfg}
+	reqCtx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, baseURL+"/v1/info", nil)
+	if err != nil {
+		return nil, fmt.Errorf("mlaas: build info request: %w", err)
+	}
+	resp, err := cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("mlaas: fetch info: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("mlaas: info returned %s", resp.Status)
+	}
+	var info infoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("mlaas: decode info: %w", err)
+	}
+	if info.Classes < 2 || info.InputDim < 1 {
+		return nil, fmt.Errorf("mlaas: implausible endpoint metadata %+v", info)
+	}
+	c.classes = info.Classes
+	c.inputDim = info.InputDim
+	return c, nil
+}
+
+func (c *Client) NumClasses() int { return c.classes }
+func (c *Client) InputDim() int   { return c.inputDim }
+
+// Predict sends the batch to the endpoint, retrying transient failures.
+func (c *Client) Predict(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Rank() != 2 || x.Dim(1) != c.inputDim {
+		return nil, fmt.Errorf("mlaas: input shape %v, want [N %d]", x.Shape(), c.inputDim)
+	}
+	n := x.Dim(0)
+	req := predictRequest{Inputs: make([][]float64, n)}
+	for i := 0; i < n; i++ {
+		req.Inputs[i] = x.Row(i)
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("mlaas: encode batch: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			backoff := time.Duration(1<<uint(attempt-1)) * 100 * time.Millisecond
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("mlaas: %w (last error: %v)", ctx.Err(), lastErr)
+			}
+		}
+		out, retryable, err := c.predictOnce(ctx, payload, n)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if !retryable {
+			break
+		}
+	}
+	return nil, fmt.Errorf("mlaas: predict failed: %w", lastErr)
+}
+
+func (c *Client) predictOnce(ctx context.Context, payload []byte, n int) (_ *tensor.Tensor, retryable bool, _ error) {
+	reqCtx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, c.base+"/v1/predict", bytes.NewReader(payload))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, true, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		return nil, true, fmt.Errorf("server error: %s", resp.Status)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		return nil, false, fmt.Errorf("endpoint rejected request: %s (%s)", resp.Status, er.Error)
+	}
+	var pr predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, true, fmt.Errorf("decode response: %w", err)
+	}
+	if len(pr.Confidences) != n {
+		return nil, false, fmt.Errorf("endpoint returned %d rows for %d inputs", len(pr.Confidences), n)
+	}
+	out := tensor.New(n, c.classes)
+	for i, row := range pr.Confidences {
+		if len(row) != c.classes {
+			return nil, false, fmt.Errorf("row %d has %d classes, want %d", i, len(row), c.classes)
+		}
+		copy(out.Data[i*c.classes:(i+1)*c.classes], row)
+	}
+	return out, false, nil
+}

@@ -1,0 +1,159 @@
+package mlaas
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bprom/internal/nn"
+	"bprom/internal/rng"
+	"bprom/internal/tensor"
+)
+
+func testModel(t *testing.T) *nn.Model {
+	t.Helper()
+	m, err := nn.Build(nn.ArchConfig{Arch: nn.ArchResNetLite, C: 1, H: 4, W: 4, NumClasses: 3, Hidden: 8}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func startTestServer(t *testing.T, cfg ServerConfig) (*httptest.Server, *nn.Model) {
+	t.Helper()
+	m := testModel(t)
+	srv := httptest.NewServer(NewServer(m, cfg).Handler())
+	t.Cleanup(srv.Close)
+	return srv, m
+}
+
+func TestInfoAndPredictRoundTrip(t *testing.T) {
+	srv, m := startTestServer(t, ServerConfig{Name: "zoo/classifier"})
+	c, err := Dial(context.Background(), srv.URL, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumClasses() != 3 || c.InputDim() != 16 {
+		t.Fatalf("client metadata %d/%d", c.NumClasses(), c.InputDim())
+	}
+	x := tensor.New(5, 16)
+	rng.New(2).Uniform(x.Data, 0, 1)
+	got, err := c.Predict(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Predict(x.Clone())
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-9 {
+			t.Fatalf("remote confidence %d differs: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestPredictRejectsBadBatches(t *testing.T) {
+	srv, _ := startTestServer(t, ServerConfig{MaxBatch: 4})
+	c, err := Dial(context.Background(), srv.URL, ClientConfig{Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// oversized batch
+	if _, err := c.Predict(context.Background(), tensor.New(5, 16)); err == nil {
+		t.Fatal("expected error for oversized batch")
+	}
+	// wrong input dim is rejected client-side
+	if _, err := c.Predict(context.Background(), tensor.New(1, 7)); err == nil {
+		t.Fatal("expected error for wrong dim")
+	}
+}
+
+func TestServerRejectsMalformedRequests(t *testing.T) {
+	srv, _ := startTestServer(t, ServerConfig{})
+	body := strings.NewReader(`{"inputs": "nope"}`)
+	resp, err := srv.Client().Post(srv.URL+"/v1/predict", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("status %d for malformed JSON, want 400", resp.StatusCode)
+	}
+	resp, err = srv.Client().Post(srv.URL+"/v1/predict", "application/json", strings.NewReader(`{"inputs": []}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("status %d for empty batch, want 400", resp.StatusCode)
+	}
+	// wrong sample width
+	resp, err = srv.Client().Post(srv.URL+"/v1/predict", "application/json", strings.NewReader(`{"inputs": [[1,2,3]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("status %d for short sample, want 400", resp.StatusCode)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := startTestServer(t, ServerConfig{MaxConcurrent: 2})
+	c, err := Dial(context.Background(), srv.URL, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			x := tensor.New(3, 16)
+			rng.New(uint64(i)).Uniform(x.Data, 0, 1)
+			_, errs[i] = c.Predict(context.Background(), x)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+}
+
+func TestDialFailsOnBadEndpoint(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	if _, err := Dial(ctx, "http://127.0.0.1:1", ClientConfig{Timeout: 200 * time.Millisecond, Retries: -1}); err == nil {
+		t.Fatal("expected dial error")
+	}
+}
+
+func TestServeGracefulShutdown(t *testing.T) {
+	s := NewServer(testModel(t), ServerConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, "127.0.0.1:0", ready) }()
+	addr := <-ready
+	c, err := Dial(context.Background(), "http://"+addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Predict(context.Background(), tensor.New(1, 16)); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

@@ -1,0 +1,215 @@
+package nn
+
+import (
+	"fmt"
+
+	"bprom/internal/rng"
+	"bprom/internal/tensor"
+)
+
+// ArchConfig selects and sizes an architecture family. The zero value is not
+// usable; call Normalize (done by Build) to apply defaults.
+type ArchConfig struct {
+	Arch       Arch
+	C, H, W    int // image geometry of the input domain
+	NumClasses int
+	Hidden     int     // base width; default depends on the family
+	Blocks     int     // residual / mixing block count; default 2
+	Dropout    float64 // dropout rate inside blocks; default 0
+}
+
+// Normalize applies family defaults and validates the configuration.
+func (c *ArchConfig) Normalize() error {
+	if c.C <= 0 || c.H <= 0 || c.W <= 0 {
+		return fmt.Errorf("nn: invalid image geometry %dx%dx%d", c.C, c.H, c.W)
+	}
+	if c.NumClasses < 2 {
+		return fmt.Errorf("nn: need at least 2 classes, got %d", c.NumClasses)
+	}
+	if c.Blocks <= 0 {
+		c.Blocks = 2
+	}
+	if c.Hidden <= 0 {
+		switch c.Arch {
+		case ArchMobileNetLite:
+			c.Hidden = 48 // deliberately narrower, like MobileNetV2 vs ResNet18
+		case ArchVitLite:
+			c.Hidden = 56
+		default:
+			c.Hidden = 64
+		}
+	}
+	switch c.Arch {
+	case ArchResNetLite, ArchMobileNetLite, ArchVitLite, ArchConvLite:
+		return nil
+	case "":
+		c.Arch = ArchResNetLite
+		return nil
+	default:
+		return fmt.Errorf("nn: unknown architecture %q", c.Arch)
+	}
+}
+
+// InputDim returns the flattened per-sample input width.
+func (c ArchConfig) InputDim() int { return c.C * c.H * c.W }
+
+// Build constructs a freshly initialized model of the requested family.
+// Parameter initialization draws from r, so different seeds give the
+// "different parameter initializations" the paper's shadow models require.
+func Build(cfg ArchConfig, r *rng.RNG) (*Model, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	in := cfg.InputDim()
+	var layers []Layer
+	switch cfg.Arch {
+	case ArchResNetLite:
+		layers = buildResNetLite(cfg, in, r)
+	case ArchMobileNetLite:
+		layers = buildMobileNetLite(cfg, in, r)
+	case ArchVitLite:
+		layers = buildVitLite(cfg, in, r)
+	case ArchConvLite:
+		layers = buildConvLite(cfg, r)
+	}
+	m := &Model{Arch: cfg.Arch, InputDim: in, NumClasses: cfg.NumClasses, Layers: layers}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Every family starts with a convolutional stem (ResNet/MobileNet begin
+// with conv layers; ViT's patch embedding is a strided convolution). Weight
+// sharing in the stem is essential to the paper's phenomenon: it couples
+// trigger detectors to image content everywhere in the canvas, which is what
+// makes a poisoned model's class subspaces interfere with prompted inputs.
+
+// buildResNetLite: conv stem + identity residual blocks — the ResNet18
+// analogue (skip connections are the defining feature).
+func buildResNetLite(cfg ArchConfig, in int, r *rng.RNG) []Layer {
+	h := cfg.Hidden
+	stem1 := tensor.ConvDims{InC: cfg.C, InH: cfg.H, InW: cfg.W, OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	if err := stem1.Resolve(); err != nil {
+		panic(fmt.Sprintf("nn: resnetlite stem: %v", err))
+	}
+	stem2 := tensor.ConvDims{InC: 8, InH: stem1.OutH, InW: stem1.OutW, OutC: 12, KH: 3, KW: 3, Stride: 2, Pad: 1}
+	if err := stem2.Resolve(); err != nil {
+		panic(fmt.Sprintf("nn: resnetlite stage2: %v", err))
+	}
+	flat := stem2.OutC * stem2.OutH * stem2.OutW
+	layers := []Layer{
+		&ToImage{C: cfg.C, H: cfg.H, W: cfg.W},
+		NewConv2D(stem1, r.Split("stem.conv")),
+		&ReLU{},
+		NewConv2D(stem2, r.Split("stage2.conv")),
+		&ReLU{},
+		&Flatten{},
+		NewDense(flat, h, r.Split("stem.fc")),
+		&ReLU{},
+	}
+	for b := 0; b < cfg.Blocks; b++ {
+		body := []Layer{
+			NewDense(h, h, r.Split("res.a", b)),
+			&ReLU{},
+			NewDense(h, h, r.Split("res.b", b)),
+		}
+		if cfg.Dropout > 0 {
+			body = append(body, NewDropout(cfg.Dropout, r.Split("res.drop", b)))
+		}
+		layers = append(layers, &Residual{Body: body}, &ReLU{})
+	}
+	return append(layers, NewDense(h, cfg.NumClasses, r.Split("head")))
+}
+
+// buildMobileNetLite: a strided (cheap) conv stem + inverted-bottleneck
+// residual blocks (expand → project) on a narrower base width — the
+// MobileNetV2 analogue.
+func buildMobileNetLite(cfg ArchConfig, in int, r *rng.RNG) []Layer {
+	h := cfg.Hidden
+	stem1 := tensor.ConvDims{InC: cfg.C, InH: cfg.H, InW: cfg.W, OutC: 6, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	if err := stem1.Resolve(); err != nil {
+		panic(fmt.Sprintf("nn: mobilenetlite stem: %v", err))
+	}
+	stem2 := tensor.ConvDims{InC: 6, InH: stem1.OutH, InW: stem1.OutW, OutC: 10, KH: 3, KW: 3, Stride: 2, Pad: 1}
+	if err := stem2.Resolve(); err != nil {
+		panic(fmt.Sprintf("nn: mobilenetlite stage2: %v", err))
+	}
+	flat := stem2.OutC * stem2.OutH * stem2.OutW
+	layers := []Layer{
+		&ToImage{C: cfg.C, H: cfg.H, W: cfg.W},
+		NewConv2D(stem1, r.Split("stem.conv")),
+		&ReLU{},
+		NewConv2D(stem2, r.Split("stage2.conv")),
+		&ReLU{},
+		&Flatten{},
+		NewDense(flat, h, r.Split("stem.fc")),
+		&ReLU{},
+	}
+	for b := 0; b < cfg.Blocks; b++ {
+		body := []Layer{
+			NewDense(h, 2*h, r.Split("mb.expand", b)), // expansion, like the 6x pointwise conv
+			&ReLU{},
+			NewDense(2*h, h, r.Split("mb.project", b)), // linear bottleneck: no activation after projection
+		}
+		layers = append(layers, &Residual{Body: body})
+	}
+	return append(layers, &ReLU{}, NewDense(h, cfg.NumClasses, r.Split("head")))
+}
+
+// buildVitLite: convolutional patch embedding (a 3x3-stride-3 conv, exactly
+// how ViT tokenizes) + pre-norm residual MLP-mixing blocks — the MobileViT /
+// Swin analogue. A full attention stack is out of scope; the patch
+// tokenization + LayerNorm + pre-norm residual structure is what
+// differentiates the family here.
+func buildVitLite(cfg ArchConfig, in int, r *rng.RNG) []Layer {
+	h := cfg.Hidden
+	patch := 3
+	embed := tensor.ConvDims{InC: cfg.C, InH: cfg.H, InW: cfg.W, OutC: 12, KH: patch, KW: patch, Stride: patch, Pad: 0}
+	if err := embed.Resolve(); err != nil {
+		panic(fmt.Sprintf("nn: vitlite patch embedding: %v", err))
+	}
+	flat := embed.OutC * embed.OutH * embed.OutW
+	layers := []Layer{
+		&ToImage{C: cfg.C, H: cfg.H, W: cfg.W},
+		NewConv2D(embed, r.Split("patch.embed")),
+		&Flatten{},
+		NewDense(flat, h, r.Split("token.mix")),
+		NewLayerNorm(h),
+	}
+	for b := 0; b < cfg.Blocks; b++ {
+		body := []Layer{
+			NewLayerNorm(h),
+			NewDense(h, 2*h, r.Split("vit.fc1", b)),
+			&ReLU{},
+			NewDense(2*h, h, r.Split("vit.fc2", b)),
+		}
+		layers = append(layers, &Residual{Body: body})
+	}
+	return append(layers, NewLayerNorm(h), NewDense(h, cfg.NumClasses, r.Split("head")))
+}
+
+// buildConvLite: genuine convolutions for the experiments that need spatial
+// weight sharing; slower, used at larger scales.
+func buildConvLite(cfg ArchConfig, r *rng.RNG) []Layer {
+	c1 := tensor.ConvDims{InC: cfg.C, InH: cfg.H, InW: cfg.W, OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	if err := c1.Resolve(); err != nil {
+		panic(fmt.Sprintf("nn: convlite stem: %v", err))
+	}
+	c2 := tensor.ConvDims{InC: 8, InH: c1.OutH, InW: c1.OutW, OutC: 12, KH: 3, KW: 3, Stride: 2, Pad: 1}
+	if err := c2.Resolve(); err != nil {
+		panic(fmt.Sprintf("nn: convlite block: %v", err))
+	}
+	flatW := 12 * c2.OutH * c2.OutW
+	return []Layer{
+		&ToImage{C: cfg.C, H: cfg.H, W: cfg.W},
+		NewConv2D(c1, r.Split("conv1")),
+		&ReLU{},
+		NewConv2D(c2, r.Split("conv2")),
+		&ReLU{},
+		&Flatten{},
+		NewDense(flatW, cfg.Hidden, r.Split("fc")),
+		&ReLU{},
+		NewDense(cfg.Hidden, cfg.NumClasses, r.Split("head")),
+	}
+}

@@ -1,0 +1,162 @@
+package nn
+
+import (
+	"fmt"
+
+	"bprom/internal/rng"
+	"bprom/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over batches shaped [N, C, H, W], implemented
+// with im2col + matmul. Weights are stored as [OutC, InC*KH*KW].
+type Conv2D struct {
+	Dims tensor.ConvDims
+	W    *Param // [OutC, InC*KH*KW]
+	B    *Param // [1, OutC]
+
+	x    *tensor.Tensor // cached input batch
+	cols []*tensor.Tensor
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D constructs a convolution layer. It panics on impossible
+// geometry, which indicates a programming error in architecture builders.
+func NewConv2D(dims tensor.ConvDims, r *rng.RNG) *Conv2D {
+	if err := dims.Resolve(); err != nil {
+		panic(fmt.Sprintf("nn: %v", err))
+	}
+	k := dims.InC * dims.KH * dims.KW
+	c := &Conv2D{
+		Dims: dims,
+		W:    &Param{Name: "conv.w", Value: tensor.New(dims.OutC, k), Grad: tensor.New(dims.OutC, k)},
+		B:    &Param{Name: "conv.b", Value: tensor.New(1, dims.OutC), Grad: tensor.New(1, dims.OutC)},
+	}
+	heInit(c.W.Value.Data, k, r)
+	return c
+}
+
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: Conv2D expects [N,C,H,W], got shape %v", x.Shape()))
+	}
+	n := x.Dim(0)
+	d := c.Dims
+	k := d.InC * d.KH * d.KW
+	spatial := d.OutH * d.OutW
+	c.x = x
+	if len(c.cols) < n {
+		c.cols = make([]*tensor.Tensor, n)
+	}
+	out := tensor.New(n, d.OutC, d.OutH, d.OutW)
+	img := d.InC * d.InH * d.InW
+	tmp := tensor.New(spatial, d.OutC)
+	for i := 0; i < n; i++ {
+		if c.cols[i] == nil {
+			c.cols[i] = tensor.New(spatial, k)
+		}
+		tensor.Im2Col(x.Data[i*img:(i+1)*img], d, c.cols[i])
+		// tmp[pos, oc] = cols[pos, :] · W[oc, :]
+		tensor.MatMulTransBInto(tmp, c.cols[i], c.W.Value)
+		// transpose into [OutC, OutH*OutW] layout of the output image
+		dst := out.Data[i*d.OutC*spatial : (i+1)*d.OutC*spatial]
+		for pos := 0; pos < spatial; pos++ {
+			row := tmp.Row(pos)
+			for oc, v := range row {
+				dst[oc*spatial+pos] = v + c.B.Value.Data[oc]
+			}
+		}
+	}
+	return out
+}
+
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := grad.Dim(0)
+	d := c.Dims
+	k := d.InC * d.KH * d.KW
+	spatial := d.OutH * d.OutW
+	img := d.InC * d.InH * d.InW
+	dx := tensor.New(n, d.InC, d.InH, d.InW)
+	gcols := tensor.New(spatial, d.OutC) // per-image gradient in [pos, oc] layout
+	dcols := tensor.New(spatial, k)
+	dW := tensor.New(d.OutC, k)
+	for i := 0; i < n; i++ {
+		src := grad.Data[i*d.OutC*spatial : (i+1)*d.OutC*spatial]
+		for oc := 0; oc < d.OutC; oc++ {
+			for pos := 0; pos < spatial; pos++ {
+				v := src[oc*spatial+pos]
+				gcols.Data[pos*d.OutC+oc] = v
+				c.B.Grad.Data[oc] += v
+			}
+		}
+		// dW += gcolsᵀ @ cols  ([OutC, spatial] @ [spatial, k])
+		tensor.MatMulTransAInto(dW, gcols, c.cols[i])
+		tensor.AXPY(1, dW, c.W.Grad)
+		// dcols = gcols @ W  ([spatial, OutC] @ [OutC, k])
+		tensor.MatMulInto(dcols, gcols, c.W.Value)
+		tensor.Col2Im(dcols, d, dx.Data[i*img:(i+1)*img])
+	}
+	return dx
+}
+
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// Flatten reshapes [N, C, H, W] to [N, C*H*W]; identity for 2-D inputs.
+type Flatten struct {
+	inShape []int
+}
+
+var _ Layer = (*Flatten)(nil)
+
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = append(f.inShape[:0], x.Shape()...)
+	if x.Rank() == 2 {
+		return x
+	}
+	n := x.Dim(0)
+	return x.Reshape(n, x.Len()/n)
+}
+
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+func (f *Flatten) Params() []*Param { return nil }
+
+// ToImage reshapes [N, F] into [N, C, H, W] so convolutional stacks can
+// follow dense preprocessing (and so flat dataset vectors enter conv nets).
+type ToImage struct {
+	C, H, W int
+}
+
+var _ Layer = (*ToImage)(nil)
+
+func (t *ToImage) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Dim(0)
+	return x.Reshape(n, t.C, t.H, t.W)
+}
+
+func (t *ToImage) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := grad.Dim(0)
+	return grad.Reshape(n, grad.Len()/n)
+}
+
+func (t *ToImage) Params() []*Param { return nil }
+
+// GlobalAvgPool reduces [N, C, H, W] to [N, C].
+type GlobalAvgPool struct {
+	h, w int
+}
+
+var _ Layer = (*GlobalAvgPool)(nil)
+
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g.h, g.w = x.Dim(2), x.Dim(3)
+	return tensor.AvgPool2D(x)
+}
+
+func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return tensor.AvgPool2DBackward(grad, g.h, g.w)
+}
+
+func (g *GlobalAvgPool) Params() []*Param { return nil }

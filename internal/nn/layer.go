@@ -1,0 +1,355 @@
+// Package nn implements the from-scratch neural-network substrate: layers
+// with forward/backward passes, softmax cross-entropy, weight initialization,
+// the three architecture families used in the paper's experiments
+// (ResNetLite, MobileNetLite, VitLite — scaled-down analogues of ResNet18,
+// MobileNetV2 and MobileViT/Swin), and binary model serialization.
+//
+// Two properties matter for the BPROM reproduction beyond ordinary training:
+//
+//   - Backward propagates gradients all the way to the *input*, because
+//     visual-prompt training optimizes pixels of the prompt while the model
+//     stays frozen.
+//   - Models expose penultimate-layer Features, because several baseline
+//     defenses (AC, SS, SCAn, SPECTRE) cluster latent representations.
+package nn
+
+import (
+	"fmt"
+
+	"bprom/internal/rng"
+	"bprom/internal/tensor"
+)
+
+// Param is one trainable tensor with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// Layer is a differentiable module. Forward must be called before Backward;
+// layers cache whatever they need for the backward pass, so a Layer instance
+// must not be shared across concurrent forward passes.
+type Layer interface {
+	// Forward maps a batch to its output. train toggles training-only
+	// behaviour (dropout).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward receives dLoss/dOutput and returns dLoss/dInput, adding
+	// parameter gradients into Params' Grad tensors.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable parameters (possibly none).
+	Params() []*Param
+}
+
+// --- Dense -------------------------------------------------------------------
+
+// Dense is a fully connected layer: y = xW + b for x of shape [N, In].
+type Dense struct {
+	In, Out int
+	W       *Param // [In, Out]
+	B       *Param // [1, Out]
+
+	x *tensor.Tensor // cached input for backward
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense constructs a dense layer with He-initialized weights.
+func NewDense(in, out int, r *rng.RNG) *Dense {
+	d := &Dense{
+		In:  in,
+		Out: out,
+		W:   &Param{Name: "dense.w", Value: tensor.New(in, out), Grad: tensor.New(in, out)},
+		B:   &Param{Name: "dense.b", Value: tensor.New(1, out), Grad: tensor.New(1, out)},
+	}
+	heInit(d.W.Value.Data, in, r)
+	return d
+}
+
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	d.x = x
+	n := x.Dim(0)
+	out := tensor.New(n, d.Out)
+	tensor.MatMulInto(out, x, d.W.Value)
+	tensor.AddRowVecInto(out, out, d.B.Value.Data)
+	return out
+}
+
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	// dW += xᵀ grad ; db += column sums ; dx = grad Wᵀ
+	dW := tensor.New(d.In, d.Out)
+	tensor.MatMulTransAInto(dW, d.x, grad)
+	tensor.AXPY(1, dW, d.W.Grad)
+	sums := make([]float64, d.Out)
+	tensor.ColSumsInto(sums, grad)
+	for j, s := range sums {
+		d.B.Grad.Data[j] += s
+	}
+	dx := tensor.New(grad.Dim(0), d.In)
+	tensor.MatMulTransBInto(dx, grad, d.W.Value)
+	return dx
+}
+
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// --- Activations ---------------------------------------------------------------
+
+// ReLU is max(0, x).
+type ReLU struct {
+	mask []bool
+}
+
+var _ Layer = (*ReLU)(nil)
+
+func (a *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if cap(a.mask) < x.Len() {
+		a.mask = make([]bool, x.Len())
+	}
+	a.mask = a.mask[:x.Len()]
+	for i, v := range out.Data {
+		if v <= 0 {
+			out.Data[i] = 0
+			a.mask[i] = false
+		} else {
+			a.mask[i] = true
+		}
+	}
+	return out
+}
+
+func (a *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := grad.Clone()
+	for i := range dx.Data {
+		if !a.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+func (a *ReLU) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	y *tensor.Tensor
+}
+
+var _ Layer = (*Tanh)(nil)
+
+func (a *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	out.Apply(tanh)
+	a.y = out
+	return out
+}
+
+func tanh(v float64) float64 {
+	// math.Tanh is fine; inlined name keeps Apply call sites tidy.
+	e2 := exp(2 * v)
+	return (e2 - 1) / (e2 + 1)
+}
+
+func (a *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := grad.Clone()
+	for i := range dx.Data {
+		y := a.y.Data[i]
+		dx.Data[i] *= 1 - y*y
+	}
+	return dx
+}
+
+func (a *Tanh) Params() []*Param { return nil }
+
+// --- Dropout -------------------------------------------------------------------
+
+// Dropout zeroes a fraction Rate of activations during training and rescales
+// the rest (inverted dropout). It is identity at inference time.
+type Dropout struct {
+	Rate float64
+	rng  *rng.RNG
+	mask []float64
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// NewDropout constructs a dropout layer with its own random stream.
+func NewDropout(rate float64, r *rng.RNG) *Dropout {
+	return &Dropout{Rate: rate, rng: r.Split("dropout")}
+}
+
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.Rate <= 0 {
+		d.mask = nil
+		return x
+	}
+	out := x.Clone()
+	if cap(d.mask) < x.Len() {
+		d.mask = make([]float64, x.Len())
+	}
+	d.mask = d.mask[:x.Len()]
+	keep := 1 - d.Rate
+	inv := 1 / keep
+	for i := range out.Data {
+		if d.rng.Float64() < keep {
+			d.mask[i] = inv
+			out.Data[i] *= inv
+		} else {
+			d.mask[i] = 0
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return grad
+	}
+	dx := grad.Clone()
+	for i := range dx.Data {
+		dx.Data[i] *= d.mask[i]
+	}
+	return dx
+}
+
+func (d *Dropout) Params() []*Param { return nil }
+
+// --- LayerNorm -------------------------------------------------------------------
+
+// LayerNorm normalizes each row of an [N, F] batch to zero mean and unit
+// variance, then applies a learned affine transform. It stabilizes the
+// deeper VitLite stacks.
+type LayerNorm struct {
+	F     int
+	Gamma *Param // [1, F]
+	Beta  *Param // [1, F]
+
+	x, norm *tensor.Tensor
+	invStd  []float64
+	epsilon float64
+}
+
+var _ Layer = (*LayerNorm)(nil)
+
+// NewLayerNorm constructs a layer norm over feature width f.
+func NewLayerNorm(f int) *LayerNorm {
+	ln := &LayerNorm{
+		F:       f,
+		Gamma:   &Param{Name: "ln.gamma", Value: tensor.New(1, f), Grad: tensor.New(1, f)},
+		Beta:    &Param{Name: "ln.beta", Value: tensor.New(1, f), Grad: tensor.New(1, f)},
+		epsilon: 1e-5,
+	}
+	ln.Gamma.Value.Fill(1)
+	return ln
+}
+
+func (l *LayerNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Dim(0)
+	l.x = x
+	l.norm = tensor.New(n, l.F)
+	if cap(l.invStd) < n {
+		l.invStd = make([]float64, n)
+	}
+	l.invStd = l.invStd[:n]
+	out := tensor.New(n, l.F)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(l.F)
+		varSum := 0.0
+		for _, v := range row {
+			d := v - mean
+			varSum += d * d
+		}
+		inv := 1 / sqrt(varSum/float64(l.F)+l.epsilon)
+		l.invStd[i] = inv
+		nr := l.norm.Row(i)
+		or := out.Row(i)
+		for j, v := range row {
+			nv := (v - mean) * inv
+			nr[j] = nv
+			or[j] = nv*l.Gamma.Value.Data[j] + l.Beta.Value.Data[j]
+		}
+	}
+	return out
+}
+
+func (l *LayerNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := grad.Dim(0)
+	dx := tensor.New(n, l.F)
+	f := float64(l.F)
+	for i := 0; i < n; i++ {
+		g := grad.Row(i)
+		nr := l.norm.Row(i)
+		// accumulate parameter grads
+		var sumG, sumGN float64
+		for j := 0; j < l.F; j++ {
+			gg := g[j] * l.Gamma.Value.Data[j]
+			l.Gamma.Grad.Data[j] += g[j] * nr[j]
+			l.Beta.Grad.Data[j] += g[j]
+			sumG += gg
+			sumGN += gg * nr[j]
+		}
+		inv := l.invStd[i]
+		dr := dx.Row(i)
+		for j := 0; j < l.F; j++ {
+			gg := g[j] * l.Gamma.Value.Data[j]
+			dr[j] = inv * (gg - sumG/f - nr[j]*sumGN/f)
+		}
+	}
+	return dx
+}
+
+func (l *LayerNorm) Params() []*Param { return []*Param{l.Gamma, l.Beta} }
+
+// --- Residual -------------------------------------------------------------------
+
+// Residual wraps a body computing y = x + body(x). Input and output shapes
+// of the body must match — validated at Forward time.
+type Residual struct {
+	Body []Layer
+}
+
+var _ Layer = (*Residual)(nil)
+
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	h := x
+	for _, l := range r.Body {
+		h = l.Forward(h, train)
+	}
+	if !h.SameShape(x) {
+		panic(fmt.Sprintf("nn: residual body changed shape %v -> %v", x.Shape(), h.Shape()))
+	}
+	out := tensor.New(x.Shape()...)
+	tensor.AddInto(out, x, h)
+	return out
+}
+
+func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad
+	for i := len(r.Body) - 1; i >= 0; i-- {
+		g = r.Body[i].Backward(g)
+	}
+	dx := grad.Clone()
+	tensor.AddInto(dx, dx, g)
+	return dx
+}
+
+func (r *Residual) Params() []*Param {
+	var ps []*Param
+	for _, l := range r.Body {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// --- helpers -------------------------------------------------------------------
+
+func heInit(w []float64, fanIn int, r *rng.RNG) {
+	std := sqrt(2 / float64(fanIn))
+	r.Gaussian(w, 0, std)
+}

@@ -1,0 +1,213 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"bprom/internal/tensor"
+)
+
+// Arch identifies one of the architecture families built by this package.
+type Arch string
+
+// Architecture families. These are scaled-down pure-Go analogues of the
+// networks in the paper (see DESIGN.md "Substitutions").
+const (
+	ArchResNetLite    Arch = "resnetlite"    // analogue of ResNet18: residual blocks
+	ArchMobileNetLite Arch = "mobilenetlite" // analogue of MobileNetV2: narrow bottlenecks
+	ArchVitLite       Arch = "vitlite"       // analogue of MobileViT/Swin: patch tokens + mixing
+	ArchConvLite      Arch = "convlite"      // small convolutional net (full-fidelity path)
+)
+
+// Model is a feed-forward classifier: a stack of layers whose final layer is
+// a Dense head producing logits over NumClasses.
+type Model struct {
+	Arch       Arch
+	InputDim   int // flattened per-sample input size
+	NumClasses int
+	Layers     []Layer
+}
+
+// Forward runs the full network and returns logits of shape [N, NumClasses].
+func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	h := x
+	for _, l := range m.Layers {
+		h = l.Forward(h, train)
+	}
+	return h
+}
+
+// Backward propagates the loss gradient through all layers and returns
+// dLoss/dInput, which visual-prompt training consumes.
+func (m *Model) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		g = m.Layers[i].Backward(g)
+	}
+	return g
+}
+
+// Features returns the penultimate activations (input to the final Dense
+// head) of shape [N, F]. Baseline defenses that analyze latent
+// representations use this; BPROM itself never does.
+func (m *Model) Features(x *tensor.Tensor) *tensor.Tensor {
+	h := x
+	for _, l := range m.Layers[:len(m.Layers)-1] {
+		h = l.Forward(h, false)
+	}
+	if h.Rank() != 2 {
+		n := h.Dim(0)
+		h = h.Reshape(n, h.Len()/n)
+	}
+	return h
+}
+
+// Predict returns softmax probabilities of shape [N, NumClasses].
+func (m *Model) Predict(x *tensor.Tensor) *tensor.Tensor {
+	logits := m.Forward(x, false)
+	SoftmaxInPlace(logits)
+	return logits
+}
+
+// PredictClasses returns the argmax class for each sample.
+func (m *Model) PredictClasses(x *tensor.Tensor) []int {
+	logits := m.Forward(x, false)
+	n, k := logits.Dim(0), logits.Dim(1)
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*k : (i+1)*k]
+		best, bi := math.Inf(-1), 0
+		for j, v := range row {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+// Params returns all trainable parameters in layer order.
+func (m *Model) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all parameter gradients.
+func (m *Model) ZeroGrad() {
+	for _, p := range m.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// ParamCount returns the total number of trainable scalars.
+func (m *Model) ParamCount() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Value.Len()
+	}
+	return n
+}
+
+// Validate checks structural invariants: a model must end in a Dense head
+// whose width equals NumClasses and accept InputDim-wide inputs.
+func (m *Model) Validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("nn: model has no layers")
+	}
+	head, ok := m.Layers[len(m.Layers)-1].(*Dense)
+	if !ok {
+		return fmt.Errorf("nn: model must end in a Dense head, got %T", m.Layers[len(m.Layers)-1])
+	}
+	if head.Out != m.NumClasses {
+		return fmt.Errorf("nn: head width %d != NumClasses %d", head.Out, m.NumClasses)
+	}
+	if m.InputDim <= 0 {
+		return fmt.Errorf("nn: non-positive InputDim %d", m.InputDim)
+	}
+	return nil
+}
+
+// SoftmaxInPlace converts each row of logits [N, K] into probabilities using
+// the max-subtraction trick for numerical stability.
+func SoftmaxInPlace(logits *tensor.Tensor) {
+	n, k := logits.Dim(0), logits.Dim(1)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*k : (i+1)*k]
+		maxV := math.Inf(-1)
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - maxV)
+			row[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// CrossEntropy computes mean softmax cross-entropy between logits [N, K] and
+// integer labels, returning the loss and dLoss/dLogits (already averaged over
+// the batch).
+func CrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	n, k := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), n))
+	}
+	probs := logits.Clone()
+	SoftmaxInPlace(probs)
+	loss := 0.0
+	grad := probs // reuse: grad = probs - onehot(labels), scaled by 1/N
+	invN := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		y := labels[i]
+		if y < 0 || y >= k {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, k))
+		}
+		p := probs.Data[i*k+y]
+		loss -= math.Log(math.Max(p, 1e-12))
+		row := grad.Data[i*k : (i+1)*k]
+		for j := range row {
+			row[j] *= invN
+		}
+		row[y] -= invN
+	}
+	return loss * invN, grad
+}
+
+// Accuracy returns the fraction of rows of logits whose argmax equals the
+// label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	n, k := logits.Dim(0), logits.Dim(1)
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*k : (i+1)*k]
+		best, bi := math.Inf(-1), 0
+		for j, v := range row {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		if bi == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// small math indirections so layer code reads without the math import
+func exp(v float64) float64  { return math.Exp(v) }
+func sqrt(v float64) float64 { return math.Sqrt(v) }

@@ -1,0 +1,410 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"bprom/internal/rng"
+	"bprom/internal/tensor"
+)
+
+// Binary model format: magic, version, arch, input dim, class count, then a
+// recursive layer list with one byte-tag per layer type. Weights are raw
+// little-endian float64. The format is versioned so saved shadow models
+// remain loadable across releases.
+
+const (
+	formatMagic   = "BPROMNN"
+	formatVersion = uint32(1)
+)
+
+// Layer tags. Values are stable once released — append only.
+const (
+	tagDense byte = iota + 1
+	tagReLU
+	tagTanh
+	tagDropout
+	tagLayerNorm
+	tagResidual
+	tagConv2D
+	tagFlatten
+	tagToImage
+	tagGlobalAvgPool
+)
+
+// Save writes the model to w.
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(formatMagic); err != nil {
+		return fmt.Errorf("nn: write magic: %w", err)
+	}
+	if err := writeU32(bw, formatVersion); err != nil {
+		return err
+	}
+	if err := writeString(bw, string(m.Arch)); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(m.InputDim)); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(m.NumClasses)); err != nil {
+		return err
+	}
+	if err := writeLayers(bw, m.Layers); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("nn: flush model: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the model to path, creating or truncating it.
+func (m *Model) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("nn: close %s: %w", path, cerr)
+		}
+	}()
+	return m.Save(f)
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(formatMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("nn: read magic: %w", err)
+	}
+	if string(magic) != formatMagic {
+		return nil, fmt.Errorf("nn: bad magic %q", magic)
+	}
+	ver, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("nn: unsupported format version %d", ver)
+	}
+	arch, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	inDim, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	classes, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	layers, err := readLayers(br)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Arch: Arch(arch), InputDim: int(inDim), NumClasses: int(classes), Layers: layers}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("nn: loaded model invalid: %w", err)
+	}
+	return m, nil
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func writeLayers(w *bufio.Writer, layers []Layer) error {
+	if err := writeU32(w, uint32(len(layers))); err != nil {
+		return err
+	}
+	for _, l := range layers {
+		if err := writeLayer(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeLayer(w *bufio.Writer, l Layer) error {
+	switch v := l.(type) {
+	case *Dense:
+		if err := w.WriteByte(tagDense); err != nil {
+			return err
+		}
+		if err := writeU32(w, uint32(v.In)); err != nil {
+			return err
+		}
+		if err := writeU32(w, uint32(v.Out)); err != nil {
+			return err
+		}
+		if err := writeFloats(w, v.W.Value.Data); err != nil {
+			return err
+		}
+		return writeFloats(w, v.B.Value.Data)
+	case *ReLU:
+		return w.WriteByte(tagReLU)
+	case *Tanh:
+		return w.WriteByte(tagTanh)
+	case *Dropout:
+		if err := w.WriteByte(tagDropout); err != nil {
+			return err
+		}
+		return writeFloats(w, []float64{v.Rate})
+	case *LayerNorm:
+		if err := w.WriteByte(tagLayerNorm); err != nil {
+			return err
+		}
+		if err := writeU32(w, uint32(v.F)); err != nil {
+			return err
+		}
+		if err := writeFloats(w, v.Gamma.Value.Data); err != nil {
+			return err
+		}
+		return writeFloats(w, v.Beta.Value.Data)
+	case *Residual:
+		if err := w.WriteByte(tagResidual); err != nil {
+			return err
+		}
+		return writeLayers(w, v.Body)
+	case *Conv2D:
+		if err := w.WriteByte(tagConv2D); err != nil {
+			return err
+		}
+		d := v.Dims
+		for _, x := range []int{d.InC, d.InH, d.InW, d.OutC, d.KH, d.KW, d.Stride, d.Pad} {
+			if err := writeU32(w, uint32(x)); err != nil {
+				return err
+			}
+		}
+		if err := writeFloats(w, v.W.Value.Data); err != nil {
+			return err
+		}
+		return writeFloats(w, v.B.Value.Data)
+	case *Flatten:
+		return w.WriteByte(tagFlatten)
+	case *ToImage:
+		if err := w.WriteByte(tagToImage); err != nil {
+			return err
+		}
+		for _, x := range []int{v.C, v.H, v.W} {
+			if err := writeU32(w, uint32(x)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *GlobalAvgPool:
+		return w.WriteByte(tagGlobalAvgPool)
+	default:
+		return fmt.Errorf("nn: cannot serialize layer type %T", l)
+	}
+}
+
+func readLayers(r *bufio.Reader) ([]Layer, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("nn: implausible layer count %d", n)
+	}
+	layers := make([]Layer, 0, n)
+	for i := uint32(0); i < n; i++ {
+		l, err := readLayer(r)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d: %w", i, err)
+		}
+		layers = append(layers, l)
+	}
+	return layers, nil
+}
+
+func readLayer(r *bufio.Reader) (Layer, error) {
+	tag, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("read layer tag: %w", err)
+	}
+	switch tag {
+	case tagDense:
+		in, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		out, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		d := &Dense{
+			In:  int(in),
+			Out: int(out),
+			W:   &Param{Name: "dense.w", Value: tensor.New(int(in), int(out)), Grad: tensor.New(int(in), int(out))},
+			B:   &Param{Name: "dense.b", Value: tensor.New(1, int(out)), Grad: tensor.New(1, int(out))},
+		}
+		if err := readFloats(r, d.W.Value.Data); err != nil {
+			return nil, err
+		}
+		if err := readFloats(r, d.B.Value.Data); err != nil {
+			return nil, err
+		}
+		return d, nil
+	case tagReLU:
+		return &ReLU{}, nil
+	case tagTanh:
+		return &Tanh{}, nil
+	case tagDropout:
+		rate := make([]float64, 1)
+		if err := readFloats(r, rate); err != nil {
+			return nil, err
+		}
+		// The dropout RNG is not part of the persisted state; inference does
+		// not use it, and resumed training reseeds deterministically.
+		return NewDropout(rate[0], rng.New(0xd06)), nil
+	case tagLayerNorm:
+		f, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		ln := NewLayerNorm(int(f))
+		if err := readFloats(r, ln.Gamma.Value.Data); err != nil {
+			return nil, err
+		}
+		if err := readFloats(r, ln.Beta.Value.Data); err != nil {
+			return nil, err
+		}
+		return ln, nil
+	case tagResidual:
+		body, err := readLayers(r)
+		if err != nil {
+			return nil, err
+		}
+		return &Residual{Body: body}, nil
+	case tagConv2D:
+		var vals [8]uint32
+		for i := range vals {
+			v, err := readU32(r)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		dims := tensor.ConvDims{
+			InC: int(vals[0]), InH: int(vals[1]), InW: int(vals[2]),
+			OutC: int(vals[3]), KH: int(vals[4]), KW: int(vals[5]),
+			Stride: int(vals[6]), Pad: int(vals[7]),
+		}
+		if err := dims.Resolve(); err != nil {
+			return nil, err
+		}
+		c := NewConv2D(dims, rng.New(0)) // weights overwritten below
+		if err := readFloats(r, c.W.Value.Data); err != nil {
+			return nil, err
+		}
+		if err := readFloats(r, c.B.Value.Data); err != nil {
+			return nil, err
+		}
+		return c, nil
+	case tagFlatten:
+		return &Flatten{}, nil
+	case tagToImage:
+		var vals [3]uint32
+		for i := range vals {
+			v, err := readU32(r)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		return &ToImage{C: int(vals[0]), H: int(vals[1]), W: int(vals[2])}, nil
+	case tagGlobalAvgPool:
+		return &GlobalAvgPool{}, nil
+	default:
+		return nil, fmt.Errorf("unknown layer tag %d", tag)
+	}
+}
+
+func writeU32(w *bufio.Writer, v uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	if _, err := w.Write(buf[:]); err != nil {
+		return fmt.Errorf("nn: write u32: %w", err)
+	}
+	return nil
+}
+
+func readU32(r *bufio.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("nn: read u32: %w", err)
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if err := writeU32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(s); err != nil {
+		return fmt.Errorf("nn: write string: %w", err)
+	}
+	return nil
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<16 {
+		return "", fmt.Errorf("nn: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("nn: read string: %w", err)
+	}
+	return string(buf), nil
+}
+
+func writeFloats(w *bufio.Writer, data []float64) error {
+	if err := writeU32(w, uint32(len(data))); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, v := range data {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		if _, err := w.Write(buf[:]); err != nil {
+			return fmt.Errorf("nn: write floats: %w", err)
+		}
+	}
+	return nil
+}
+
+func readFloats(r *bufio.Reader, dst []float64) error {
+	n, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	if int(n) != len(dst) {
+		return fmt.Errorf("nn: float block length %d, expected %d", n, len(dst))
+	}
+	var buf [8]byte
+	for i := range dst {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return fmt.Errorf("nn: read floats: %w", err)
+		}
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+// Package oracle defines black-box access to a suspicious model. BPROM's
+// threat model gives the defender nothing but confidence vectors for chosen
+// inputs — no parameters, gradients, or architecture. Everything in
+// internal/bprom that touches the suspicious model goes through this
+// interface, so the same detector runs against an in-process model (tests,
+// shadow models) or a remote MLaaS endpoint (internal/mlaas).
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"bprom/internal/nn"
+	"bprom/internal/tensor"
+)
+
+// Oracle is a black-box classifier: inputs in, confidence vectors out.
+type Oracle interface {
+	// Predict returns softmax confidence vectors [N, NumClasses] for a batch
+	// of flattened inputs [N, InputDim].
+	Predict(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error)
+	// NumClasses reports the label-space size (MLaaS APIs publish this).
+	NumClasses() int
+	// InputDim reports the flattened input width.
+	InputDim() int
+}
+
+// ModelOracle adapts an in-process nn.Model to the Oracle interface.
+type ModelOracle struct {
+	model *nn.Model
+}
+
+var _ Oracle = (*ModelOracle)(nil)
+
+// NewModelOracle wraps model. The model must not be trained concurrently
+// with queries (layer forward caches are not synchronized); detection-time
+// models are frozen, which is the intended use.
+func NewModelOracle(model *nn.Model) *ModelOracle {
+	return &ModelOracle{model: model}
+}
+
+func (o *ModelOracle) Predict(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("oracle: %w", err)
+	}
+	if x.Rank() != 2 || x.Dim(1) != o.model.InputDim {
+		return nil, fmt.Errorf("oracle: input shape %v, want [N %d]", x.Shape(), o.model.InputDim)
+	}
+	return o.model.Predict(x), nil
+}
+
+func (o *ModelOracle) NumClasses() int { return o.model.NumClasses }
+func (o *ModelOracle) InputDim() int   { return o.model.InputDim }
+
+// Counter wraps an Oracle and counts queries (individual samples, not
+// batches). The paper reports query budgets; experiments use this to audit
+// black-box cost. Safe for concurrent use.
+type Counter struct {
+	inner   Oracle
+	queries atomic.Int64
+}
+
+var _ Oracle = (*Counter)(nil)
+
+// NewCounter wraps inner with a query counter.
+func NewCounter(inner Oracle) *Counter {
+	return &Counter{inner: inner}
+}
+
+func (c *Counter) Predict(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	out, err := c.inner.Predict(ctx, x)
+	if err == nil {
+		c.queries.Add(int64(x.Dim(0)))
+	}
+	return out, err
+}
+
+func (c *Counter) NumClasses() int { return c.inner.NumClasses() }
+func (c *Counter) InputDim() int   { return c.inner.InputDim() }
+
+// Queries returns the number of samples sent to the oracle so far.
+func (c *Counter) Queries() int64 { return c.queries.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.queries.Store(0) }

@@ -1,0 +1,129 @@
+package oracle
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"bprom/internal/nn"
+	"bprom/internal/rng"
+	"bprom/internal/tensor"
+)
+
+func testModel(t *testing.T) *nn.Model {
+	t.Helper()
+	m, err := nn.Build(nn.ArchConfig{Arch: nn.ArchResNetLite, C: 1, H: 4, W: 4, NumClasses: 3, Hidden: 8}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestModelOraclePredictConfidences(t *testing.T) {
+	o := NewModelOracle(testModel(t))
+	if o.NumClasses() != 3 || o.InputDim() != 16 {
+		t.Fatalf("metadata %d/%d", o.NumClasses(), o.InputDim())
+	}
+	x := tensor.New(4, 16)
+	rng.New(2).Uniform(x.Data, 0, 1)
+	probs, err := o.Predict(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		sum := 0.0
+		for _, v := range probs.Row(i) {
+			if v < 0 || v > 1 {
+				t.Fatalf("confidence %v outside [0,1]", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row sums to %v", sum)
+		}
+	}
+}
+
+func TestModelOracleRejectsBadShape(t *testing.T) {
+	o := NewModelOracle(testModel(t))
+	if _, err := o.Predict(context.Background(), tensor.New(2, 7)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestModelOracleRespectsContext(t *testing.T) {
+	o := NewModelOracle(testModel(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := o.Predict(ctx, tensor.New(1, 16)); err == nil {
+		t.Fatal("expected context error")
+	}
+}
+
+func TestCounterCountsSamples(t *testing.T) {
+	c := NewCounter(NewModelOracle(testModel(t)))
+	ctx := context.Background()
+	if _, err := c.Predict(ctx, tensor.New(5, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Predict(ctx, tensor.New(3, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Queries() != 8 {
+		t.Fatalf("Queries = %d, want 8", c.Queries())
+	}
+	c.Reset()
+	if c.Queries() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestCounterDoesNotCountFailures(t *testing.T) {
+	c := NewCounter(NewModelOracle(testModel(t)))
+	if _, err := c.Predict(context.Background(), tensor.New(2, 7)); err == nil {
+		t.Fatal("expected error")
+	}
+	if c.Queries() != 0 {
+		t.Fatalf("failed query counted: %d", c.Queries())
+	}
+}
+
+func TestCounterConcurrentSafety(t *testing.T) {
+	c := NewCounter(&stubOracle{classes: 2, dim: 4})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if _, err := c.Predict(context.Background(), tensor.New(2, 4)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Queries() != 8*100*2 {
+		t.Fatalf("Queries = %d, want %d", c.Queries(), 8*100*2)
+	}
+}
+
+// stubOracle is a trivial thread-safe oracle for concurrency tests.
+type stubOracle struct {
+	classes, dim int
+}
+
+func (s *stubOracle) Predict(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	out := tensor.New(x.Dim(0), s.classes)
+	for i := 0; i < x.Dim(0); i++ {
+		out.Set(1, i, 0)
+	}
+	return out, nil
+}
+
+func (s *stubOracle) NumClasses() int { return s.classes }
+func (s *stubOracle) InputDim() int   { return s.dim }
+
+var _ Oracle = (*stubOracle)(nil)

@@ -1,0 +1,242 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 95 {
+		t.Fatalf("zero-seeded generator produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a, b := New(7), New(7)
+	ca, cb := a.Split("shadow", 3), b.Split("shadow", 3)
+	for i := 0; i < 100; i++ {
+		if ca.Uint64() != cb.Uint64() {
+			t.Fatalf("split children diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	// Children with different labels/indices must not correlate with each
+	// other or with the parent's continuing stream.
+	parent := New(9)
+	c1 := parent.Split("a", 0)
+	c2 := parent.Split("a", 1)
+	c3 := parent.Split("b", 0)
+	streams := [][]uint64{drain(c1, 200), drain(c2, 200), drain(c3, 200), drain(parent, 200)}
+	for i := 0; i < len(streams); i++ {
+		for j := i + 1; j < len(streams); j++ {
+			matches := 0
+			for k := range streams[i] {
+				if streams[i][k] == streams[j][k] {
+					matches++
+				}
+			}
+			if matches > 0 {
+				t.Errorf("streams %d and %d share %d values", i, j, matches)
+			}
+		}
+	}
+}
+
+func drain(r *RNG, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uint64()
+	}
+	return out
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(17)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		counts[r.Intn(7)]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("Intn(7) bucket %d has count %d, expected ~10000", v, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(19)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	f := func(seed uint64, rawN uint8) bool {
+		n := int(rawN%64) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	f := func(seed uint64, rawN, rawK uint8) bool {
+		n := int(rawN%50) + 1
+		k := int(rawK) % (n + 1)
+		s := New(seed).Sample(n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplePanicsWhenKExceedsN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Sample(2, 3)")
+		}
+	}()
+	New(1).Sample(2, 3)
+}
+
+func TestGaussianFill(t *testing.T) {
+	r := New(23)
+	buf := make([]float64, 50000)
+	r.Gaussian(buf, 3, 2)
+	var sum float64
+	for _, v := range buf {
+		sum += v
+	}
+	mean := sum / float64(len(buf))
+	if math.Abs(mean-3) > 0.05 {
+		t.Fatalf("Gaussian(3,2) mean %v", mean)
+	}
+}
+
+func TestUniformFill(t *testing.T) {
+	r := New(29)
+	buf := make([]float64, 10000)
+	r.Uniform(buf, -2, 5)
+	for _, v := range buf {
+		if v < -2 || v >= 5 {
+			t.Fatalf("Uniform(-2,5) produced %v", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.NormFloat64()
+	}
+	_ = sink
+}

@@ -1,0 +1,140 @@
+package tensor
+
+import "fmt"
+
+// Conv2D support via im2col: an input batch [N, C, H, W] is unrolled into a
+// matrix of sliding-window patches so the convolution becomes one MatMul.
+// This is the standard CPU strategy; the unrolled buffer is reused by the nn
+// layer between calls to avoid per-batch allocation.
+
+// ConvDims describes a 2-D convolution geometry.
+type ConvDims struct {
+	InC, InH, InW int // input channels / height / width
+	OutC          int // output channels
+	KH, KW        int // kernel height / width
+	Stride, Pad   int
+	OutH, OutW    int // derived by Resolve
+}
+
+// Resolve fills the derived output dimensions and validates the geometry.
+func (d *ConvDims) Resolve() error {
+	if d.Stride <= 0 {
+		return fmt.Errorf("tensor: conv stride must be positive, got %d", d.Stride)
+	}
+	d.OutH = (d.InH+2*d.Pad-d.KH)/d.Stride + 1
+	d.OutW = (d.InW+2*d.Pad-d.KW)/d.Stride + 1
+	if d.OutH <= 0 || d.OutW <= 0 {
+		return fmt.Errorf("tensor: conv output collapsed to %dx%d for input %dx%d kernel %dx%d",
+			d.OutH, d.OutW, d.InH, d.InW, d.KH, d.KW)
+	}
+	return nil
+}
+
+// Im2Col unrolls one image (C,H,W flattened in x) into cols, a matrix of
+// shape [OutH*OutW, C*KH*KW]. Padding positions contribute zeros.
+func Im2Col(x []float64, d ConvDims, cols *Tensor) {
+	k := d.InC * d.KH * d.KW
+	row := 0
+	for oy := 0; oy < d.OutH; oy++ {
+		for ox := 0; ox < d.OutW; ox++ {
+			dst := cols.Data[row*k : (row+1)*k]
+			di := 0
+			for c := 0; c < d.InC; c++ {
+				chanOff := c * d.InH * d.InW
+				for ky := 0; ky < d.KH; ky++ {
+					iy := oy*d.Stride + ky - d.Pad
+					if iy < 0 || iy >= d.InH {
+						for kx := 0; kx < d.KW; kx++ {
+							dst[di] = 0
+							di++
+						}
+						continue
+					}
+					rowOff := chanOff + iy*d.InW
+					for kx := 0; kx < d.KW; kx++ {
+						ix := ox*d.Stride + kx - d.Pad
+						if ix < 0 || ix >= d.InW {
+							dst[di] = 0
+						} else {
+							dst[di] = x[rowOff+ix]
+						}
+						di++
+					}
+				}
+			}
+			row++
+		}
+	}
+}
+
+// Col2Im scatters gradient columns (shape [OutH*OutW, C*KH*KW]) back into an
+// image gradient (C,H,W flattened into dx, accumulated).
+func Col2Im(cols *Tensor, d ConvDims, dx []float64) {
+	k := d.InC * d.KH * d.KW
+	row := 0
+	for oy := 0; oy < d.OutH; oy++ {
+		for ox := 0; ox < d.OutW; ox++ {
+			src := cols.Data[row*k : (row+1)*k]
+			si := 0
+			for c := 0; c < d.InC; c++ {
+				chanOff := c * d.InH * d.InW
+				for ky := 0; ky < d.KH; ky++ {
+					iy := oy*d.Stride + ky - d.Pad
+					if iy < 0 || iy >= d.InH {
+						si += d.KW
+						continue
+					}
+					rowOff := chanOff + iy*d.InW
+					for kx := 0; kx < d.KW; kx++ {
+						ix := ox*d.Stride + kx - d.Pad
+						if ix >= 0 && ix < d.InW {
+							dx[rowOff+ix] += src[si]
+						}
+						si++
+					}
+				}
+			}
+			row++
+		}
+	}
+}
+
+// AvgPool2D performs global average pooling over each channel of a batch
+// [N, C, H, W], producing [N, C].
+func AvgPool2D(x *Tensor) *Tensor {
+	if x.Rank() != 4 {
+		panic("tensor: AvgPool2D requires a 4-D tensor")
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	out := New(n, c)
+	area := float64(h * w)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			off := (i*c + ch) * h * w
+			s := 0.0
+			for p := 0; p < h*w; p++ {
+				s += x.Data[off+p]
+			}
+			out.Data[i*c+ch] = s / area
+		}
+	}
+	return out
+}
+
+// AvgPool2DBackward spreads the pooled gradient [N, C] uniformly back over
+// the spatial positions, producing [N, C, H, W].
+func AvgPool2DBackward(grad *Tensor, h, w int) *Tensor {
+	n, c := grad.shape[0], grad.shape[1]
+	out := New(n, c, h, w)
+	inv := 1.0 / float64(h*w)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			g := grad.Data[i*c+ch] * inv
+			off := (i*c + ch) * h * w
+			for p := 0; p < h*w; p++ {
+				out.Data[off+p] = g
+			}
+		}
+	}
+	return out
+}

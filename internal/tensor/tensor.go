@@ -1,0 +1,393 @@
+// Package tensor implements the dense numerical arrays underlying the neural
+// network substrate. It supports the small set of operations the repository
+// needs — matrix multiplication, im2col convolution, pooling, elementwise
+// arithmetic and reductions — on float64 data stored in row-major order.
+//
+// Design notes: shapes are plain []int; a Tensor owns its backing slice
+// unless created with FromSlice, in which case the caller promises not to
+// alias it concurrently. Operations either write into a receiver (the *Into
+// forms, used on hot paths to avoid allocation) or return fresh tensors.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major float64 array with an explicit shape.
+type Tensor struct {
+	Data  []float64
+	shape []int
+}
+
+// New returns a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Data: make([]float64, n), shape: append([]int(nil), shape...)}
+}
+
+// FromSlice wraps data with the given shape without copying. The product of
+// the shape must equal len(data).
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v does not match data length %d", shape, len(data)))
+	}
+	return &Tensor{Data: data, shape: append([]int(nil), shape...)}
+}
+
+// Shape returns the tensor's dimensions. Callers must not mutate the result.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of axis i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of axes.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view of the same data under a new shape. The element
+// count must match. The returned tensor shares the backing slice.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
+	}
+	return &Tensor{Data: t.Data, shape: append([]int(nil), shape...)}
+}
+
+// At returns the element at the given multi-index (2-D fast path only where
+// it matters; general indexing is used in tests and setup code).
+func (t *Tensor) At(idx ...int) float64 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set assigns the element at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Elementwise operations -------------------------------------------------
+
+// AddInto computes dst = a + b elementwise. All three must share a length.
+func AddInto(dst, a, b *Tensor) {
+	checkSameLen("AddInto", dst, a, b)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// SubInto computes dst = a - b elementwise.
+func SubInto(dst, a, b *Tensor) {
+	checkSameLen("SubInto", dst, a, b)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+// MulInto computes dst = a * b elementwise (Hadamard product).
+func MulInto(dst, a, b *Tensor) {
+	checkSameLen("MulInto", dst, a, b)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+}
+
+// AXPY computes dst += alpha * x.
+func AXPY(alpha float64, x, dst *Tensor) {
+	checkSameLen("AXPY", dst, x, x)
+	for i := range dst.Data {
+		dst.Data[i] += alpha * x.Data[i]
+	}
+}
+
+// Scale multiplies every element by alpha in place.
+func (t *Tensor) Scale(alpha float64) {
+	for i := range t.Data {
+		t.Data[i] *= alpha
+	}
+}
+
+// AddScalar adds alpha to every element in place.
+func (t *Tensor) AddScalar(alpha float64) {
+	for i := range t.Data {
+		t.Data[i] += alpha
+	}
+}
+
+// Clamp limits every element to [lo, hi] in place.
+func (t *Tensor) Clamp(lo, hi float64) {
+	for i, v := range t.Data {
+		if v < lo {
+			t.Data[i] = lo
+		} else if v > hi {
+			t.Data[i] = hi
+		}
+	}
+}
+
+// Apply replaces each element x with f(x).
+func (t *Tensor) Apply(f func(float64) float64) {
+	for i, v := range t.Data {
+		t.Data[i] = f(v)
+	}
+}
+
+func checkSameLen(op string, ts ...*Tensor) {
+	n := ts[0].Len()
+	for _, t := range ts[1:] {
+		if t.Len() != n {
+			panic(fmt.Sprintf("tensor: %s length mismatch %d vs %d", op, n, t.Len()))
+		}
+	}
+}
+
+// --- Reductions ---------------------------------------------------------------
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty tensors).
+func (t *Tensor) Mean() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.Data))
+}
+
+// MaxIndex returns the index of the largest element (first on ties).
+func (t *Tensor) MaxIndex() int {
+	best, bi := math.Inf(-1), 0
+	for i, v := range t.Data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// Norm2 returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of two equally sized tensors.
+func Dot(a, b *Tensor) float64 {
+	checkSameLen("Dot", a, b)
+	s := 0.0
+	for i := range a.Data {
+		s += a.Data[i] * b.Data[i]
+	}
+	return s
+}
+
+// --- Matrix operations ---------------------------------------------------------
+
+// MatMulInto computes dst = a @ b for 2-D tensors a [m,k] and b [k,n],
+// writing into dst [m,n]. The inner loops are ordered i-k-j so the innermost
+// loop streams both b and dst rows sequentially, which is the standard
+// cache-friendly layout for row-major data.
+func MatMulInto(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic("tensor: MatMulInto requires 2-D tensors")
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch %v @ %v -> %v", a.shape, b.shape, dst.shape))
+	}
+	for i := 0; i < m; i++ {
+		di := dst.Data[i*n : (i+1)*n]
+		for j := range di {
+			di[j] = 0
+		}
+		ai := a.Data[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b.Data[p*n : (p+1)*n]
+			for j, bv := range bp {
+				di[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMul returns a @ b as a fresh tensor.
+func MatMul(a, b *Tensor) *Tensor {
+	dst := New(a.shape[0], b.shape[1])
+	MatMulInto(dst, a, b)
+	return dst
+}
+
+// MatMulTransAInto computes dst = aᵀ @ b where a is [k,m] and b is [k,n].
+func MatMulTransAInto(dst, a, b *Tensor) {
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto shape mismatch %v ᵀ@ %v -> %v", a.shape, b.shape, dst.shape))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for p := 0; p < k; p++ {
+		ap := a.Data[p*m : (p+1)*m]
+		bp := b.Data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			di := dst.Data[i*n : (i+1)*n]
+			for j, bv := range bp {
+				di[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransBInto computes dst = a @ bᵀ where a is [m,k] and b is [n,k].
+func MatMulTransBInto(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto shape mismatch %v @ᵀ %v -> %v", a.shape, b.shape, dst.shape))
+	}
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		di := dst.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.Data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			di[j] = s
+		}
+	}
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func (t *Tensor) Transpose() *Tensor {
+	if t.Rank() != 2 {
+		panic("tensor: Transpose requires a 2-D tensor")
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = t.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// AddRowVecInto adds a length-n row vector to every row of an [m,n] matrix.
+func AddRowVecInto(dst, a *Tensor, v []float64) {
+	m, n := a.shape[0], a.shape[1]
+	if len(v) != n || dst.shape[0] != m || dst.shape[1] != n {
+		panic("tensor: AddRowVecInto shape mismatch")
+	}
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*n : (i+1)*n]
+		di := dst.Data[i*n : (i+1)*n]
+		for j := range di {
+			di[j] = ai[j] + v[j]
+		}
+	}
+}
+
+// ColSumsInto writes the per-column sums of an [m,n] matrix into dst (len n).
+func ColSumsInto(dst []float64, a *Tensor) {
+	m, n := a.shape[0], a.shape[1]
+	if len(dst) != n {
+		panic("tensor: ColSumsInto length mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*n : (i+1)*n]
+		for j, v := range ai {
+			dst[j] += v
+		}
+	}
+}
+
+// Row returns a view of row i of a 2-D tensor (shares backing storage).
+func (t *Tensor) Row(i int) []float64 {
+	if t.Rank() != 2 {
+		panic("tensor: Row requires a 2-D tensor")
+	}
+	n := t.shape[1]
+	return t.Data[i*n : (i+1)*n]
+}

@@ -1,0 +1,193 @@
+// Package trainer runs mini-batch training loops over nn models and data
+// datasets. It is deliberately small: shuffle, batch, forward, loss,
+// backward, clip, step — with optional per-epoch evaluation and early
+// stopping. Everything heavier (poisoning, prompting, detection) is built on
+// top of it.
+package trainer
+
+import (
+	"context"
+	"fmt"
+
+	"bprom/internal/data"
+	"bprom/internal/nn"
+	"bprom/internal/opt"
+	"bprom/internal/rng"
+	"bprom/internal/tensor"
+)
+
+// Config controls one training run.
+type Config struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Momentum  float64
+	// WeightDecay is the L2 coefficient (SGD only).
+	WeightDecay float64
+	// ClipNorm bounds the global gradient norm; <= 0 disables.
+	ClipNorm float64
+	// UseAdam selects Adam instead of SGD+momentum.
+	UseAdam bool
+	// TargetAcc stops early once training accuracy reaches this level
+	// (checked per epoch); <= 0 disables.
+	TargetAcc float64
+	// AugmentShift applies random-translation augmentation of up to ±N
+	// pixels per batch sample (the random-crop analogue of standard CIFAR
+	// training; Backdoor Toolbox trains with RandomCrop(32, padding=4)).
+	// Without it, a fixed-position trigger degenerates to a constant-offset
+	// feature in dense models and the class-subspace distortion the paper
+	// studies does not form. Default 0 (off); experiments use 2.
+	AugmentShift int
+	// Quiet suppresses the per-epoch log callback even if set.
+	Log func(epoch int, loss, acc float64)
+}
+
+// Defaults fills unset fields with values that train the synthetic datasets
+// reliably at experiment scale.
+func (c *Config) Defaults() {
+	if c.Epochs <= 0 {
+		c.Epochs = 10
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LR <= 0 {
+		// 0.01 with momentum 0.9 trains every architecture family on the
+		// synthetic datasets; 0.05+ diverges (verified by sweep).
+		c.LR = 0.01
+	}
+	if c.Momentum == 0 && !c.UseAdam {
+		c.Momentum = 0.9
+	}
+}
+
+// Result summarizes a training run.
+type Result struct {
+	Epochs    int
+	FinalLoss float64
+	TrainAcc  float64
+}
+
+// Train fits model on train with the given config. The context aborts
+// between batches, letting experiment sweeps time out cleanly.
+func Train(ctx context.Context, model *nn.Model, train *data.Dataset, cfg Config, r *rng.RNG) (Result, error) {
+	cfg.Defaults()
+	if train.Len() == 0 {
+		return Result{}, fmt.Errorf("trainer: empty training set")
+	}
+	if train.Shape.Dim() != model.InputDim {
+		return Result{}, fmt.Errorf("trainer: dataset dim %d != model input %d", train.Shape.Dim(), model.InputDim)
+	}
+	params := model.Params()
+	var optimizer opt.Optimizer
+	if cfg.UseAdam {
+		optimizer = opt.NewAdam(params, cfg.LR)
+	} else {
+		optimizer = opt.NewSGD(params, cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	}
+	res := Result{}
+	n := train.Len()
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := r.Perm(n)
+		var lossSum float64
+		var correct, seen int
+		for start := 0; start < n; start += cfg.BatchSize {
+			if err := ctx.Err(); err != nil {
+				return res, fmt.Errorf("trainer: aborted: %w", err)
+			}
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			x, y := train.Batch(perm[start:end])
+			if cfg.AugmentShift > 0 {
+				augmentShift(x, train.Shape, cfg.AugmentShift, r)
+			}
+			model.ZeroGrad()
+			logits := model.Forward(x, true)
+			loss, grad := nn.CrossEntropy(logits, y)
+			correct += int(nn.Accuracy(logits, y) * float64(len(y)))
+			seen += len(y)
+			lossSum += loss * float64(len(y))
+			model.Backward(grad)
+			opt.ClipGradNorm(params, cfg.ClipNorm)
+			optimizer.Step()
+		}
+		res.Epochs = epoch + 1
+		res.FinalLoss = lossSum / float64(seen)
+		res.TrainAcc = float64(correct) / float64(seen)
+		if cfg.Log != nil {
+			cfg.Log(epoch, res.FinalLoss, res.TrainAcc)
+		}
+		if cfg.TargetAcc > 0 && res.TrainAcc >= cfg.TargetAcc {
+			break
+		}
+	}
+	return res, nil
+}
+
+// augmentShift translates every sample of a materialized batch by an
+// independent random offset in [-maxShift, maxShift]² with edge clamping
+// (equivalent to pad-and-crop augmentation).
+func augmentShift(x *tensor.Tensor, sh data.Shape, maxShift int, r *rng.RNG) {
+	n := x.Dim(0)
+	w := sh.Dim()
+	buf := make([]float64, w)
+	for i := 0; i < n; i++ {
+		dx := r.Intn(2*maxShift+1) - maxShift
+		dy := r.Intn(2*maxShift+1) - maxShift
+		if dx == 0 && dy == 0 {
+			continue
+		}
+		img := x.Data[i*w : (i+1)*w]
+		for c := 0; c < sh.C; c++ {
+			off := c * sh.H * sh.W
+			for y := 0; y < sh.H; y++ {
+				sy := clampInt(y+dy, 0, sh.H-1)
+				for xx := 0; xx < sh.W; xx++ {
+					sx := clampInt(xx+dx, 0, sh.W-1)
+					buf[off+y*sh.W+xx] = img[off+sy*sh.W+sx]
+				}
+			}
+		}
+		copy(img, buf)
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Evaluate returns classification accuracy of model on ds, processing in
+// batches of batchSize (default 256 when <= 0).
+func Evaluate(model *nn.Model, ds *data.Dataset, batchSize int) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	n := ds.Len()
+	correct := 0
+	idx := make([]int, 0, batchSize)
+	for start := 0; start < n; start += batchSize {
+		end := start + batchSize
+		if end > n {
+			end = n
+		}
+		idx = idx[:0]
+		for i := start; i < end; i++ {
+			idx = append(idx, i)
+		}
+		x, y := ds.Batch(idx)
+		logits := model.Forward(x, false)
+		correct += int(nn.Accuracy(logits, y)*float64(len(y)) + 0.5)
+	}
+	return float64(correct) / float64(n)
+}

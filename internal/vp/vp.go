@@ -1,0 +1,403 @@
+// Package vp implements visual prompting (VP / model reprogramming): a
+// frozen source-domain classifier is adapted to a target-domain task by
+// resizing target images into an inner window of the source canvas and
+// learning the surrounding border pixels θ (the visual prompt).
+//
+// Two training paths mirror the paper exactly:
+//
+//   - White-box (shadow models, §5.2 "Prompting Shadow Models"): θ is
+//     trained by backpropagating the task loss through the frozen model to
+//     its input pixels.
+//   - Black-box (the suspicious model): θ is trained with CMA-ES using only
+//     oracle confidence queries.
+//
+// Output label mapping O(·|w) is the identity over the first K_T source
+// classes, as in the paper's experiments ("we omitted this step"), which
+// requires K_T ≤ K_S.
+package vp
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"bprom/internal/cmaes"
+	"bprom/internal/data"
+	"bprom/internal/nn"
+	"bprom/internal/oracle"
+	"bprom/internal/rng"
+	"bprom/internal/tensor"
+)
+
+// Prompt is the visual prompt V(·|θ): geometry plus the trainable border.
+type Prompt struct {
+	// Source is the canvas geometry (the suspicious model's input domain).
+	Source data.Shape
+	// Inner is the side length of the centered window receiving the resized
+	// target image.
+	Inner int
+	// Theta holds one value per border pixel (the canvas pixels outside the
+	// inner window), in canvas scan order. Values live in [0,1]: border
+	// pixels ARE the prompt.
+	Theta []float64
+
+	borderIdx []int // canvas indices owned by Theta, precomputed
+	x0, y0    int   // inner window origin
+}
+
+// NewPrompt builds a prompt for adapting target-shaped images to a
+// source-shaped model. innerFrac (0,1] controls the window size; the paper's
+// setup resizes the target image to roughly 2/3 of the canvas. The channel
+// counts must match.
+func NewPrompt(source data.Shape, target data.Shape, innerFrac float64) (*Prompt, error) {
+	if !source.Valid() || !target.Valid() {
+		return nil, fmt.Errorf("vp: invalid shapes source=%+v target=%+v", source, target)
+	}
+	if source.C != target.C {
+		return nil, fmt.Errorf("vp: channel mismatch source=%d target=%d", source.C, target.C)
+	}
+	if innerFrac <= 0 || innerFrac > 1 {
+		return nil, fmt.Errorf("vp: innerFrac %v outside (0,1]", innerFrac)
+	}
+	inner := int(math.Round(innerFrac * float64(min(source.H, source.W))))
+	if inner < 1 {
+		inner = 1
+	}
+	if inner >= min(source.H, source.W) {
+		return nil, fmt.Errorf("vp: inner window %d leaves no border on %dx%d canvas", inner, source.H, source.W)
+	}
+	p := &Prompt{
+		Source: source,
+		Inner:  inner,
+		x0:     (source.W - inner) / 2,
+		y0:     (source.H - inner) / 2,
+	}
+	for c := 0; c < source.C; c++ {
+		off := c * source.H * source.W
+		for y := 0; y < source.H; y++ {
+			for x := 0; x < source.W; x++ {
+				if x >= p.x0 && x < p.x0+inner && y >= p.y0 && y < p.y0+inner {
+					continue
+				}
+				p.borderIdx = append(p.borderIdx, off+y*source.W+x)
+			}
+		}
+	}
+	p.Theta = make([]float64, len(p.borderIdx))
+	for i := range p.Theta {
+		p.Theta[i] = 0.5 // neutral gray start
+	}
+	return p, nil
+}
+
+// Dim returns the number of trainable prompt parameters.
+func (p *Prompt) Dim() int { return len(p.Theta) }
+
+// Clone deep-copies the prompt (geometry shared, Theta copied).
+func (p *Prompt) Clone() *Prompt {
+	c := *p
+	c.Theta = append([]float64(nil), p.Theta...)
+	return &c
+}
+
+// Apply writes the prompted canvas for one target image into dst
+// (len Source.Dim()): the image resized into the inner window, θ on the
+// border.
+func (p *Prompt) Apply(dst, img []float64, imgShape data.Shape) {
+	inner := data.Shape{C: p.Source.C, H: p.Inner, W: p.Inner}
+	resized := make([]float64, inner.Dim())
+	data.ResizeImage(img, imgShape, resized, inner)
+	p.applyResized(dst, resized)
+}
+
+func (p *Prompt) applyResized(dst, resized []float64) {
+	for i, bi := range p.borderIdx {
+		dst[bi] = clamp01(p.Theta[i])
+	}
+	for c := 0; c < p.Source.C; c++ {
+		srcOff := c * p.Inner * p.Inner
+		dstOff := c * p.Source.H * p.Source.W
+		for y := 0; y < p.Inner; y++ {
+			copy(dst[dstOff+(p.y0+y)*p.Source.W+p.x0:dstOff+(p.y0+y)*p.Source.W+p.x0+p.Inner],
+				resized[srcOff+y*p.Inner:srcOff+(y+1)*p.Inner])
+		}
+	}
+}
+
+// Batch materializes prompted canvases for the given samples of ds as an
+// [len(idx), Source.Dim()] tensor.
+func (p *Prompt) Batch(ds *data.Dataset, idx []int) *tensor.Tensor {
+	out := tensor.New(len(idx), p.Source.Dim())
+	inner := data.Shape{C: p.Source.C, H: p.Inner, W: p.Inner}
+	resized := make([]float64, inner.Dim())
+	for bi, i := range idx {
+		data.ResizeImage(ds.Sample(i), ds.Shape, resized, inner)
+		p.applyResized(out.Data[bi*p.Source.Dim():(bi+1)*p.Source.Dim()], resized)
+	}
+	return out
+}
+
+// clampTheta keeps prompt pixels valid after a gradient step.
+func (p *Prompt) clampTheta() {
+	for i, v := range p.Theta {
+		p.Theta[i] = clamp01(v)
+	}
+}
+
+// --- White-box prompt training -------------------------------------------------------
+
+// WhiteBoxConfig controls gradient-based prompt training on an owned model.
+type WhiteBoxConfig struct {
+	Epochs    int     // default 8
+	BatchSize int     // default 32
+	LR        float64 // default 0.5 (θ is low-dimensional and bounded)
+	Momentum  float64 // default 0.9
+}
+
+func (c *WhiteBoxConfig) defaults() {
+	if c.Epochs <= 0 {
+		c.Epochs = 8
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LR <= 0 {
+		c.LR = 0.5
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+}
+
+// TrainWhiteBox optimizes p.Theta by backpropagating through the frozen
+// model (its weights are never updated). Labels map identically onto the
+// first K_T source classes; it errors when the target task has more classes
+// than the source model.
+func TrainWhiteBox(ctx context.Context, model *nn.Model, p *Prompt, train *data.Dataset, cfg WhiteBoxConfig, r *rng.RNG) error {
+	cfg.defaults()
+	if train.Classes > model.NumClasses {
+		return fmt.Errorf("vp: target task has %d classes, source model only %d", train.Classes, model.NumClasses)
+	}
+	if p.Source.Dim() != model.InputDim {
+		return fmt.Errorf("vp: prompt canvas %d != model input %d", p.Source.Dim(), model.InputDim)
+	}
+	if train.Len() == 0 {
+		return fmt.Errorf("vp: empty prompt training set")
+	}
+	vel := make([]float64, p.Dim())
+	n := train.Len()
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := r.Perm(n)
+		for start := 0; start < n; start += cfg.BatchSize {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("vp: aborted: %w", err)
+			}
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			idx := perm[start:end]
+			x := p.Batch(train, idx)
+			y := make([]int, len(idx))
+			for bi, i := range idx {
+				y[bi] = train.Y[i]
+			}
+			logits := model.Forward(x, false)
+			_, grad := nn.CrossEntropy(logits, y)
+			dx := model.Backward(grad)
+			// Accumulate input gradient onto θ (sum over batch rows at the
+			// border positions) and take a momentum SGD step.
+			for ti, bi := range p.borderIdx {
+				g := 0.0
+				for row := 0; row < len(idx); row++ {
+					g += dx.Data[row*p.Source.Dim()+bi]
+				}
+				vel[ti] = cfg.Momentum*vel[ti] - cfg.LR*g
+				p.Theta[ti] += vel[ti]
+			}
+			p.clampTheta()
+		}
+	}
+	return nil
+}
+
+// --- Black-box prompt training --------------------------------------------------------
+
+// BlackBoxConfig controls CMA-ES prompt training against an oracle.
+type BlackBoxConfig struct {
+	// Iterations bounds CMA-ES generations. Default 40.
+	Iterations int
+	// PopSize is the CMA-ES population (default from dimension).
+	PopSize int
+	// BatchSize is the number of target samples per objective evaluation.
+	// Default 24.
+	BatchSize int
+	// Sigma0 is the initial CMA-ES step. Default 0.15 (pixels are in [0,1]).
+	Sigma0 float64
+	// MaxQueries bounds total oracle sample queries (0 = unlimited).
+	MaxQueries int
+	// UseSPSA switches to SPSA (ablation).
+	UseSPSA bool
+}
+
+func (c *BlackBoxConfig) defaults() {
+	if c.Iterations <= 0 {
+		c.Iterations = 40
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 24
+	}
+	if c.Sigma0 <= 0 {
+		c.Sigma0 = 0.15
+	}
+}
+
+// TrainBlackBox optimizes p.Theta using only oracle queries: the objective
+// is the mini-batch cross-entropy of the oracle's confidences against the
+// identity label mapping, minimized by sep-CMA-ES (or SPSA). This is the
+// only access BPROM has to the suspicious model.
+func TrainBlackBox(ctx context.Context, o oracle.Oracle, p *Prompt, train *data.Dataset, cfg BlackBoxConfig, r *rng.RNG) error {
+	cfg.defaults()
+	if train.Classes > o.NumClasses() {
+		return fmt.Errorf("vp: target task has %d classes, oracle only %d", train.Classes, o.NumClasses())
+	}
+	if p.Source.Dim() != o.InputDim() {
+		return fmt.Errorf("vp: prompt canvas %d != oracle input %d", p.Source.Dim(), o.InputDim())
+	}
+	if train.Len() == 0 {
+		return fmt.Errorf("vp: empty prompt training set")
+	}
+	batchRNG := r.Split("batches")
+	work := p.Clone()
+	var oracleErr error
+	n := train.Len()
+	objective := func(theta []float64) float64 {
+		if oracleErr != nil || ctx.Err() != nil {
+			return math.Inf(1)
+		}
+		copy(work.Theta, theta)
+		k := cfg.BatchSize
+		if k > n {
+			k = n
+		}
+		idx := batchRNG.Sample(n, k)
+		x := work.Batch(train, idx)
+		probs, err := o.Predict(ctx, x)
+		if err != nil {
+			oracleErr = err
+			return math.Inf(1)
+		}
+		loss := 0.0
+		for bi, i := range idx {
+			pTrue := probs.At(bi, train.Y[i])
+			loss -= math.Log(math.Max(pTrue, 1e-12))
+		}
+		return loss / float64(k)
+	}
+	opt := cmaes.Options{
+		Sigma0:   cfg.Sigma0,
+		PopSize:  cfg.PopSize,
+		MaxIters: cfg.Iterations,
+		Lo:       0,
+		Hi:       1,
+	}
+	if cfg.MaxQueries > 0 {
+		opt.MaxEvals = cfg.MaxQueries / cfg.BatchSize
+		if opt.MaxEvals < 1 {
+			opt.MaxEvals = 1
+		}
+	}
+	var best []float64
+	if cfg.UseSPSA {
+		res := cmaes.SPSA(objective, p.Theta, cfg.Iterations*10, 0.2, 0.05, cmaes.Options{Lo: 0, Hi: 1}, r.Split("spsa"))
+		best = res.Best
+	} else {
+		res, err := cmaes.MinimizeSep(objective, p.Theta, opt, r.Split("cmaes"))
+		if err != nil {
+			return fmt.Errorf("vp: black-box prompt optimization: %w", err)
+		}
+		best = res.Best
+	}
+	if oracleErr != nil {
+		return fmt.Errorf("vp: oracle failed during prompting: %w", oracleErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("vp: aborted: %w", err)
+	}
+	copy(p.Theta, best)
+	p.clampTheta()
+	return nil
+}
+
+// --- Prompted model ---------------------------------------------------------------------
+
+// Prompted couples an oracle with a trained prompt, forming the prompted
+// model f̃ = f ∘ V(·|θ): it classifies target-domain inputs.
+type Prompted struct {
+	Oracle oracle.Oracle
+	Prompt *Prompt
+}
+
+// Confidences returns the oracle's confidence vectors for the prompted
+// versions of the given target samples — the raw material of BPROM's
+// meta-features.
+func (pm *Prompted) Confidences(ctx context.Context, ds *data.Dataset, idx []int) (*tensor.Tensor, error) {
+	x := pm.Prompt.Batch(ds, idx)
+	return pm.Oracle.Predict(ctx, x)
+}
+
+// Accuracy evaluates prompted-task accuracy on ds under the identity label
+// mapping — the quantity whose degradation signals class subspace
+// inconsistency (paper Tables 2–4).
+func (pm *Prompted) Accuracy(ctx context.Context, ds *data.Dataset) (float64, error) {
+	if ds.Len() == 0 {
+		return 0, fmt.Errorf("vp: empty evaluation set")
+	}
+	const batch = 128
+	correct := 0
+	for start := 0; start < ds.Len(); start += batch {
+		end := start + batch
+		if end > ds.Len() {
+			end = ds.Len()
+		}
+		idx := make([]int, 0, end-start)
+		for i := start; i < end; i++ {
+			idx = append(idx, i)
+		}
+		probs, err := pm.Confidences(ctx, ds, idx)
+		if err != nil {
+			return 0, err
+		}
+		k := probs.Dim(1)
+		for bi, i := range idx {
+			row := probs.Data[bi*k : (bi+1)*k]
+			best, bj := math.Inf(-1), 0
+			for j, v := range row {
+				if v > best {
+					best, bj = v, j
+				}
+			}
+			if bj == ds.Y[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(ds.Len()), nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

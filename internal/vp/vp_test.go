@@ -1,0 +1,251 @@
+package vp
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"bprom/internal/data"
+	"bprom/internal/nn"
+	"bprom/internal/oracle"
+	"bprom/internal/rng"
+	"bprom/internal/trainer"
+)
+
+func shapes() (src, tgt data.Shape) {
+	return data.Shape{C: 3, H: 12, W: 12}, data.Shape{C: 3, H: 16, W: 16}
+}
+
+func TestNewPromptGeometry(t *testing.T) {
+	src, tgt := shapes()
+	p, err := NewPrompt(src, tgt, 0.83)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Inner != 10 {
+		t.Fatalf("inner window %d, want 10", p.Inner)
+	}
+	wantBorder := src.Dim() - 3*10*10
+	if p.Dim() != wantBorder {
+		t.Fatalf("border dim %d, want %d", p.Dim(), wantBorder)
+	}
+}
+
+func TestNewPromptValidation(t *testing.T) {
+	src, tgt := shapes()
+	if _, err := NewPrompt(src, tgt, 0); err == nil {
+		t.Fatal("expected error for frac 0")
+	}
+	if _, err := NewPrompt(src, tgt, 1); err == nil {
+		t.Fatal("expected error for no border")
+	}
+	if _, err := NewPrompt(src, data.Shape{C: 1, H: 16, W: 16}, 0.8); err == nil {
+		t.Fatal("expected error for channel mismatch")
+	}
+	if _, err := NewPrompt(data.Shape{}, tgt, 0.8); err == nil {
+		t.Fatal("expected error for invalid shape")
+	}
+}
+
+func TestApplyPlacesImageAndTheta(t *testing.T) {
+	src, tgt := shapes()
+	p, err := NewPrompt(src, tgt, 0.83)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Theta {
+		p.Theta[i] = 0.25
+	}
+	img := make([]float64, tgt.Dim())
+	for i := range img {
+		img[i] = 1 // all-white target image
+	}
+	dst := make([]float64, src.Dim())
+	p.Apply(dst, img, tgt)
+	// center pixel must be the image (1), a corner pixel must be θ (0.25)
+	center := (src.H/2)*src.W + src.W/2
+	if dst[center] != 1 {
+		t.Fatalf("center pixel %v, want 1", dst[center])
+	}
+	if dst[0] != 0.25 {
+		t.Fatalf("corner pixel %v, want theta 0.25", dst[0])
+	}
+}
+
+func TestApplyClampsTheta(t *testing.T) {
+	src, tgt := shapes()
+	p, _ := NewPrompt(src, tgt, 0.83)
+	p.Theta[0] = 5
+	p.Theta[1] = -3
+	dst := make([]float64, src.Dim())
+	img := make([]float64, tgt.Dim())
+	p.Apply(dst, img, tgt)
+	if dst[0] != 1 {
+		t.Fatalf("over-range theta not clamped: %v", dst[0])
+	}
+}
+
+func TestBatchMatchesApply(t *testing.T) {
+	src, _ := shapes()
+	gen := data.NewGenerator(data.MustSpec(data.STL10), 1)
+	ds := gen.Generate(2, rng.New(2))
+	p, err := NewPrompt(src, ds.Shape, 0.83)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng.New(3).Uniform(p.Theta, 0, 1)
+	batch := p.Batch(ds, []int{3, 7})
+	single := make([]float64, src.Dim())
+	p.Apply(single, ds.Sample(7), ds.Shape)
+	row := batch.Row(1)
+	for i := range single {
+		if math.Abs(single[i]-row[i]) > 1e-12 {
+			t.Fatal("Batch differs from Apply")
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	src, tgt := shapes()
+	p, _ := NewPrompt(src, tgt, 0.83)
+	c := p.Clone()
+	c.Theta[0] = 0.9
+	if p.Theta[0] == 0.9 {
+		t.Fatal("Clone aliases Theta")
+	}
+}
+
+// trainSourceModel fits a small model on the synthetic CIFAR analogue.
+func trainSourceModel(t *testing.T, seed uint64) (*nn.Model, *data.Dataset) {
+	t.Helper()
+	gen := data.NewGenerator(data.MustSpec(data.CIFAR10), seed)
+	ds := gen.Generate(30, rng.New(seed))
+	m, err := nn.Build(nn.ArchConfig{
+		Arch: nn.ArchConvLite, C: ds.Shape.C, H: ds.Shape.H, W: ds.Shape.W,
+		NumClasses: ds.Classes, Hidden: 24,
+	}, rng.New(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trainer.Train(context.Background(), m, ds, trainer.Config{Epochs: 10}, rng.New(seed+2)); err != nil {
+		t.Fatal(err)
+	}
+	return m, ds
+}
+
+func TestWhiteBoxPromptingImprovesOverRandomTheta(t *testing.T) {
+	ctx := context.Background()
+	model, src := trainSourceModel(t, 1)
+	tgtGen := data.NewGenerator(data.MustSpec(data.STL10), 5)
+	tgtTrain, tgtTest := tgtGen.GenerateSplit(12, 6, rng.New(6))
+
+	p, err := NewPrompt(src.Shape, tgtTrain.Shape, 0.83)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng.New(7).Uniform(p.Theta, 0, 1)
+	before, err := (&Prompted{Oracle: oracle.NewModelOracle(model), Prompt: p}).Accuracy(ctx, tgtTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TrainWhiteBox(ctx, model, p, tgtTrain, WhiteBoxConfig{Epochs: 6}, rng.New(8)); err != nil {
+		t.Fatal(err)
+	}
+	after, err := (&Prompted{Oracle: oracle.NewModelOracle(model), Prompt: p}).Accuracy(ctx, tgtTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after < before-0.05 {
+		t.Fatalf("white-box prompting hurt: %.3f -> %.3f", before, after)
+	}
+	if after < 0.5 {
+		t.Fatalf("prompted accuracy %.3f too low on clean model", after)
+	}
+}
+
+func TestBlackBoxPromptingReachesUsefulAccuracy(t *testing.T) {
+	ctx := context.Background()
+	model, src := trainSourceModel(t, 11)
+	tgtGen := data.NewGenerator(data.MustSpec(data.STL10), 15)
+	tgtTrain, tgtTest := tgtGen.GenerateSplit(12, 6, rng.New(16))
+
+	p, err := NewPrompt(src.Shape, tgtTrain.Shape, 0.83)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := oracle.NewCounter(oracle.NewModelOracle(model))
+	if err := TrainBlackBox(ctx, o, p, tgtTrain, BlackBoxConfig{Iterations: 25}, rng.New(17)); err != nil {
+		t.Fatal(err)
+	}
+	if o.Queries() == 0 {
+		t.Fatal("black-box prompting made no oracle queries")
+	}
+	acc, err := (&Prompted{Oracle: o, Prompt: p}).Accuracy(ctx, tgtTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.5 {
+		t.Fatalf("black-box prompted accuracy %.3f on clean model", acc)
+	}
+}
+
+func TestBlackBoxQueryBudget(t *testing.T) {
+	ctx := context.Background()
+	model, src := trainSourceModel(t, 21)
+	tgtGen := data.NewGenerator(data.MustSpec(data.STL10), 25)
+	tgtTrain, _ := tgtGen.GenerateSplit(10, 4, rng.New(26))
+	p, _ := NewPrompt(src.Shape, tgtTrain.Shape, 0.83)
+	o := oracle.NewCounter(oracle.NewModelOracle(model))
+	cfg := BlackBoxConfig{Iterations: 100, BatchSize: 20, MaxQueries: 500}
+	if err := TrainBlackBox(ctx, o, p, tgtTrain, cfg, rng.New(27)); err != nil {
+		t.Fatal(err)
+	}
+	if o.Queries() > 520 { // one batch of slack
+		t.Fatalf("query budget exceeded: %d", o.Queries())
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	ctx := context.Background()
+	model, src := trainSourceModel(t, 31)
+	big := data.NewGenerator(data.MustSpec(data.GTSRB), 33).Generate(2, rng.New(34))
+	p, _ := NewPrompt(src.Shape, big.Shape, 0.83)
+	// 43-class target task cannot map onto 10-class source model.
+	if err := TrainWhiteBox(ctx, model, p, big, WhiteBoxConfig{}, rng.New(35)); err == nil {
+		t.Fatal("expected class-count error")
+	}
+	if err := TrainBlackBox(ctx, oracle.NewModelOracle(model), p, big, BlackBoxConfig{}, rng.New(36)); err == nil {
+		t.Fatal("expected class-count error")
+	}
+	empty := &data.Dataset{Shape: big.Shape, Classes: 5}
+	if err := TrainWhiteBox(ctx, model, p, empty, WhiteBoxConfig{}, rng.New(37)); err == nil {
+		t.Fatal("expected empty-dataset error")
+	}
+}
+
+func TestSPSAPathRuns(t *testing.T) {
+	ctx := context.Background()
+	model, src := trainSourceModel(t, 41)
+	tgtGen := data.NewGenerator(data.MustSpec(data.STL10), 45)
+	tgtTrain, _ := tgtGen.GenerateSplit(8, 4, rng.New(46))
+	p, _ := NewPrompt(src.Shape, tgtTrain.Shape, 0.83)
+	cfg := BlackBoxConfig{Iterations: 5, UseSPSA: true}
+	if err := TrainBlackBox(ctx, oracle.NewModelOracle(model), p, tgtTrain, cfg, rng.New(47)); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range p.Theta {
+		if v < 0 || v > 1 {
+			t.Fatalf("theta %v outside [0,1] after SPSA", v)
+		}
+	}
+}
+
+func TestAccuracyEmptySet(t *testing.T) {
+	model, src := trainSourceModel(t, 51)
+	tgt := data.Shape{C: 3, H: 16, W: 16}
+	p, _ := NewPrompt(src.Shape, tgt, 0.83)
+	empty := &data.Dataset{Shape: tgt, Classes: 10}
+	if _, err := (&Prompted{Oracle: oracle.NewModelOracle(model), Prompt: p}).Accuracy(context.Background(), empty); err == nil {
+		t.Fatal("expected error for empty evaluation set")
+	}
+}
