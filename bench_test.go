@@ -11,10 +11,15 @@ package bprom_test
 
 import (
 	"context"
+	"net/http/httptest"
 	"strconv"
 	"testing"
 
 	"bprom/internal/exp"
+	"bprom/internal/mlaas"
+	"bprom/internal/nn"
+	"bprom/internal/rng"
+	"bprom/internal/tensor"
 )
 
 // runExperiment executes one registered experiment per benchmark iteration
@@ -81,6 +86,85 @@ func BenchmarkTable24MobileViT(b *testing.B)          { runExperiment(b, "table2
 func BenchmarkTable25Swin(b *testing.B)               { runExperiment(b, "table25", -1) }
 func BenchmarkTable26ImageNet(b *testing.B)           { runExperiment(b, "table26", -1) }
 func BenchmarkFigure05MetaPCA(b *testing.B)           { runExperiment(b, "figure5", 1) }
+
+// --- Serving-path throughput -------------------------------------------------
+//
+// These benchmarks make the inference de-serialization measurable across
+// PRs: with the stateless forward pass, the parallel variants should scale
+// near-linearly with GOMAXPROCS, where the old mutex-guarded path pinned
+// them to single-flight throughput. Compare:
+//
+//	go test -bench 'Predict(Serial|Concurrent|Parallel)' -benchtime=2s .
+
+func benchModel(b *testing.B) *nn.Model {
+	b.Helper()
+	m, err := nn.Build(nn.ArchConfig{
+		Arch: nn.ArchResNetLite, C: 3, H: 12, W: 12, NumClasses: 10, Hidden: 32,
+	}, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func benchBatch(m *nn.Model, seed uint64) *tensor.Tensor {
+	x := tensor.New(8, m.InputDim)
+	rng.New(seed).Uniform(x.Data, 0, 1)
+	return x
+}
+
+// BenchmarkModelPredictSerial is the single-flight baseline for the
+// concurrent variant below.
+func BenchmarkModelPredictSerial(b *testing.B) {
+	m := benchModel(b)
+	x := benchBatch(m, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x)
+	}
+}
+
+// BenchmarkModelPredictConcurrent hammers one frozen model from all procs;
+// the stateless inference path makes this embarrassingly parallel.
+func BenchmarkModelPredictConcurrent(b *testing.B) {
+	m := benchModel(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		x := benchBatch(m, 3)
+		for pb.Next() {
+			m.Predict(x)
+		}
+	})
+}
+
+// BenchmarkServerPredictParallel measures end-to-end throughput through the
+// full HTTP stack: JSON, the request queue, the micro-batcher, and the
+// concurrent forward passes.
+func BenchmarkServerPredictParallel(b *testing.B) {
+	m := benchModel(b)
+	s := mlaas.NewServer(m, mlaas.ServerConfig{Name: "bench", MaxBatch: 256})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c, err := mlaas.Dial(context.Background(), srv.URL, mlaas.ClientConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		x := benchBatch(m, 4)
+		for pb.Next() {
+			if _, err := c.Predict(ctx, x); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
 
 // Ablations and the limitation experiment (DESIGN.md extensions).
 func BenchmarkLimitationAllToAll(b *testing.B) { runExperiment(b, "limitation-alltoall", 1) }

@@ -34,10 +34,12 @@ func main() {
 
 func run() error {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
-		modelPath = flag.String("model", "", "model file to serve (nn binary format)")
-		demo      = flag.String("demo", "", "train a demo model instead: 'clean' or an attack name (badnets, blend, ...)")
-		seed      = flag.Uint64("seed", 1, "demo training seed")
+		addr          = flag.String("addr", "127.0.0.1:8080", "listen address")
+		modelPath     = flag.String("model", "", "model file to serve (nn binary format)")
+		demo          = flag.String("demo", "", "train a demo model instead: 'clean' or an attack name (badnets, blend, ...)")
+		seed          = flag.Uint64("seed", 1, "demo training seed")
+		maxBatch      = flag.Int("max-batch", 0, "samples per request and micro-batch coalescing target (0: default 512)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "parallel forward passes / micro-batch workers (0: default 4)")
 	)
 	flag.Parse()
 
@@ -61,7 +63,11 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := mlaas.NewServer(model, mlaas.ServerConfig{Name: "bprom-demo"})
+	srv := mlaas.NewServer(model, mlaas.ServerConfig{
+		Name:          "bprom-demo",
+		MaxBatch:      *maxBatch,
+		MaxConcurrent: *maxConcurrent,
+	})
 	ready := make(chan string, 1)
 	go func() {
 		fmt.Printf("serving on http://%s (classes=%d dim=%d); Ctrl-C to stop\n",

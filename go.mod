@@ -1,0 +1,3 @@
+module bprom
+
+go 1.24

@@ -106,6 +106,8 @@ func (d *NeuralCleanse) invertTrigger(m *nn.Model, env Env, c int, r *rng.RNG) (
 	}
 	mask := make([]float64, dim)
 	pattern := make([]float64, dim)
+	pass := m.NewPass()
+	defer pass.Release()
 	for step := 0; step < d.Steps; step++ {
 		for j := 0; j < dim; j++ {
 			mask[j] = sigmoid(maskW[j])
@@ -119,10 +121,10 @@ func (d *NeuralCleanse) invertTrigger(m *nn.Model, env Env, c int, r *rng.RNG) (
 				row[j] = (1-mask[j])*b[j] + mask[j]*pattern[j]
 			}
 		}
-		logits := m.Forward(x, false)
+		logits := pass.Forward(x, false)
 		_, grad := nn.CrossEntropy(logits, labels)
 		m.ZeroGrad()
-		dx := m.Backward(grad)
+		dx := pass.Backward(grad)
 		// Chain rule to the reparameterized mask and pattern; L1 penalty on
 		// the mask pushes it small.
 		for j := 0; j < dim; j++ {

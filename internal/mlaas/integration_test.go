@@ -1,0 +1,126 @@
+package mlaas
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"bprom/internal/oracle"
+	"bprom/internal/rng"
+	"bprom/internal/tensor"
+)
+
+// TestConcurrentPredictMatchesInProcessOracle fires many concurrent Predict
+// calls through the full HTTP stack (Client -> Server -> micro-batcher ->
+// model) and asserts row-exact agreement with the in-process ModelOracle.
+// Go's JSON float64 encoding round-trips exactly and the server runs the
+// same softmax code, so any divergence means requests were cross-wired or
+// the supposedly stateless forward pass shared state. Run under -race.
+func TestConcurrentPredictMatchesInProcessOracle(t *testing.T) {
+	m := testModel(t)
+	s := NewServer(m, ServerConfig{Name: "integration", MaxBatch: 8, MaxConcurrent: 4})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+
+	c, err := Dial(context.Background(), srv.URL, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := oracle.NewModelOracle(m)
+
+	const callers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(100 + g))
+			// Varying batch sizes (some above max_batch to exercise client
+			// chunking) keep the micro-batcher coalescing unevenly.
+			n := 1 + r.Intn(12)
+			x := tensor.New(n, m.InputDim)
+			r.Uniform(x.Data, 0, 1)
+			got, err := c.Predict(context.Background(), x)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			want, err := ref.Predict(context.Background(), x.Clone())
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Errorf("caller %d: confidence %d differs: remote %v vs in-process %v",
+						g, i, got.Data[i], want.Data[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", g, err)
+		}
+	}
+}
+
+// TestMicroBatcherCoalesces floods a single-worker server and checks every
+// request still gets its own correct rows back — the coalesced forward pass
+// must fan results out per-job.
+func TestMicroBatcherCoalesces(t *testing.T) {
+	m := testModel(t)
+	s := NewServer(m, ServerConfig{MaxBatch: 64, MaxConcurrent: 1})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	c, err := Dial(context.Background(), srv.URL, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 32
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			x := tensor.New(2, m.InputDim)
+			rng.New(uint64(g)).Uniform(x.Data, 0, 1)
+			got, err := c.Predict(context.Background(), x)
+			if err != nil {
+				t.Errorf("caller %d: %v", g, err)
+				return
+			}
+			want := m.Predict(x.Clone())
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Errorf("caller %d: row data cross-wired at %d", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestServerClosedRejectsRequests verifies requests fail cleanly once the
+// micro-batch workers are stopped.
+func TestServerClosedRejectsRequests(t *testing.T) {
+	m := testModel(t)
+	s := NewServer(m, ServerConfig{})
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	c, err := Dial(context.Background(), srv.URL, ClientConfig{Retries: NoRetries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := c.Predict(context.Background(), tensor.New(1, m.InputDim)); err == nil {
+		t.Fatal("expected error after Close")
+	}
+}

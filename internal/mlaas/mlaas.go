@@ -7,12 +7,16 @@
 //
 // API:
 //
-//	GET  /v1/info     -> {"classes": K, "input_dim": D, "name": "..."}
+//	GET  /v1/info     -> {"classes": K, "input_dim": D, "max_batch": B, "name": "..."}
 //	POST /v1/predict  {"inputs": [[f64,...],...]} -> {"confidences": [[f64,...],...]}
 //
-// The server bounds request sizes and concurrent inference; the client adds
-// timeouts and bounded retries with exponential backoff for transient
-// failures.
+// Serving is fully concurrent: the nn inference path is stateless, so the
+// server runs one forward pass per worker with no global lock. An adaptive
+// micro-batcher coalesces requests that queue up while workers are busy
+// into a single forward pass, so throughput under load approaches the
+// model's raw batched-inference rate. The client adds timeouts, bounded
+// retries with exponential backoff, and transparent chunking of batches
+// larger than the endpoint's advertised max_batch.
 package mlaas
 
 import (
@@ -36,9 +40,12 @@ import (
 type ServerConfig struct {
 	// Name is reported by /v1/info (a model-zoo listing name).
 	Name string
-	// MaxBatch bounds samples per request. Default 512.
+	// MaxBatch bounds samples per request, and is the coalescing target of
+	// the micro-batcher. Advertised via /v1/info so clients chunk larger
+	// batches themselves. Default 512.
 	MaxBatch int
-	// MaxConcurrent bounds simultaneous inference calls. Default 4.
+	// MaxConcurrent bounds simultaneous forward passes: it is the number of
+	// micro-batch workers, and only workers run inference. Default 4.
 	MaxConcurrent int
 }
 
@@ -51,18 +58,103 @@ func (c *ServerConfig) defaults() {
 	}
 }
 
-// Server serves one frozen model.
+// predictJob is one decoded /v1/predict request waiting for a worker.
+type predictJob struct {
+	x   *tensor.Tensor // [n, InputDim]
+	out chan *tensor.Tensor
+}
+
+// Server serves one frozen model. Inference goes through a queue drained by
+// MaxConcurrent workers; each worker coalesces whatever is queued at its
+// tick (up to MaxBatch rows) into one forward pass. The nn inference path
+// is reentrant, so no lock guards the model.
 type Server struct {
 	cfg   ServerConfig
 	model *nn.Model
-	mu    sync.Mutex // nn layer caches are not concurrency-safe; serialize inference
-	sem   chan struct{}
+	queue chan *predictJob
+	done  chan struct{}
+	once  sync.Once
 }
 
-// NewServer wraps a frozen model. The model must not be mutated afterwards.
+// NewServer wraps a frozen model and starts the micro-batch workers. The
+// model must not be mutated afterwards. Call Close to stop the workers
+// (Serve does so on shutdown).
 func NewServer(model *nn.Model, cfg ServerConfig) *Server {
 	cfg.defaults()
-	return &Server{cfg: cfg, model: model, sem: make(chan struct{}, cfg.MaxConcurrent)}
+	s := &Server{
+		cfg:   cfg,
+		model: model,
+		queue: make(chan *predictJob, 4*cfg.MaxConcurrent),
+		done:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the micro-batch workers; queued and future requests fail with
+// 503. Safe to call more than once.
+func (s *Server) Close() {
+	s.once.Do(func() { close(s.done) })
+}
+
+// worker drains the queue: it blocks for one job, greedily coalesces
+// whatever else is already queued into the same forward pass (adaptive
+// batching: no added latency when idle, large batches under load), and
+// fans the confidence rows back out to the waiting handlers.
+func (s *Server) worker() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case job := <-s.queue:
+			batch := []*predictJob{job}
+			rows := job.x.Dim(0)
+		coalesce:
+			for rows < s.cfg.MaxBatch {
+				select {
+				case next := <-s.queue:
+					// Accepting an already-dequeued job may overshoot
+					// MaxBatch; since every request holds at most MaxBatch
+					// rows the pass stays under 2x, which the model handles
+					// fine — MaxBatch bounds request size, not tensor size.
+					batch = append(batch, next)
+					rows += next.x.Dim(0)
+				default:
+					break coalesce
+				}
+			}
+			s.runBatch(batch, rows)
+		}
+	}
+}
+
+// runBatch runs one forward pass for the coalesced jobs and distributes the
+// result rows. Parallelism is bounded by construction: only the
+// MaxConcurrent workers call this.
+func (s *Server) runBatch(batch []*predictJob, rows int) {
+	if len(batch) == 1 {
+		// Common uncoalesced case: the job owns the whole result.
+		batch[0].out <- s.model.Predict(batch[0].x)
+		return
+	}
+	x := tensor.New(rows, s.model.InputDim)
+	off := 0
+	for _, j := range batch {
+		copy(x.Data[off:off+j.x.Len()], j.x.Data)
+		off += j.x.Len()
+	}
+	probs := s.model.Predict(x)
+	k := s.model.NumClasses
+	row := 0
+	for _, j := range batch {
+		n := j.x.Dim(0)
+		out := tensor.New(n, k)
+		copy(out.Data, probs.Data[row*k:(row+n)*k])
+		row += n
+		j.out <- out // buffered; never blocks even if the handler is gone
+	}
 }
 
 // Handler returns the HTTP handler for the service.
@@ -78,6 +170,7 @@ type infoResponse struct {
 	Name     string `json:"name"`
 	Classes  int    `json:"classes"`
 	InputDim int    `json:"input_dim"`
+	MaxBatch int    `json:"max_batch"`
 }
 
 type predictRequest struct {
@@ -97,6 +190,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		Name:     s.cfg.Name,
 		Classes:  s.model.NumClasses,
 		InputDim: s.model.InputDim,
+		MaxBatch: s.cfg.MaxBatch,
 	})
 }
 
@@ -138,21 +232,39 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		copy(x.Data[i*s.model.InputDim:(i+1)*s.model.InputDim], row)
 	}
 
+	// Check done first: select chooses randomly among ready cases, so
+	// without this a post-Close request could still win the enqueue race.
 	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
+	case <-s.done:
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server closed"})
+		return
+	default:
+	}
+	job := &predictJob{x: x, out: make(chan *tensor.Tensor, 1)}
+	select {
+	case s.queue <- job:
 	case <-r.Context().Done():
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "cancelled while queued"})
 		return
+	case <-s.done:
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server closed"})
+		return
 	}
-	s.mu.Lock()
-	probs := s.model.Predict(x)
-	s.mu.Unlock()
+	var probs *tensor.Tensor
+	select {
+	case probs = <-job.out:
+	case <-r.Context().Done():
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "cancelled while computing"})
+		return
+	case <-s.done:
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server closed"})
+		return
+	}
 
 	resp := predictResponse{Confidences: make([][]float64, n)}
 	k := s.model.NumClasses
 	for i := 0; i < n; i++ {
-		resp.Confidences[i] = append([]float64(nil), probs.Data[i*k:(i+1)*k]...)
+		resp.Confidences[i] = probs.Data[i*k : (i+1)*k]
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -165,8 +277,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// Serve listens on addr until ctx is cancelled, then shuts down gracefully.
-// It reports the bound address through ready (useful with addr ":0").
+// Serve listens on addr until ctx is cancelled, then shuts down gracefully
+// and stops the micro-batch workers. It reports the bound address through
+// ready (useful with addr ":0").
 func (s *Server) Serve(ctx context.Context, addr string, ready chan<- string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -185,11 +298,14 @@ func (s *Server) Serve(ctx context.Context, addr string, ready chan<- string) er
 	case <-ctx.Done():
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
+		err := srv.Shutdown(shutdownCtx)
+		s.Close()
+		if err != nil {
 			return fmt.Errorf("mlaas: shutdown: %w", err)
 		}
 		return nil
 	case err := <-errCh:
+		s.Close()
 		if errors.Is(err, http.ErrServerClosed) {
 			return nil
 		}
@@ -199,11 +315,23 @@ func (s *Server) Serve(ctx context.Context, addr string, ready chan<- string) er
 
 // --- Client ---------------------------------------------------------------------
 
+// NoRetries disables retries explicitly. ClientConfig.Retries treats zero
+// as "use the default", so callers that want exactly one attempt per
+// request pass this sentinel.
+const NoRetries = -1
+
+// maxInflightChunks bounds parallel sub-requests when Predict splits an
+// oversized batch across multiple /v1/predict calls.
+const maxInflightChunks = 4
+
 // ClientConfig tunes the HTTP oracle.
 type ClientConfig struct {
 	// Timeout per request. Default 30s.
 	Timeout time.Duration
-	// Retries on transient failure (network errors and 5xx). Default 2.
+	// Retries is the number of retry attempts after the first failure, for
+	// transient failures only (network errors and 5xx). Zero means "use the
+	// default" (2); pass NoRetries (or any negative value) to disable
+	// retries entirely.
 	Retries int
 	// HTTPClient overrides the transport (tests).
 	HTTPClient *http.Client
@@ -214,7 +342,7 @@ func (c *ClientConfig) defaults() {
 		c.Timeout = 30 * time.Second
 	}
 	if c.Retries < 0 {
-		c.Retries = 0
+		c.Retries = 0 // NoRetries and friends: first attempt only
 	} else if c.Retries == 0 {
 		c.Retries = 2
 	}
@@ -223,12 +351,15 @@ func (c *ClientConfig) defaults() {
 	}
 }
 
-// Client is an oracle.Oracle backed by a remote MLaaS endpoint.
+// Client is an oracle.Oracle backed by a remote MLaaS endpoint. It is safe
+// for concurrent use; batches larger than the endpoint's advertised
+// max_batch are split into parallel chunked requests transparently.
 type Client struct {
 	base     string
 	cfg      ClientConfig
 	classes  int
 	inputDim int
+	maxBatch int
 }
 
 var _ oracle.Oracle = (*Client)(nil)
@@ -260,17 +391,71 @@ func Dial(ctx context.Context, baseURL string, cfg ClientConfig) (*Client, error
 	}
 	c.classes = info.Classes
 	c.inputDim = info.InputDim
+	c.maxBatch = info.MaxBatch // 0 for endpoints that do not advertise one
 	return c, nil
 }
 
 func (c *Client) NumClasses() int { return c.classes }
 func (c *Client) InputDim() int   { return c.inputDim }
 
+// MaxBatch reports the endpoint's advertised per-request batch limit
+// (0 when the endpoint does not advertise one).
+func (c *Client) MaxBatch() int { return c.maxBatch }
+
 // Predict sends the batch to the endpoint, retrying transient failures.
+// Batches beyond the endpoint's max_batch are chunked into multiple
+// requests (at most maxInflightChunks in flight) and reassembled in order.
 func (c *Client) Predict(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
 	if x.Rank() != 2 || x.Dim(1) != c.inputDim {
 		return nil, fmt.Errorf("mlaas: input shape %v, want [N %d]", x.Shape(), c.inputDim)
 	}
+	n := x.Dim(0)
+	if c.maxBatch <= 0 || n <= c.maxBatch {
+		return c.predictBatch(ctx, x)
+	}
+	out := tensor.New(n, c.classes)
+	sem := make(chan struct{}, maxInflightChunks)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for start := 0; start < n; start += c.maxBatch {
+		end := start + c.maxBatch
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			mu.Lock()
+			failed := firstErr != nil
+			mu.Unlock()
+			if failed {
+				return
+			}
+			chunk := tensor.FromSlice(x.Data[start*c.inputDim:end*c.inputDim], end-start, c.inputDim)
+			probs, err := c.predictBatch(ctx, chunk)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("mlaas: chunk [%d:%d]: %w", start, end, err)
+				}
+				mu.Unlock()
+				return
+			}
+			copy(out.Data[start*c.classes:end*c.classes], probs.Data)
+		}(start, end)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// predictBatch sends one already-sized batch with the retry loop.
+func (c *Client) predictBatch(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
 	n := x.Dim(0)
 	req := predictRequest{Inputs: make([][]float64, n)}
 	for i := 0; i < n; i++ {

@@ -26,7 +26,9 @@ func testModel(t *testing.T) *nn.Model {
 func startTestServer(t *testing.T, cfg ServerConfig) (*httptest.Server, *nn.Model) {
 	t.Helper()
 	m := testModel(t)
-	srv := httptest.NewServer(NewServer(m, cfg).Handler())
+	s := NewServer(m, cfg)
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s.Handler())
 	t.Cleanup(srv.Close)
 	return srv, m
 }
@@ -56,17 +58,78 @@ func TestInfoAndPredictRoundTrip(t *testing.T) {
 
 func TestPredictRejectsBadBatches(t *testing.T) {
 	srv, _ := startTestServer(t, ServerConfig{MaxBatch: 4})
-	c, err := Dial(context.Background(), srv.URL, ClientConfig{Retries: -1})
+	c, err := Dial(context.Background(), srv.URL, ClientConfig{Retries: NoRetries})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// oversized batch
-	if _, err := c.Predict(context.Background(), tensor.New(5, 16)); err == nil {
-		t.Fatal("expected error for oversized batch")
+	if c.MaxBatch() != 4 {
+		t.Fatalf("client MaxBatch %d, want 4 from /v1/info", c.MaxBatch())
 	}
 	// wrong input dim is rejected client-side
 	if _, err := c.Predict(context.Background(), tensor.New(1, 7)); err == nil {
 		t.Fatal("expected error for wrong dim")
+	}
+}
+
+func TestClientChunksOversizedBatches(t *testing.T) {
+	// 11 rows against max_batch 4 forces three chunked requests; the
+	// reassembled confidences must match the in-process model row-exactly.
+	srv, m := startTestServer(t, ServerConfig{MaxBatch: 4})
+	c, err := Dial(context.Background(), srv.URL, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(11, 16)
+	rng.New(5).Uniform(x.Data, 0, 1)
+	got, err := c.Predict(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Predict(x.Clone())
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("chunked confidence %d differs: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestServerRejectsOversizedRawBatch(t *testing.T) {
+	// The per-request cap still holds for clients that ignore /v1/info.
+	srv, _ := startTestServer(t, ServerConfig{MaxBatch: 2})
+	var sb strings.Builder
+	sb.WriteString(`{"inputs": [`)
+	for i := 0; i < 3; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`[1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1]`)
+	}
+	sb.WriteString("]}")
+	resp, err := srv.Client().Post(srv.URL+"/v1/predict", "application/json", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("status %d for oversized raw batch, want 400", resp.StatusCode)
+	}
+}
+
+func TestRetriesSemantics(t *testing.T) {
+	var zero ClientConfig
+	zero.defaults()
+	if zero.Retries != 2 {
+		t.Fatalf("zero-value Retries resolved to %d, want default 2", zero.Retries)
+	}
+	none := ClientConfig{Retries: NoRetries}
+	none.defaults()
+	if none.Retries != 0 {
+		t.Fatalf("NoRetries resolved to %d, want 0", none.Retries)
+	}
+	five := ClientConfig{Retries: 5}
+	five.defaults()
+	if five.Retries != 5 {
+		t.Fatalf("explicit Retries resolved to %d, want 5", five.Retries)
 	}
 }
 
@@ -128,7 +191,7 @@ func TestConcurrentClients(t *testing.T) {
 func TestDialFailsOnBadEndpoint(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
 	defer cancel()
-	if _, err := Dial(ctx, "http://127.0.0.1:1", ClientConfig{Timeout: 200 * time.Millisecond, Retries: -1}); err == nil {
+	if _, err := Dial(ctx, "http://127.0.0.1:1", ClientConfig{Timeout: 200 * time.Millisecond, Retries: NoRetries}); err == nil {
 		t.Fatal("expected dial error")
 	}
 }

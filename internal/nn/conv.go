@@ -2,6 +2,7 @@ package nn
 
 import (
 	"fmt"
+	"sync"
 
 	"bprom/internal/rng"
 	"bprom/internal/tensor"
@@ -14,11 +15,26 @@ type Conv2D struct {
 	W    *Param // [OutC, InC*KH*KW]
 	B    *Param // [1, OutC]
 
-	x    *tensor.Tensor // cached input batch
-	cols []*tensor.Tensor
+	// colPool recycles [OutH*OutW, InC*KH*KW] im2col matrices between a
+	// recording Forward and the Backward that consumes them, keeping the
+	// training loop's per-step allocations flat without giving up
+	// reentrancy (sync.Pool is concurrency-safe).
+	colPool sync.Pool
 }
 
 var _ Layer = (*Conv2D)(nil)
+
+// conv2DCache holds the per-image im2col matrices Backward reuses.
+type conv2DCache struct {
+	cols []*tensor.Tensor
+}
+
+func (c *Conv2D) getCol(spatial, k int) *tensor.Tensor {
+	if t, ok := c.colPool.Get().(*tensor.Tensor); ok {
+		return t
+	}
+	return tensor.New(spatial, k)
+}
 
 // NewConv2D constructs a convolution layer. It panics on impossible
 // geometry, which indicates a programming error in architecture builders.
@@ -36,7 +52,10 @@ func NewConv2D(dims tensor.ConvDims, r *rng.RNG) *Conv2D {
 	return c
 }
 
-func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+// forward runs the convolution. When cols is non-nil it receives one im2col
+// matrix per image (kept for Backward); otherwise a single scratch matrix is
+// reused across the batch.
+func (c *Conv2D) forward(x *tensor.Tensor, cols []*tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 4 {
 		panic(fmt.Sprintf("nn: Conv2D expects [N,C,H,W], got shape %v", x.Shape()))
 	}
@@ -44,20 +63,23 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	d := c.Dims
 	k := d.InC * d.KH * d.KW
 	spatial := d.OutH * d.OutW
-	c.x = x
-	if len(c.cols) < n {
-		c.cols = make([]*tensor.Tensor, n)
-	}
 	out := tensor.New(n, d.OutC, d.OutH, d.OutW)
 	img := d.InC * d.InH * d.InW
 	tmp := tensor.New(spatial, d.OutC)
+	var scratch *tensor.Tensor
+	if cols == nil {
+		scratch = c.getCol(spatial, k)
+		defer c.colPool.Put(scratch)
+	}
 	for i := 0; i < n; i++ {
-		if c.cols[i] == nil {
-			c.cols[i] = tensor.New(spatial, k)
+		col := scratch
+		if cols != nil {
+			cols[i] = c.getCol(spatial, k)
+			col = cols[i]
 		}
-		tensor.Im2Col(x.Data[i*img:(i+1)*img], d, c.cols[i])
-		// tmp[pos, oc] = cols[pos, :] · W[oc, :]
-		tensor.MatMulTransBInto(tmp, c.cols[i], c.W.Value)
+		tensor.Im2Col(x.Data[i*img:(i+1)*img], d, col)
+		// tmp[pos, oc] = col[pos, :] · W[oc, :]
+		tensor.MatMulTransBInto(tmp, col, c.W.Value)
 		// transpose into [OutC, OutH*OutW] layout of the output image
 		dst := out.Data[i*d.OutC*spatial : (i+1)*d.OutC*spatial]
 		for pos := 0; pos < spatial; pos++ {
@@ -70,7 +92,17 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
-func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (c *Conv2D) Infer(x *tensor.Tensor) *tensor.Tensor {
+	return c.forward(x, nil)
+}
+
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Cache) {
+	cc := &conv2DCache{cols: make([]*tensor.Tensor, x.Dim(0))}
+	return c.forward(x, cc.cols), cc
+}
+
+func (c *Conv2D) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
+	cc := cache.(*conv2DCache)
 	n := grad.Dim(0)
 	d := c.Dims
 	k := d.InC * d.KH * d.KW
@@ -90,7 +122,9 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 		// dW += gcolsᵀ @ cols  ([OutC, spatial] @ [spatial, k])
-		tensor.MatMulTransAInto(dW, gcols, c.cols[i])
+		tensor.MatMulTransAInto(dW, gcols, cc.cols[i])
+		c.colPool.Put(cc.cols[i])
+		cc.cols[i] = nil
 		tensor.AXPY(1, dW, c.W.Grad)
 		// dcols = gcols @ W  ([spatial, OutC] @ [OutC, k])
 		tensor.MatMulInto(dcols, gcols, c.W.Value)
@@ -102,14 +136,11 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
 
 // Flatten reshapes [N, C, H, W] to [N, C*H*W]; identity for 2-D inputs.
-type Flatten struct {
-	inShape []int
-}
+type Flatten struct{}
 
 var _ Layer = (*Flatten)(nil)
 
-func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	f.inShape = append(f.inShape[:0], x.Shape()...)
+func (f *Flatten) Infer(x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() == 2 {
 		return x
 	}
@@ -117,8 +148,12 @@ func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return x.Reshape(n, x.Len()/n)
 }
 
-func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return grad.Reshape(f.inShape...)
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Cache) {
+	return f.Infer(x), x.Shape()
+}
+
+func (f *Flatten) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(cache.([]int)...)
 }
 
 func (f *Flatten) Params() []*Param { return nil }
@@ -131,12 +166,16 @@ type ToImage struct {
 
 var _ Layer = (*ToImage)(nil)
 
-func (t *ToImage) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (t *ToImage) Infer(x *tensor.Tensor) *tensor.Tensor {
 	n := x.Dim(0)
 	return x.Reshape(n, t.C, t.H, t.W)
 }
 
-func (t *ToImage) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (t *ToImage) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Cache) {
+	return t.Infer(x), nil
+}
+
+func (t *ToImage) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
 	n := grad.Dim(0)
 	return grad.Reshape(n, grad.Len()/n)
 }
@@ -144,19 +183,26 @@ func (t *ToImage) Backward(grad *tensor.Tensor) *tensor.Tensor {
 func (t *ToImage) Params() []*Param { return nil }
 
 // GlobalAvgPool reduces [N, C, H, W] to [N, C].
-type GlobalAvgPool struct {
-	h, w int
-}
+type GlobalAvgPool struct{}
 
 var _ Layer = (*GlobalAvgPool)(nil)
 
-func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	g.h, g.w = x.Dim(2), x.Dim(3)
+// avgPoolCache records the pooled spatial extent for the backward pass.
+type avgPoolCache struct {
+	h, w int
+}
+
+func (g *GlobalAvgPool) Infer(x *tensor.Tensor) *tensor.Tensor {
 	return tensor.AvgPool2D(x)
 }
 
-func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return tensor.AvgPool2DBackward(grad, g.h, g.w)
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Cache) {
+	return tensor.AvgPool2D(x), &avgPoolCache{h: x.Dim(2), w: x.Dim(3)}
+}
+
+func (g *GlobalAvgPool) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
+	cc := cache.(*avgPoolCache)
+	return tensor.AvgPool2DBackward(grad, cc.h, cc.w)
 }
 
 func (g *GlobalAvgPool) Params() []*Param { return nil }

@@ -11,10 +11,19 @@
 //     stays frozen.
 //   - Models expose penultimate-layer Features, because several baseline
 //     defenses (AC, SS, SCAn, SPECTRE) cluster latent representations.
+//
+// Concurrency model: the inference path (Infer, Predict, PredictClasses,
+// Features) is pure — it never mutates layer state — so a frozen model
+// serves any number of concurrent callers. The training path records
+// per-call activations into a caller-owned Pass workspace; concurrent
+// passes over one model are memory-safe, but concurrent Backward calls
+// race on the shared parameter-gradient accumulators, so gradient work
+// for a single model should stay single-flight (or synchronize steps).
 package nn
 
 import (
 	"fmt"
+	"sync"
 
 	"bprom/internal/rng"
 	"bprom/internal/tensor"
@@ -27,16 +36,25 @@ type Param struct {
 	Grad  *tensor.Tensor
 }
 
-// Layer is a differentiable module. Forward must be called before Backward;
-// layers cache whatever they need for the backward pass, so a Layer instance
-// must not be shared across concurrent forward passes.
+// Cache carries whatever one layer recorded during Forward for use by the
+// matching Backward. Values are layer-specific and opaque to callers; a nil
+// Cache is valid for layers that need nothing.
+type Cache any
+
+// Layer is a differentiable module. Infer is the pure inference pass;
+// Forward/Backward form the recording pass, with all per-call state flowing
+// through the returned Cache so one Layer instance serves concurrent calls.
 type Layer interface {
-	// Forward maps a batch to its output. train toggles training-only
-	// behaviour (dropout).
-	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
-	// Backward receives dLoss/dOutput and returns dLoss/dInput, adding
-	// parameter gradients into Params' Grad tensors.
-	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Infer maps a batch to its output without recording anything and
+	// without mutating the layer. Training-only behaviour (dropout) is off.
+	Infer(x *tensor.Tensor) *tensor.Tensor
+	// Forward maps a batch to its output and returns the cache Backward
+	// needs. train toggles training-only behaviour (dropout).
+	Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Cache)
+	// Backward consumes the cache of the matching Forward, receives
+	// dLoss/dOutput and returns dLoss/dInput, adding parameter gradients
+	// into Params' Grad tensors.
+	Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor
 	// Params returns the trainable parameters (possibly none).
 	Params() []*Param
 }
@@ -48,8 +66,6 @@ type Dense struct {
 	In, Out int
 	W       *Param // [In, Out]
 	B       *Param // [1, Out]
-
-	x *tensor.Tensor // cached input for backward
 }
 
 var _ Layer = (*Dense)(nil)
@@ -66,8 +82,7 @@ func NewDense(in, out int, r *rng.RNG) *Dense {
 	return d
 }
 
-func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	d.x = x
+func (d *Dense) Infer(x *tensor.Tensor) *tensor.Tensor {
 	n := x.Dim(0)
 	out := tensor.New(n, d.Out)
 	tensor.MatMulInto(out, x, d.W.Value)
@@ -75,10 +90,15 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
-func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Cache) {
+	return d.Infer(x), x
+}
+
+func (d *Dense) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
+	x := cache.(*tensor.Tensor)
 	// dW += xᵀ grad ; db += column sums ; dx = grad Wᵀ
 	dW := tensor.New(d.In, d.Out)
-	tensor.MatMulTransAInto(dW, d.x, grad)
+	tensor.MatMulTransAInto(dW, x, grad)
 	tensor.AXPY(1, dW, d.W.Grad)
 	sums := make([]float64, d.Out)
 	tensor.ColSumsInto(sums, grad)
@@ -95,33 +115,29 @@ func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 // --- Activations ---------------------------------------------------------------
 
 // ReLU is max(0, x).
-type ReLU struct {
-	mask []bool
-}
+type ReLU struct{}
 
 var _ Layer = (*ReLU)(nil)
 
-func (a *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (a *ReLU) Infer(x *tensor.Tensor) *tensor.Tensor {
 	out := x.Clone()
-	if cap(a.mask) < x.Len() {
-		a.mask = make([]bool, x.Len())
-	}
-	a.mask = a.mask[:x.Len()]
 	for i, v := range out.Data {
 		if v <= 0 {
 			out.Data[i] = 0
-			a.mask[i] = false
-		} else {
-			a.mask[i] = true
 		}
 	}
 	return out
 }
 
-func (a *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (a *ReLU) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Cache) {
+	return a.Infer(x), x
+}
+
+func (a *ReLU) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
+	x := cache.(*tensor.Tensor)
 	dx := grad.Clone()
 	for i := range dx.Data {
-		if !a.mask[i] {
+		if x.Data[i] <= 0 {
 			dx.Data[i] = 0
 		}
 	}
@@ -131,17 +147,19 @@ func (a *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 func (a *ReLU) Params() []*Param { return nil }
 
 // Tanh is the hyperbolic-tangent activation.
-type Tanh struct {
-	y *tensor.Tensor
-}
+type Tanh struct{}
 
 var _ Layer = (*Tanh)(nil)
 
-func (a *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (a *Tanh) Infer(x *tensor.Tensor) *tensor.Tensor {
 	out := x.Clone()
 	out.Apply(tanh)
-	a.y = out
 	return out
+}
+
+func (a *Tanh) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Cache) {
+	out := a.Infer(x)
+	return out, out
 }
 
 func tanh(v float64) float64 {
@@ -150,11 +168,12 @@ func tanh(v float64) float64 {
 	return (e2 - 1) / (e2 + 1)
 }
 
-func (a *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (a *Tanh) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
+	y := cache.(*tensor.Tensor)
 	dx := grad.Clone()
 	for i := range dx.Data {
-		y := a.y.Data[i]
-		dx.Data[i] *= 1 - y*y
+		yv := y.Data[i]
+		dx.Data[i] *= 1 - yv*yv
 	}
 	return dx
 }
@@ -164,11 +183,14 @@ func (a *Tanh) Params() []*Param { return nil }
 // --- Dropout -------------------------------------------------------------------
 
 // Dropout zeroes a fraction Rate of activations during training and rescales
-// the rest (inverted dropout). It is identity at inference time.
+// the rest (inverted dropout). It is identity at inference time. The random
+// stream is guarded by a mutex so concurrent training passes stay
+// memory-safe (their mask draws interleave nondeterministically).
 type Dropout struct {
 	Rate float64
-	rng  *rng.RNG
-	mask []float64
+
+	mu  sync.Mutex
+	rng *rng.RNG
 }
 
 var _ Layer = (*Dropout)(nil)
@@ -178,37 +200,37 @@ func NewDropout(rate float64, r *rng.RNG) *Dropout {
 	return &Dropout{Rate: rate, rng: r.Split("dropout")}
 }
 
-func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (d *Dropout) Infer(x *tensor.Tensor) *tensor.Tensor { return x }
+
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Cache) {
 	if !train || d.Rate <= 0 {
-		d.mask = nil
-		return x
+		return x, nil
 	}
 	out := x.Clone()
-	if cap(d.mask) < x.Len() {
-		d.mask = make([]float64, x.Len())
-	}
-	d.mask = d.mask[:x.Len()]
+	mask := make([]float64, x.Len())
 	keep := 1 - d.Rate
 	inv := 1 / keep
-	for i := range out.Data {
+	d.mu.Lock()
+	for i := range mask {
 		if d.rng.Float64() < keep {
-			d.mask[i] = inv
-			out.Data[i] *= inv
-		} else {
-			d.mask[i] = 0
-			out.Data[i] = 0
+			mask[i] = inv
 		}
 	}
-	return out
+	d.mu.Unlock()
+	for i := range out.Data {
+		out.Data[i] *= mask[i]
+	}
+	return out, mask
 }
 
-func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	if d.mask == nil {
+func (d *Dropout) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
+	if cache == nil {
 		return grad
 	}
+	mask := cache.([]float64)
 	dx := grad.Clone()
 	for i := range dx.Data {
-		dx.Data[i] *= d.mask[i]
+		dx.Data[i] *= mask[i]
 	}
 	return dx
 }
@@ -221,16 +243,19 @@ func (d *Dropout) Params() []*Param { return nil }
 // variance, then applies a learned affine transform. It stabilizes the
 // deeper VitLite stacks.
 type LayerNorm struct {
-	F     int
-	Gamma *Param // [1, F]
-	Beta  *Param // [1, F]
-
-	x, norm *tensor.Tensor
-	invStd  []float64
+	F       int
+	Gamma   *Param // [1, F]
+	Beta    *Param // [1, F]
 	epsilon float64
 }
 
 var _ Layer = (*LayerNorm)(nil)
+
+// layerNormCache records the normalized rows and per-row inverse stddev.
+type layerNormCache struct {
+	norm   *tensor.Tensor
+	invStd []float64
+}
 
 // NewLayerNorm constructs a layer norm over feature width f.
 func NewLayerNorm(f int) *LayerNorm {
@@ -244,14 +269,17 @@ func NewLayerNorm(f int) *LayerNorm {
 	return ln
 }
 
-func (l *LayerNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+// forward computes the output; when cc is non-nil it also records the
+// normalized activations and inverse stddevs Backward needs.
+func (l *LayerNorm) forward(x *tensor.Tensor, cc *layerNormCache) *tensor.Tensor {
 	n := x.Dim(0)
-	l.x = x
-	l.norm = tensor.New(n, l.F)
-	if cap(l.invStd) < n {
-		l.invStd = make([]float64, n)
+	var norm *tensor.Tensor
+	var invStd []float64
+	if cc != nil {
+		norm = tensor.New(n, l.F)
+		invStd = make([]float64, n)
+		cc.norm, cc.invStd = norm, invStd
 	}
-	l.invStd = l.invStd[:n]
 	out := tensor.New(n, l.F)
 	for i := 0; i < n; i++ {
 		row := x.Row(i)
@@ -266,25 +294,40 @@ func (l *LayerNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			varSum += d * d
 		}
 		inv := 1 / sqrt(varSum/float64(l.F)+l.epsilon)
-		l.invStd[i] = inv
-		nr := l.norm.Row(i)
 		or := out.Row(i)
+		var nr []float64
+		if norm != nil {
+			invStd[i] = inv
+			nr = norm.Row(i)
+		}
 		for j, v := range row {
 			nv := (v - mean) * inv
-			nr[j] = nv
+			if nr != nil {
+				nr[j] = nv
+			}
 			or[j] = nv*l.Gamma.Value.Data[j] + l.Beta.Value.Data[j]
 		}
 	}
 	return out
 }
 
-func (l *LayerNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (l *LayerNorm) Infer(x *tensor.Tensor) *tensor.Tensor {
+	return l.forward(x, nil)
+}
+
+func (l *LayerNorm) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Cache) {
+	cc := &layerNormCache{}
+	return l.forward(x, cc), cc
+}
+
+func (l *LayerNorm) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
+	cc := cache.(*layerNormCache)
 	n := grad.Dim(0)
 	dx := tensor.New(n, l.F)
 	f := float64(l.F)
 	for i := 0; i < n; i++ {
 		g := grad.Row(i)
-		nr := l.norm.Row(i)
+		nr := cc.norm.Row(i)
 		// accumulate parameter grads
 		var sumG, sumGN float64
 		for j := 0; j < l.F; j++ {
@@ -294,7 +337,7 @@ func (l *LayerNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			sumG += gg
 			sumGN += gg * nr[j]
 		}
-		inv := l.invStd[i]
+		inv := cc.invStd[i]
 		dr := dx.Row(i)
 		for j := 0; j < l.F; j++ {
 			gg := g[j] * l.Gamma.Value.Data[j]
@@ -316,11 +359,24 @@ type Residual struct {
 
 var _ Layer = (*Residual)(nil)
 
-func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (r *Residual) Infer(x *tensor.Tensor) *tensor.Tensor {
 	h := x
 	for _, l := range r.Body {
-		h = l.Forward(h, train)
+		h = l.Infer(h)
 	}
+	return r.join(x, h)
+}
+
+func (r *Residual) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Cache) {
+	caches := make([]Cache, len(r.Body))
+	h := x
+	for i, l := range r.Body {
+		h, caches[i] = l.Forward(h, train)
+	}
+	return r.join(x, h), caches
+}
+
+func (r *Residual) join(x, h *tensor.Tensor) *tensor.Tensor {
 	if !h.SameShape(x) {
 		panic(fmt.Sprintf("nn: residual body changed shape %v -> %v", x.Shape(), h.Shape()))
 	}
@@ -329,10 +385,11 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
-func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (r *Residual) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
+	caches := cache.([]Cache)
 	g := grad
 	for i := len(r.Body) - 1; i >= 0; i-- {
-		g = r.Body[i].Backward(g)
+		g = r.Body[i].Backward(caches[i], g)
 	}
 	dx := grad.Clone()
 	tensor.AddInto(dx, dx, g)

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"bprom/internal/tensor"
 )
@@ -26,34 +27,88 @@ type Model struct {
 	InputDim   int // flattened per-sample input size
 	NumClasses int
 	Layers     []Layer
+
+	// passes pools training workspaces; the zero value is ready to use.
+	passes sync.Pool
 }
 
-// Forward runs the full network and returns logits of shape [N, NumClasses].
-func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+// Infer runs the pure inference pass and returns logits of shape
+// [N, NumClasses]. It never mutates the model, so a frozen model serves
+// concurrent Infer calls.
+func (m *Model) Infer(x *tensor.Tensor) *tensor.Tensor {
 	h := x
 	for _, l := range m.Layers {
-		h = l.Forward(h, train)
+		h = l.Infer(h)
 	}
 	return h
 }
 
-// Backward propagates the loss gradient through all layers and returns
-// dLoss/dInput, which visual-prompt training consumes.
-func (m *Model) Backward(grad *tensor.Tensor) *tensor.Tensor {
+// Pass is a caller-owned workspace for one recording forward/backward pair.
+// Obtain one with NewPass, run Forward then Backward, and Release it when
+// the gradients have been consumed. Each Pass carries the per-layer
+// activation caches, so separate Passes over one model never share state.
+type Pass struct {
+	m      *Model
+	caches []Cache
+}
+
+// NewPass returns a workspace drawn from the model's pool.
+func (m *Model) NewPass() *Pass {
+	if p, ok := m.passes.Get().(*Pass); ok {
+		p.m = m
+		return p
+	}
+	return &Pass{m: m}
+}
+
+// Forward runs the recording pass and returns logits of shape
+// [N, NumClasses]. train toggles training-only behaviour (dropout).
+func (p *Pass) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	p.caches = p.caches[:0]
+	h := x
+	for _, l := range p.m.Layers {
+		var c Cache
+		h, c = l.Forward(h, train)
+		p.caches = append(p.caches, c)
+	}
+	return h
+}
+
+// Backward propagates the loss gradient through all layers using the caches
+// of the preceding Forward and returns dLoss/dInput, which visual-prompt
+// training consumes. Parameter gradients accumulate into the shared Params,
+// so concurrent Backward calls on one model must be synchronized by the
+// caller.
+func (p *Pass) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if len(p.caches) != len(p.m.Layers) {
+		panic("nn: Pass.Backward without a matching Forward")
+	}
 	g := grad
-	for i := len(m.Layers) - 1; i >= 0; i-- {
-		g = m.Layers[i].Backward(g)
+	for i := len(p.m.Layers) - 1; i >= 0; i-- {
+		g = p.m.Layers[i].Backward(p.caches[i], g)
 	}
 	return g
 }
 
+// Release drops the recorded activations and returns the workspace to the
+// model's pool. The Pass must not be used afterwards.
+func (p *Pass) Release() {
+	m := p.m
+	for i := range p.caches {
+		p.caches[i] = nil
+	}
+	p.caches = p.caches[:0]
+	p.m = nil
+	m.passes.Put(p)
+}
+
 // Features returns the penultimate activations (input to the final Dense
 // head) of shape [N, F]. Baseline defenses that analyze latent
-// representations use this; BPROM itself never does.
+// representations use this; BPROM itself never does. Pure, like Infer.
 func (m *Model) Features(x *tensor.Tensor) *tensor.Tensor {
 	h := x
 	for _, l := range m.Layers[:len(m.Layers)-1] {
-		h = l.Forward(h, false)
+		h = l.Infer(h)
 	}
 	if h.Rank() != 2 {
 		n := h.Dim(0)
@@ -62,16 +117,17 @@ func (m *Model) Features(x *tensor.Tensor) *tensor.Tensor {
 	return h
 }
 
-// Predict returns softmax probabilities of shape [N, NumClasses].
+// Predict returns softmax probabilities of shape [N, NumClasses]. Pure,
+// like Infer.
 func (m *Model) Predict(x *tensor.Tensor) *tensor.Tensor {
-	logits := m.Forward(x, false)
+	logits := m.Infer(x)
 	SoftmaxInPlace(logits)
 	return logits
 }
 
-// PredictClasses returns the argmax class for each sample.
+// PredictClasses returns the argmax class for each sample. Pure, like Infer.
 func (m *Model) PredictClasses(x *tensor.Tensor) []int {
-	logits := m.Forward(x, false)
+	logits := m.Infer(x)
 	n, k := logits.Dim(0), logits.Dim(1)
 	out := make([]int, n)
 	for i := 0; i < n; i++ {

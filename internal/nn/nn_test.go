@@ -3,6 +3,7 @@ package nn
 import (
 	"bytes"
 	"math"
+	"sync"
 	"testing"
 
 	"bprom/internal/rng"
@@ -30,18 +31,18 @@ func checkLayerGradients(t *testing.T, l Layer, inShape []int, seed uint64) {
 	r.Gaussian(x.Data, 0, 1)
 	// Loss = 0.5 * sum(out^2) so dLoss/dOut = out.
 	loss := func() float64 {
-		out := l.Forward(x, false)
+		out := l.Infer(x)
 		s := 0.0
 		for _, v := range out.Data {
 			s += 0.5 * v * v
 		}
 		return s
 	}
-	out := l.Forward(x, false)
+	out, cache := l.Forward(x, false)
 	for _, p := range l.Params() {
 		p.Grad.Zero()
 	}
-	dx := l.Backward(out.Clone())
+	dx := l.Backward(cache, out.Clone())
 
 	// input gradient
 	for i := 0; i < x.Len(); i += maxInt(1, x.Len()/7) {
@@ -99,10 +100,20 @@ func TestDropoutInferenceIdentity(t *testing.T) {
 	d := NewDropout(0.5, rng.New(1))
 	x := tensor.New(4, 8)
 	rng.New(2).Gaussian(x.Data, 0, 1)
-	out := d.Forward(x, false)
+	out := d.Infer(x)
 	for i := range x.Data {
 		if out.Data[i] != x.Data[i] {
 			t.Fatal("dropout must be identity at inference")
+		}
+	}
+	// the recording pass in eval mode is identity too
+	evalOut, cache := d.Forward(x, false)
+	if cache != nil {
+		t.Fatal("eval-mode dropout must not record a mask")
+	}
+	for i := range x.Data {
+		if evalOut.Data[i] != x.Data[i] {
+			t.Fatal("eval-mode dropout must be identity")
 		}
 	}
 }
@@ -111,7 +122,7 @@ func TestDropoutTrainingZeroesAndRescales(t *testing.T) {
 	d := NewDropout(0.5, rng.New(3))
 	x := tensor.New(1, 10000)
 	x.Fill(1)
-	out := d.Forward(x, true)
+	out, cache := d.Forward(x, true)
 	zeros := 0
 	for _, v := range out.Data {
 		switch v {
@@ -130,7 +141,7 @@ func TestDropoutTrainingZeroesAndRescales(t *testing.T) {
 	// backward must use the same mask
 	g := tensor.New(1, 10000)
 	g.Fill(1)
-	dx := d.Backward(g)
+	dx := d.Backward(cache, g)
 	for i := range dx.Data {
 		if (out.Data[i] == 0) != (dx.Data[i] == 0) {
 			t.Fatal("dropout backward mask differs from forward")
@@ -236,7 +247,7 @@ func TestBuildArchitectures(t *testing.T) {
 	for _, m := range buildAll(t) {
 		x := tensor.New(3, m.InputDim)
 		rng.New(1).Gaussian(x.Data, 0, 1)
-		logits := m.Forward(x, false)
+		logits := m.Infer(x)
 		if logits.Dim(0) != 3 || logits.Dim(1) != 4 {
 			t.Fatalf("%s: logits shape %v", m.Arch, logits.Shape())
 		}
@@ -266,9 +277,11 @@ func TestModelInputGradientFlows(t *testing.T) {
 	}
 	x := tensor.New(2, 16)
 	rng.New(6).Gaussian(x.Data, 0, 1)
-	logits := m.Forward(x, true)
+	pass := m.NewPass()
+	defer pass.Release()
+	logits := pass.Forward(x, true)
 	_, grad := CrossEntropy(logits, []int{0, 2})
-	dx := m.Backward(grad)
+	dx := pass.Backward(grad)
 	if dx.Len() != x.Len() {
 		t.Fatalf("input grad shape %v", dx.Shape())
 	}
@@ -322,8 +335,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		}
 		x := tensor.New(4, m.InputDim)
 		rng.New(3).Gaussian(x.Data, 0, 1)
-		a := m.Forward(x, false)
-		b := loaded.Forward(x, false)
+		a := m.Infer(x)
+		b := loaded.Infer(x)
 		for i := range a.Data {
 			if math.Abs(a.Data[i]-b.Data[i]) > 1e-12 {
 				t.Fatalf("%s: loaded model diverges at output %d", m.Arch, i)
@@ -357,6 +370,94 @@ func TestSaveLoadFile(t *testing.T) {
 	if loaded.ParamCount() != m.ParamCount() {
 		t.Fatal("param count changed across file round trip")
 	}
+}
+
+func TestInferMatchesRecordingForward(t *testing.T) {
+	for _, m := range buildAll(t) {
+		x := tensor.New(3, m.InputDim)
+		rng.New(7).Gaussian(x.Data, 0, 1)
+		pure := m.Infer(x)
+		pass := m.NewPass()
+		recorded := pass.Forward(x, false)
+		pass.Release()
+		for i := range pure.Data {
+			if pure.Data[i] != recorded.Data[i] {
+				t.Fatalf("%s: Infer and Forward diverge at %d", m.Arch, i)
+			}
+		}
+	}
+}
+
+func TestConcurrentInferIsDeterministic(t *testing.T) {
+	// The whole point of the stateless inference path: many goroutines
+	// hammering one frozen model must all see the serial answer (run under
+	// -race to catch cache sharing).
+	for _, m := range buildAll(t) {
+		x := tensor.New(4, m.InputDim)
+		rng.New(8).Gaussian(x.Data, 0, 1)
+		want := m.Predict(x.Clone())
+		var wg sync.WaitGroup
+		const goroutines = 8
+		outs := make([]*tensor.Tensor, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				outs[g] = m.Predict(x.Clone())
+			}(g)
+		}
+		wg.Wait()
+		for g, got := range outs {
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("%s: goroutine %d diverges at %d", m.Arch, g, i)
+				}
+			}
+		}
+	}
+}
+
+func TestConcurrentPassesShareNoState(t *testing.T) {
+	// Two training-mode passes over one model (dropout on) must be
+	// memory-safe; gradient steps are synchronized by running Backward
+	// under a mutex, mirroring a data-parallel trainer.
+	m, err := Build(ArchConfig{
+		Arch: ArchResNetLite, C: 1, H: 4, W: 4, NumClasses: 3, Hidden: 8, Dropout: 0.3,
+	}, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			x := tensor.New(2, 16)
+			rng.New(uint64(g)).Gaussian(x.Data, 0, 1)
+			pass := m.NewPass()
+			defer pass.Release()
+			logits := pass.Forward(x, true)
+			_, grad := CrossEntropy(logits, []int{0, 1})
+			mu.Lock()
+			pass.Backward(grad)
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestPassBackwardWithoutForwardPanics(t *testing.T) {
+	m, err := Build(ArchConfig{Arch: ArchResNetLite, C: 1, H: 4, W: 4, NumClasses: 2, Hidden: 8}, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Backward without Forward")
+		}
+	}()
+	m.NewPass().Backward(tensor.New(1, 2))
 }
 
 func TestValidateChecksHead(t *testing.T) {

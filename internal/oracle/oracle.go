@@ -26,16 +26,18 @@ type Oracle interface {
 	InputDim() int
 }
 
-// ModelOracle adapts an in-process nn.Model to the Oracle interface.
+// ModelOracle adapts an in-process nn.Model to the Oracle interface. It is
+// safe for concurrent use: queries go through the model's stateless
+// inference path, so any number of goroutines may Predict simultaneously.
 type ModelOracle struct {
 	model *nn.Model
 }
 
 var _ Oracle = (*ModelOracle)(nil)
 
-// NewModelOracle wraps model. The model must not be trained concurrently
-// with queries (layer forward caches are not synchronized); detection-time
-// models are frozen, which is the intended use.
+// NewModelOracle wraps model. The model's weights must be frozen for the
+// oracle's lifetime (detection-time models are, by construction); inference
+// itself is reentrant and needs no external synchronization.
 func NewModelOracle(model *nn.Model) *ModelOracle {
 	return &ModelOracle{model: model}
 }

@@ -87,6 +87,8 @@ func Train(ctx context.Context, model *nn.Model, train *data.Dataset, cfg Config
 	}
 	res := Result{}
 	n := train.Len()
+	pass := model.NewPass()
+	defer pass.Release()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		perm := r.Perm(n)
 		var lossSum float64
@@ -104,12 +106,12 @@ func Train(ctx context.Context, model *nn.Model, train *data.Dataset, cfg Config
 				augmentShift(x, train.Shape, cfg.AugmentShift, r)
 			}
 			model.ZeroGrad()
-			logits := model.Forward(x, true)
+			logits := pass.Forward(x, true)
 			loss, grad := nn.CrossEntropy(logits, y)
 			correct += int(nn.Accuracy(logits, y) * float64(len(y)))
 			seen += len(y)
 			lossSum += loss * float64(len(y))
-			model.Backward(grad)
+			pass.Backward(grad)
 			opt.ClipGradNorm(params, cfg.ClipNorm)
 			optimizer.Step()
 		}
@@ -186,7 +188,7 @@ func Evaluate(model *nn.Model, ds *data.Dataset, batchSize int) float64 {
 			idx = append(idx, i)
 		}
 		x, y := ds.Batch(idx)
-		logits := model.Forward(x, false)
+		logits := model.Infer(x)
 		correct += int(nn.Accuracy(logits, y)*float64(len(y)) + 0.5)
 	}
 	return float64(correct) / float64(n)

@@ -186,6 +186,8 @@ func TrainWhiteBox(ctx context.Context, model *nn.Model, p *Prompt, train *data.
 	}
 	vel := make([]float64, p.Dim())
 	n := train.Len()
+	pass := model.NewPass()
+	defer pass.Release()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		perm := r.Perm(n)
 		for start := 0; start < n; start += cfg.BatchSize {
@@ -202,9 +204,9 @@ func TrainWhiteBox(ctx context.Context, model *nn.Model, p *Prompt, train *data.
 			for bi, i := range idx {
 				y[bi] = train.Y[i]
 			}
-			logits := model.Forward(x, false)
+			logits := pass.Forward(x, false)
 			_, grad := nn.CrossEntropy(logits, y)
-			dx := model.Backward(grad)
+			dx := pass.Backward(grad)
 			// Accumulate input gradient onto θ (sum over batch rows at the
 			// border positions) and take a momentum SGD step.
 			for ti, bi := range p.borderIdx {
