@@ -166,6 +166,80 @@ func BenchmarkServerPredictParallel(b *testing.B) {
 	})
 }
 
+// --- Kernel regression guard ---------------------------------------------------
+//
+// The tiled parallel kernels carry every downstream number, so their
+// before/after story stays measurable here: BenchmarkMatMulNaive is the
+// untouched triple-loop baseline, BenchmarkMatMulTiledSerial isolates the
+// cache-blocking win on one worker, and BenchmarkMatMulTiledParallel adds
+// the shared pool (expected ≥2x over the naive baseline on a multi-core
+// runner; on one core the tiling alone must not regress). CI runs these at
+// -benchtime=1x so they cannot silently rot. Reproduce locally with:
+//
+//	go test -bench 'MatMulNaive|MatMulTiled|ConvIm2Col' -benchtime=2s .
+
+const benchMatDim = 192
+
+func benchMatPair(b *testing.B) (dst, x, y *tensor.Tensor) {
+	b.Helper()
+	r := rng.New(12)
+	x, y = tensor.New(benchMatDim, benchMatDim), tensor.New(benchMatDim, benchMatDim)
+	r.Gaussian(x.Data, 0, 1)
+	r.Gaussian(y.Data, 0, 1)
+	return tensor.New(benchMatDim, benchMatDim), x, y
+}
+
+// BenchmarkMatMulNaive is the serial naive baseline the acceptance numbers
+// are measured against.
+func BenchmarkMatMulNaive(b *testing.B) {
+	dst, x, y := benchMatPair(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.NaiveMatMulInto(dst, x, y)
+	}
+}
+
+// BenchmarkMatMulTiledSerial pins the shared pool to one worker: the delta
+// vs MatMulNaive is pure cache blocking.
+func BenchmarkMatMulTiledSerial(b *testing.B) {
+	tensor.SetWorkers(1)
+	defer tensor.SetWorkers(0)
+	dst, x, y := benchMatPair(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(dst, x, y)
+	}
+}
+
+// BenchmarkMatMulTiledParallel uses the default shared pool (GOMAXPROCS
+// workers): the delta vs MatMulTiledSerial is the pool's scaling.
+func BenchmarkMatMulTiledParallel(b *testing.B) {
+	tensor.SetWorkers(0)
+	dst, x, y := benchMatPair(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(dst, x, y)
+	}
+}
+
+// BenchmarkConvIm2Col measures the full conv path (im2col + matmul +
+// transpose) through a Conv2D layer on a batch, the serving path's hottest
+// layer type.
+func BenchmarkConvIm2Col(b *testing.B) {
+	d := tensor.ConvDims{InC: 3, InH: 32, InW: 32, OutC: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	conv := nn.NewConv2D(d, rng.New(4))
+	x := tensor.New(8, 3, 32, 32)
+	rng.New(5).Uniform(x.Data, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Infer(x)
+	}
+}
+
 // Ablations and the limitation experiment (DESIGN.md extensions).
 func BenchmarkLimitationAllToAll(b *testing.B) { runExperiment(b, "limitation-alltoall", 1) }
 func BenchmarkAblationOptimizer(b *testing.B)  { runExperiment(b, "ablation-optimizer", 1) }

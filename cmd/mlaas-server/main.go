@@ -22,6 +22,7 @@ import (
 	"bprom/internal/mlaas"
 	"bprom/internal/nn"
 	"bprom/internal/rng"
+	"bprom/internal/tensor"
 	"bprom/internal/trainer"
 )
 
@@ -40,8 +41,12 @@ func run() error {
 		seed          = flag.Uint64("seed", 1, "demo training seed")
 		maxBatch      = flag.Int("max-batch", 0, "samples per request and micro-batch coalescing target (0: default 512)")
 		maxConcurrent = flag.Int("max-concurrent", 0, "parallel forward passes / micro-batch workers (0: default 4)")
+		tensorWorkers = flag.Int("tensor-workers", 0, "shared tensor kernel pool size (0: BPROM_TENSOR_WORKERS or GOMAXPROCS)")
 	)
 	flag.Parse()
+	// Size the kernel pool before any training or serving touches it. The
+	// pool is shared by demo training and all micro-batch workers alike.
+	tensor.SetWorkers(*tensorWorkers)
 
 	var model *nn.Model
 	switch {

@@ -75,6 +75,9 @@ type Config struct {
 	// Seed makes the whole pipeline reproducible.
 	Seed uint64
 	// Parallelism bounds concurrent shadow training (default GOMAXPROCS).
+	// Shadow trainings are independent models, so they run concurrently;
+	// the tensor kernels inside each share the process-wide worker pool,
+	// which keeps total CPU use bounded however high this is set.
 	Parallelism int
 }
 

@@ -14,7 +14,9 @@
 // server runs one forward pass per worker with no global lock. An adaptive
 // micro-batcher coalesces requests that queue up while workers are busy
 // into a single forward pass, so throughput under load approaches the
-// model's raw batched-inference rate. The client adds timeouts, bounded
+// model's raw batched-inference rate — and each coalesced pass is itself
+// parallel inside, because the tensor kernels split row blocks across the
+// process-wide shared worker pool. The client adds timeouts, bounded
 // retries with exponential backoff, and transparent chunking of batches
 // larger than the endpoint's advertised max_batch.
 package mlaas
@@ -46,6 +48,13 @@ type ServerConfig struct {
 	MaxBatch int
 	// MaxConcurrent bounds simultaneous forward passes: it is the number of
 	// micro-batch workers, and only workers run inference. Default 4.
+	//
+	// Forward passes themselves run on the tensor package's shared worker
+	// pool (one bounded pool per process, sized by GOMAXPROCS or
+	// BPROM_TENSOR_WORKERS), so raising MaxConcurrent adds request-level
+	// concurrency without oversubscribing CPUs: concurrent passes interleave
+	// their row-block chunks on the same pool workers. Pool shares, not
+	// pool-per-request.
 	MaxConcurrent int
 }
 

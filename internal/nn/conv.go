@@ -53,8 +53,15 @@ func NewConv2D(dims tensor.ConvDims, r *rng.RNG) *Conv2D {
 }
 
 // forward runs the convolution. When cols is non-nil it receives one im2col
-// matrix per image (kept for Backward); otherwise a single scratch matrix is
-// reused across the batch.
+// matrix per image (kept for Backward); otherwise scratch matrices are
+// recycled through the layer's pool.
+//
+// The batch is partitioned across the shared tensor worker pool: every image
+// writes a disjoint slice of the output (and its own cols entry), so chunks
+// are race-free, and each chunk carries its own scratch tensors. The nested
+// Im2Col/MatMul calls dispatch onto the same shared pool, which bounds total
+// parallelism at the pool size instead of multiplying batch-level by
+// kernel-level workers.
 func (c *Conv2D) forward(x *tensor.Tensor, cols []*tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 4 {
 		panic(fmt.Sprintf("nn: Conv2D expects [N,C,H,W], got shape %v", x.Shape()))
@@ -65,29 +72,38 @@ func (c *Conv2D) forward(x *tensor.Tensor, cols []*tensor.Tensor) *tensor.Tensor
 	spatial := d.OutH * d.OutW
 	out := tensor.New(n, d.OutC, d.OutH, d.OutW)
 	img := d.InC * d.InH * d.InW
-	tmp := tensor.New(spatial, d.OutC)
-	var scratch *tensor.Tensor
-	if cols == nil {
-		scratch = c.getCol(spatial, k)
-		defer c.colPool.Put(scratch)
-	}
-	for i := 0; i < n; i++ {
-		col := scratch
-		if cols != nil {
-			cols[i] = c.getCol(spatial, k)
-			col = cols[i]
+	runImages := func(lo, hi int) {
+		tmp := tensor.New(spatial, d.OutC)
+		var scratch *tensor.Tensor
+		if cols == nil {
+			scratch = c.getCol(spatial, k)
+			defer c.colPool.Put(scratch)
 		}
-		tensor.Im2Col(x.Data[i*img:(i+1)*img], d, col)
-		// tmp[pos, oc] = col[pos, :] · W[oc, :]
-		tensor.MatMulTransBInto(tmp, col, c.W.Value)
-		// transpose into [OutC, OutH*OutW] layout of the output image
-		dst := out.Data[i*d.OutC*spatial : (i+1)*d.OutC*spatial]
-		for pos := 0; pos < spatial; pos++ {
-			row := tmp.Row(pos)
-			for oc, v := range row {
-				dst[oc*spatial+pos] = v + c.B.Value.Data[oc]
+		for i := lo; i < hi; i++ {
+			col := scratch
+			if cols != nil {
+				cols[i] = c.getCol(spatial, k)
+				col = cols[i]
+			}
+			tensor.Im2Col(x.Data[i*img:(i+1)*img], d, col)
+			// tmp[pos, oc] = col[pos, :] · W[oc, :]
+			tensor.MatMulTransBInto(tmp, col, c.W.Value)
+			// transpose into [OutC, OutH*OutW] layout of the output image
+			dst := out.Data[i*d.OutC*spatial : (i+1)*d.OutC*spatial]
+			for pos := 0; pos < spatial; pos++ {
+				row := tmp.Row(pos)
+				for oc, v := range row {
+					dst[oc*spatial+pos] = v + c.B.Value.Data[oc]
+				}
 			}
 		}
+	}
+	// Per-image cost ≈ spatial*k*OutC multiplies; stay serial when the whole
+	// batch is cheaper than a few goroutine handoffs.
+	if n == 1 || !tensor.WorthParallel(n*spatial*k*d.OutC) {
+		runImages(0, n)
+	} else {
+		tensor.ParallelFor(n, 1, runImages)
 	}
 	return out
 }

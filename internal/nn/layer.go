@@ -19,6 +19,14 @@
 // passes over one model are memory-safe, but concurrent Backward calls
 // race on the shared parameter-gradient accumulators, so gradient work
 // for a single model should stay single-flight (or synchronize steps).
+//
+// Intra-op parallelism comes from the tensor package's shared worker pool:
+// matmuls, im2col and the Conv2D batch loop all partition row blocks onto
+// one bounded pool (sized by GOMAXPROCS, see tensor.SetWorkers), so any
+// number of concurrent Infer/Predict callers compose with the parallel
+// kernels without oversubscribing the machine. Callers add concurrency for
+// throughput (many models, many requests), never per-op speed — the kernels
+// already use every core.
 package nn
 
 import (

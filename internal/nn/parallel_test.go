@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"sync"
+	"testing"
+
+	"bprom/internal/rng"
+	"bprom/internal/tensor"
+)
+
+// Concurrency harness for the shared tensor pool: many goroutines hammer one
+// frozen model through Model.Predict while the parallel kernels fan row
+// blocks onto the same pool underneath. CI runs this under -race, which is
+// the point — any write overlap between chunks, any layer-state mutation on
+// the inference path, or any pool-queue misuse surfaces here.
+
+func raceModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := Build(ArchConfig{
+		Arch: ArchResNetLite, C: 3, H: 12, W: 12, NumClasses: 10, Hidden: 32,
+	}, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestConcurrentPredictSharedPool: N goroutines × several iterations each,
+// one shared pool, results bitwise equal to the single-caller baseline.
+func TestConcurrentPredictSharedPool(t *testing.T) {
+	// Pin the pool above 1 so the parallel dispatch path runs even on
+	// single-core machines (where DefaultWorkers would make it inline).
+	tensor.SetWorkers(4)
+	defer tensor.SetWorkers(0)
+	m := raceModel(t)
+	x := tensor.New(8, m.InputDim)
+	rng.New(23).Uniform(x.Data, 0, 1)
+	want := m.Predict(x.Clone())
+
+	const goroutines, iters = 16, 5
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			in := x.Clone()
+			for it := 0; it < iters; it++ {
+				got := m.Predict(in)
+				for i := range got.Data {
+					if got.Data[i] != want.Data[i] {
+						t.Errorf("concurrent Predict diverged at element %d: got %v, want %v",
+							i, got.Data[i], want.Data[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPredictSerialPoolMatchesParallel pins the shared pool to one worker —
+// the serial degradation path — and to a forced width, and demands
+// bitwise-identical predictions: kernels partition output rows, so pool
+// width must never leak into results.
+func TestPredictSerialPoolMatchesParallel(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	m := raceModel(t)
+	x := tensor.New(6, m.InputDim)
+	rng.New(29).Uniform(x.Data, 0, 1)
+
+	tensor.SetWorkers(1)
+	if tensor.Workers() != 1 {
+		t.Fatalf("Workers = %d after SetWorkers(1)", tensor.Workers())
+	}
+	serial := m.Predict(x.Clone())
+
+	tensor.SetWorkers(8)
+	parallel := m.Predict(x.Clone())
+
+	for i := range serial.Data {
+		if serial.Data[i] != parallel.Data[i] {
+			t.Fatalf("pool width changed Predict output at element %d: serial %v, parallel %v",
+				i, serial.Data[i], parallel.Data[i])
+		}
+	}
+}
+
+// TestConcurrentTrainingPasses: concurrent recording Forwards on one model
+// (each with its own Pass) must stay memory-safe while the batch-parallel
+// Conv2D forward shares the pool. Gradient work stays single-flight per the
+// package contract, so only Forward runs concurrently here.
+func TestConcurrentTrainingPasses(t *testing.T) {
+	tensor.SetWorkers(4)
+	defer tensor.SetWorkers(0)
+	m := raceModel(t)
+	x := tensor.New(4, m.InputDim)
+	rng.New(31).Uniform(x.Data, 0, 1)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := m.NewPass()
+			defer p.Release()
+			logits := p.Forward(x.Clone(), false)
+			if logits.Dim(0) != 4 || logits.Dim(1) != m.NumClasses {
+				t.Errorf("Forward shape %v", logits.Shape())
+			}
+		}()
+	}
+	wg.Wait()
+}

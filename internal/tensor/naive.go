@@ -1,0 +1,123 @@
+package tensor
+
+// Naive reference kernels.
+//
+// These are the textbook single-threaded forms of the compute kernels,
+// retained as ground truth for the parity/fuzz harness (parity_test.go,
+// fuzz_test.go) and as the baseline for the benchmark regression guards
+// (BenchmarkMatMulNaive in the root bench_test.go). They are deliberately
+// free of tiling, zero-skipping and parallel dispatch so a bug in the fast
+// path cannot hide in a shared shortcut. Production code should call the
+// tiled forms (MatMulInto etc.); nothing outside tests and benchmarks should
+// need these.
+
+// NaiveMatMulInto computes dst = a @ b with the straightforward triple loop.
+func NaiveMatMulInto(dst, a, b *Tensor) {
+	m, k, n := checkMatMulShapes("NaiveMatMulInto", dst, a, b)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += a.Data[i*k+p] * b.Data[p*n+j]
+			}
+			dst.Data[i*n+j] = s
+		}
+	}
+}
+
+// NaiveMatMulTransAInto computes dst = aᵀ @ b for a [k,m] and b [k,n].
+func NaiveMatMulTransAInto(dst, a, b *Tensor) {
+	k, m, n := checkMatMulTransAShapes("NaiveMatMulTransAInto", dst, a, b)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += a.Data[p*m+i] * b.Data[p*n+j]
+			}
+			dst.Data[i*n+j] = s
+		}
+	}
+}
+
+// NaiveMatMulTransBInto computes dst = a @ bᵀ for a [m,k] and b [n,k].
+func NaiveMatMulTransBInto(dst, a, b *Tensor) {
+	m, k, n := checkMatMulTransBShapes("NaiveMatMulTransBInto", dst, a, b)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += a.Data[i*k+p] * b.Data[j*k+p]
+			}
+			dst.Data[i*n+j] = s
+		}
+	}
+}
+
+// NaiveIm2Col is the original single-threaded patch unroll: one sliding
+// window row at a time, padding positions written as zeros.
+func NaiveIm2Col(x []float64, d ConvDims, cols *Tensor) {
+	k := d.InC * d.KH * d.KW
+	row := 0
+	for oy := 0; oy < d.OutH; oy++ {
+		for ox := 0; ox < d.OutW; ox++ {
+			dst := cols.Data[row*k : (row+1)*k]
+			di := 0
+			for c := 0; c < d.InC; c++ {
+				chanOff := c * d.InH * d.InW
+				for ky := 0; ky < d.KH; ky++ {
+					iy := oy*d.Stride + ky - d.Pad
+					if iy < 0 || iy >= d.InH {
+						for kx := 0; kx < d.KW; kx++ {
+							dst[di] = 0
+							di++
+						}
+						continue
+					}
+					rowOff := chanOff + iy*d.InW
+					for kx := 0; kx < d.KW; kx++ {
+						ix := ox*d.Stride + kx - d.Pad
+						if ix < 0 || ix >= d.InW {
+							dst[di] = 0
+						} else {
+							dst[di] = x[rowOff+ix]
+						}
+						di++
+					}
+				}
+			}
+			row++
+		}
+	}
+}
+
+// NaiveCol2Im is the original single-threaded scatter-accumulate adjoint of
+// NaiveIm2Col.
+func NaiveCol2Im(cols *Tensor, d ConvDims, dx []float64) {
+	k := d.InC * d.KH * d.KW
+	row := 0
+	for oy := 0; oy < d.OutH; oy++ {
+		for ox := 0; ox < d.OutW; ox++ {
+			src := cols.Data[row*k : (row+1)*k]
+			si := 0
+			for c := 0; c < d.InC; c++ {
+				chanOff := c * d.InH * d.InW
+				for ky := 0; ky < d.KH; ky++ {
+					iy := oy*d.Stride + ky - d.Pad
+					if iy < 0 || iy >= d.InH {
+						si += d.KW
+						continue
+					}
+					rowOff := chanOff + iy*d.InW
+					for kx := 0; kx < d.KW; kx++ {
+						ix := ox*d.Stride + kx - d.Pad
+						if ix >= 0 && ix < d.InW {
+							dx[rowOff+ix] += src[si]
+						}
+						si++
+					}
+				}
+			}
+			row++
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package tensor
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Worker pool for the parallel kernels.
+//
+// All tiled kernels in this package dispatch row-block tasks onto one shared
+// package-level Pool rather than spawning goroutines per call. That single
+// bounded pool is what lets the hot callers compose: mlaas micro-batch
+// workers, concurrent Model.Predict callers and parallel shadow training can
+// all issue kernel calls at once and total CPU use stays bounded by the pool
+// size — concurrent ops interleave their chunks on the same workers instead
+// of oversubscribing the machine with pool-per-caller goroutines.
+//
+// Determinism: parallel kernels partition *output* ranges (rows, channels),
+// so every output element is computed by exactly one worker in the same
+// floating-point accumulation order as the serial path. Results are
+// identical regardless of pool size or scheduling, which the parity suite
+// (parity_test.go) checks with exact equality.
+
+// Pool is a fixed-size worker pool. The submitting goroutine always
+// participates in its own work, so a Pool of size w saturates w CPUs with
+// w-1 background workers; a Pool of size 1 runs everything inline and is an
+// exact serial fallback.
+type Pool struct {
+	size  int
+	tasks chan func()
+	quit  chan struct{}
+}
+
+// NewPool starts a pool with the given parallel width (minimum 1). Call
+// Close when done with a non-shared pool to stop its background workers.
+func NewPool(size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{size: size}
+	if size > 1 {
+		p.tasks = make(chan func(), 4*size)
+		p.quit = make(chan struct{})
+		for i := 0; i < size-1; i++ {
+			go func() {
+				for {
+					select {
+					case task := <-p.tasks:
+						task()
+					case <-p.quit:
+						return
+					}
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// Size returns the pool's parallel width, counting the submitting goroutine.
+func (p *Pool) Size() int { return p.size }
+
+// Close stops the background workers. Tasks already queued are still drained
+// by the For calls waiting on them (waiters execute queued work themselves),
+// but no new For calls should be issued afterwards.
+func (p *Pool) Close() {
+	if p.quit != nil {
+		close(p.quit)
+	}
+}
+
+// For splits [0, n) into contiguous chunks of at least grain indices and
+// runs f over them, concurrently when the pool has width. f must be safe to
+// run concurrently on disjoint ranges. When n <= grain or the pool has size
+// 1 the call is exactly f(0, n) on the caller.
+//
+// Scheduling is help-first and therefore deadlock-free under nesting and
+// arbitrary concurrent callers: a chunk that cannot be handed off
+// immediately runs inline, and while a caller's chunks are outstanding it
+// executes whatever is queued (its own chunks or another caller's) instead
+// of blocking idle. A nested For inside a worker task thus degrades toward
+// serial execution rather than waiting on workers that are themselves
+// waiting.
+func (p *Pool) For(n, grain int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if p.size == 1 || n <= grain {
+		f(0, n)
+		return
+	}
+	// A couple of chunks per worker balances load without flooding the
+	// queue; grain keeps chunks from shrinking below profitable work.
+	chunk := max((n+2*p.size-1)/(2*p.size), grain)
+	var pending atomic.Int64
+	var panicMu sync.Mutex
+	var panicVal any
+	done := make(chan struct{}, 1)
+	// wrap gives every chunk — handed off or inline — the same accounting:
+	// a panic is captured instead of killing a bare worker goroutine (or the
+	// goroutine of an unrelated caller helping out), pending always reaches
+	// zero, and the submitter re-raises the first panic after the barrier so
+	// kernel misuse still surfaces as a panic on the calling goroutine, as
+	// it did with the serial kernels.
+	wrap := func(lo, hi int) func() {
+		pending.Add(1)
+		return func() {
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = r
+					}
+					panicMu.Unlock()
+				}
+				if pending.Add(-1) == 0 {
+					select {
+					case done <- struct{}{}:
+					default:
+					}
+				}
+			}()
+			f(lo, hi)
+		}
+	}
+	start := 0
+	for start+chunk < n {
+		task := wrap(start, start+chunk)
+		select {
+		case p.tasks <- task:
+		default:
+			task()
+		}
+		start += chunk
+	}
+	wrap(start, n)() // the caller always takes the final chunk
+	for pending.Load() > 0 {
+		select {
+		case task := <-p.tasks:
+			task()
+		case <-done:
+		}
+	}
+	panicMu.Lock()
+	r := panicVal
+	panicMu.Unlock()
+	if r != nil {
+		panic(r)
+	}
+}
+
+// --- Shared pool ---------------------------------------------------------------
+
+var (
+	sharedMu sync.Mutex // serializes pool creation/resizing only
+	shared   atomic.Pointer[Pool]
+)
+
+// DefaultWorkers returns the width a lazily-started shared pool uses:
+// BPROM_TENSOR_WORKERS when set to a positive integer, else GOMAXPROCS.
+func DefaultWorkers() int {
+	if s := os.Getenv("BPROM_TENSOR_WORKERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers resizes the shared pool to n workers; n <= 0 resets it to
+// DefaultWorkers. It must not race with in-flight tensor operations — it is
+// an option for process startup (cmd flags) and for tests that pin the pool
+// to 1 to exercise the serial path.
+func SetWorkers(n int) {
+	if n <= 0 {
+		n = DefaultWorkers()
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if p := shared.Load(); p != nil {
+		if p.size == n {
+			return
+		}
+		p.Close()
+	}
+	shared.Store(NewPool(n))
+}
+
+// Workers reports the shared pool's width, starting the pool if needed.
+func Workers() int { return sharedPool().Size() }
+
+// sharedPool is on every kernel's dispatch path, so the read side is one
+// atomic load; the mutex is only taken on first use and in SetWorkers.
+func sharedPool() *Pool {
+	if p := shared.Load(); p != nil {
+		return p
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if p := shared.Load(); p != nil {
+		return p
+	}
+	p := NewPool(DefaultWorkers())
+	shared.Store(p)
+	return p
+}
+
+// ParallelFor runs f over chunked sub-ranges of [0, n) on the shared pool.
+// It is the dispatch point for every parallel kernel in this package and is
+// exported so hot callers (nn batch loops) can partition their own
+// outer-level work onto the same bounded pool.
+func ParallelFor(n, grain int, f func(lo, hi int)) {
+	sharedPool().For(n, grain, f)
+}

@@ -1,0 +1,188 @@
+package tensor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolSize1RunsInline: a width-1 pool is the serial fallback — exactly
+// one callback covering the whole range, executed on the caller.
+func TestPoolSize1RunsInline(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	if p.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", p.Size())
+	}
+	var calls [][2]int
+	p.For(100, 1, func(lo, hi int) { calls = append(calls, [2]int{lo, hi}) })
+	// Appending without synchronization above is itself the assertion that
+	// everything ran inline; the race detector would flag worker execution.
+	if len(calls) != 1 || calls[0] != [2]int{0, 100} {
+		t.Fatalf("size-1 pool calls = %v, want exactly [{0 100}]", calls)
+	}
+}
+
+// TestPoolBelowGrainRunsInline: n <= grain short-circuits to one inline call
+// regardless of pool width, so tiny ops never pay dispatch overhead.
+func TestPoolBelowGrainRunsInline(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	var calls int32
+	p.For(64, 64, func(lo, hi int) {
+		atomic.AddInt32(&calls, 1)
+		if lo != 0 || hi != 64 {
+			t.Errorf("chunk [%d,%d), want [0,64)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+// TestPoolForCoversRangeExactlyOnce: every index in [0, n) is visited by
+// exactly one chunk, with no overlap and no gap, for assorted widths/grains.
+func TestPoolForCoversRangeExactlyOnce(t *testing.T) {
+	for _, tc := range []struct{ size, n, grain int }{
+		{1, 1000, 1},
+		{2, 1000, 1},
+		{4, 1, 1},
+		{4, 7, 3},
+		{4, 1000, 1},
+		{8, 1000, 64},
+		{8, 1024, 1024},
+		{3, 999, 7},
+	} {
+		p := NewPool(tc.size)
+		counts := make([]int32, tc.n)
+		p.For(tc.n, tc.grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		p.Close()
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("size=%d n=%d grain=%d: index %d visited %d times", tc.size, tc.n, tc.grain, i, c)
+			}
+		}
+	}
+}
+
+// TestPoolForEmptyRange: n <= 0 must be a no-op.
+func TestPoolForEmptyRange(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, n := range []int{0, -5} {
+		p.For(n, 1, func(lo, hi int) { t.Fatalf("callback for n=%d", n) })
+	}
+}
+
+// TestPoolForConcurrentCallers: many goroutines sharing one pool — the
+// serving-path shape — must each see their own full range exactly once.
+func TestPoolForConcurrentCallers(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const callers, n = 16, 500
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sum atomic.Int64
+			p.For(n, 1, func(lo, hi int) {
+				var s int64
+				for i := lo; i < hi; i++ {
+					s += int64(i)
+				}
+				sum.Add(s)
+			})
+			if got, want := sum.Load(), int64(n*(n-1)/2); got != want {
+				t.Errorf("concurrent caller sum = %d, want %d", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPoolForNested: a chunk that itself calls For must not deadlock —
+// saturated submissions run inline on the submitter.
+func TestPoolForNested(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var total atomic.Int64
+	p.For(10, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p.For(10, 1, func(lo2, hi2 int) {
+				total.Add(int64(hi2 - lo2))
+			})
+		}
+	})
+	if total.Load() != 100 {
+		t.Fatalf("nested total = %d, want 100", total.Load())
+	}
+}
+
+// TestPoolForPanicPropagates: a panic inside a chunk — wherever it ran —
+// must reach the submitting goroutine after all chunks finish, not kill a
+// bare worker goroutine (which would crash the process) and not wedge the
+// help-first wait.
+func TestPoolForPanicPropagates(t *testing.T) {
+	for _, size := range []int{1, 4} {
+		p := NewPool(size)
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Errorf("size %d: panic did not propagate to the caller", size)
+				} else if s, ok := r.(string); !ok || s != "kernel misuse" {
+					t.Errorf("size %d: recovered %v, want \"kernel misuse\"", size, r)
+				}
+			}()
+			p.For(100, 1, func(lo, hi int) {
+				if lo <= 50 && 50 < hi {
+					panic("kernel misuse")
+				}
+			})
+		}()
+		// The pool must still be usable afterwards.
+		var n atomic.Int64
+		p.For(10, 1, func(lo, hi int) { n.Add(int64(hi - lo)) })
+		if n.Load() != 10 {
+			t.Errorf("size %d: pool unusable after panic: covered %d", size, n.Load())
+		}
+		p.Close()
+	}
+}
+
+// TestSharedPoolSetWorkers: SetWorkers resizes the shared pool, 0 restores
+// the default, and kernels keep producing identical results at width 1
+// (serial degradation) and a forced width 8.
+func TestSharedPoolSetWorkers(t *testing.T) {
+	defer SetWorkers(0)
+
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(0)
+	if Workers() != DefaultWorkers() {
+		t.Fatalf("Workers = %d after reset, want DefaultWorkers %d", Workers(), DefaultWorkers())
+	}
+}
+
+// TestDefaultWorkersEnv: BPROM_TENSOR_WORKERS overrides the GOMAXPROCS
+// default; garbage values fall through.
+func TestDefaultWorkersEnv(t *testing.T) {
+	t.Setenv("BPROM_TENSOR_WORKERS", "3")
+	if got := DefaultWorkers(); got != 3 {
+		t.Fatalf("DefaultWorkers = %d with env 3", got)
+	}
+	t.Setenv("BPROM_TENSOR_WORKERS", "not-a-number")
+	if got := DefaultWorkers(); got < 1 {
+		t.Fatalf("DefaultWorkers = %d with garbage env", got)
+	}
+	t.Setenv("BPROM_TENSOR_WORKERS", "-2")
+	if got := DefaultWorkers(); got < 1 {
+		t.Fatalf("DefaultWorkers = %d with negative env", got)
+	}
+}

@@ -7,11 +7,44 @@
 // unless created with FromSlice, in which case the caller promises not to
 // alias it concurrently. Operations either write into a receiver (the *Into
 // forms, used on hot paths to avoid allocation) or return fresh tensors.
+//
+// Performance: the compute kernels are cache-blocked (tiled) and dispatch
+// row-block chunks onto a shared worker pool (see pool.go) once the work
+// exceeds a size threshold; below it they run serially so tiny-scale
+// experiments never pay goroutine overhead. Partitioning is always over
+// output rows/channels, so every output element is accumulated in the same
+// floating-point order as the serial path and results do not depend on the
+// pool size. Reductions (Sum, Dot, Norm2) stay single-threaded — partial
+// sums per worker would make results depend on the machine's core count,
+// which the bit-reproducible experiment harness cannot tolerate — but are
+// unrolled into four independent accumulators for instruction-level
+// parallelism. The naive reference forms live in naive.go and anchor the
+// parity/fuzz test harness.
 package tensor
 
 import (
 	"fmt"
 	"math"
+)
+
+// Tiling and dispatch thresholds. The flop floors are deliberately small
+// multiples of the per-chunk dispatch cost (~1µs): below them a goroutine
+// handoff costs more than it buys.
+const (
+	// tileK is the k-panel height for MatMulInto/MatMulTransAInto: a
+	// [tileK, n] panel of b is streamed across every dst row of a worker's
+	// block while still cache-resident.
+	tileK = 128
+	// tileJ is the b-row panel width for MatMulTransBInto: tileJ rows of b
+	// are reused across the worker's a rows.
+	tileJ = 64
+	// matMulParMin is the m*n*k floor below which matmuls stay serial.
+	matMulParMin = 32 * 1024
+	// elemParMin is the element-count floor for parallel elementwise ops;
+	// they are memory-bound, so the threshold is high.
+	elemParMin = 1 << 15
+	// elemGrain is the minimum elementwise chunk handed to a worker.
+	elemGrain = 1 << 13
 )
 
 // Tensor is a dense row-major float64 array with an explicit shape.
@@ -127,88 +160,157 @@ func (t *Tensor) SameShape(o *Tensor) bool {
 
 // --- Elementwise operations -------------------------------------------------
 
+// WorthParallel reports whether work (≈ a multiply-accumulate count) clears
+// the floor below which parallel dispatch costs more than it buys. Callers
+// that partition their own outer loops over ParallelFor (the nn Conv2D
+// batch loop) use it so their serial/parallel decision stays in lockstep
+// with the kernels' own.
+func WorthParallel(work int) bool { return work >= matMulParMin }
+
+// forEachRange runs f over [0, n): inline for small n, in parallel chunks on
+// the shared pool otherwise. Chunk boundaries never change per-element
+// results, so all elementwise ops stay bit-deterministic under any pool size.
+func forEachRange(n int, f func(lo, hi int)) {
+	forEachScaled(n, 1, f)
+}
+
+// forEachScaled is forEachRange for callers whose iterations each touch
+// width elements (rows, channels): the serial/parallel decision weighs the
+// true element count count*width, and the grain shrinks accordingly so a
+// few thousand heavy rows still split across workers.
+func forEachScaled(count, width int, f func(lo, hi int)) {
+	if count*width < elemParMin {
+		f(0, count)
+		return
+	}
+	ParallelFor(count, max(1, elemGrain/width), f)
+}
+
 // AddInto computes dst = a + b elementwise. All three must share a length.
 func AddInto(dst, a, b *Tensor) {
 	checkSameLen("AddInto", dst, a, b)
-	for i := range dst.Data {
-		dst.Data[i] = a.Data[i] + b.Data[i]
-	}
+	forEachRange(len(dst.Data), func(lo, hi int) {
+		ad, bd, dd := a.Data[lo:hi], b.Data[lo:hi], dst.Data[lo:hi]
+		for i := range dd {
+			dd[i] = ad[i] + bd[i]
+		}
+	})
 }
 
 // SubInto computes dst = a - b elementwise.
 func SubInto(dst, a, b *Tensor) {
 	checkSameLen("SubInto", dst, a, b)
-	for i := range dst.Data {
-		dst.Data[i] = a.Data[i] - b.Data[i]
-	}
+	forEachRange(len(dst.Data), func(lo, hi int) {
+		ad, bd, dd := a.Data[lo:hi], b.Data[lo:hi], dst.Data[lo:hi]
+		for i := range dd {
+			dd[i] = ad[i] - bd[i]
+		}
+	})
 }
 
 // MulInto computes dst = a * b elementwise (Hadamard product).
 func MulInto(dst, a, b *Tensor) {
 	checkSameLen("MulInto", dst, a, b)
-	for i := range dst.Data {
-		dst.Data[i] = a.Data[i] * b.Data[i]
-	}
+	forEachRange(len(dst.Data), func(lo, hi int) {
+		ad, bd, dd := a.Data[lo:hi], b.Data[lo:hi], dst.Data[lo:hi]
+		for i := range dd {
+			dd[i] = ad[i] * bd[i]
+		}
+	})
 }
 
 // AXPY computes dst += alpha * x.
 func AXPY(alpha float64, x, dst *Tensor) {
-	checkSameLen("AXPY", dst, x, x)
-	for i := range dst.Data {
-		dst.Data[i] += alpha * x.Data[i]
-	}
+	checkSameLen("AXPY", dst, x)
+	forEachRange(len(dst.Data), func(lo, hi int) {
+		xd, dd := x.Data[lo:hi], dst.Data[lo:hi]
+		for i := range dd {
+			dd[i] += alpha * xd[i]
+		}
+	})
 }
 
 // Scale multiplies every element by alpha in place.
 func (t *Tensor) Scale(alpha float64) {
-	for i := range t.Data {
-		t.Data[i] *= alpha
-	}
+	forEachRange(len(t.Data), func(lo, hi int) {
+		d := t.Data[lo:hi]
+		for i := range d {
+			d[i] *= alpha
+		}
+	})
 }
 
 // AddScalar adds alpha to every element in place.
 func (t *Tensor) AddScalar(alpha float64) {
-	for i := range t.Data {
-		t.Data[i] += alpha
-	}
+	forEachRange(len(t.Data), func(lo, hi int) {
+		d := t.Data[lo:hi]
+		for i := range d {
+			d[i] += alpha
+		}
+	})
 }
 
 // Clamp limits every element to [lo, hi] in place.
 func (t *Tensor) Clamp(lo, hi float64) {
-	for i, v := range t.Data {
-		if v < lo {
-			t.Data[i] = lo
-		} else if v > hi {
-			t.Data[i] = hi
+	forEachRange(len(t.Data), func(i0, i1 int) {
+		d := t.Data[i0:i1]
+		for i, v := range d {
+			if v < lo {
+				d[i] = lo
+			} else if v > hi {
+				d[i] = hi
+			}
 		}
-	}
+	})
 }
 
-// Apply replaces each element x with f(x).
+// Apply replaces each element x with f(x). f must be pure: it may run
+// concurrently across chunks of the tensor.
 func (t *Tensor) Apply(f func(float64) float64) {
-	for i, v := range t.Data {
-		t.Data[i] = f(v)
-	}
+	forEachRange(len(t.Data), func(lo, hi int) {
+		d := t.Data[lo:hi]
+		for i, v := range d {
+			d[i] = f(v)
+		}
+	})
 }
 
+// checkSameLen panics with the offending shapes when any tensor's element
+// count differs from the first's.
 func checkSameLen(op string, ts ...*Tensor) {
 	n := ts[0].Len()
-	for _, t := range ts[1:] {
+	for i, t := range ts[1:] {
 		if t.Len() != n {
-			panic(fmt.Sprintf("tensor: %s length mismatch %d vs %d", op, n, t.Len()))
+			panic(fmt.Sprintf("tensor: %s length mismatch: argument 0 has shape %v (%d elements), argument %d has shape %v (%d elements)",
+				op, ts[0].shape, n, i+1, t.shape, t.Len()))
 		}
 	}
 }
 
 // --- Reductions ---------------------------------------------------------------
 
+// Reductions run single-threaded on purpose: splitting them across workers
+// would make the accumulation order (and therefore the low-order bits) a
+// function of the pool size, breaking the bit-for-bit reproducibility the
+// experiment harness guarantees. Instead they use four independent
+// accumulators — a fixed order on every machine — which breaks the serial
+// add dependency chain and roughly triples throughput on large tensors.
+
 // Sum returns the sum of all elements.
 func (t *Tensor) Sum() float64 {
-	s := 0.0
-	for _, v := range t.Data {
-		s += v
+	var s0, s1, s2, s3 float64
+	d := t.Data
+	i := 0
+	for ; i+4 <= len(d); i += 4 {
+		s0 += d[i]
+		s1 += d[i+1]
+		s2 += d[i+2]
+		s3 += d[i+3]
 	}
-	return s
+	for ; i < len(d); i++ {
+		s0 += d[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Mean returns the arithmetic mean of all elements (0 for empty tensors).
@@ -232,52 +334,134 @@ func (t *Tensor) MaxIndex() int {
 
 // Norm2 returns the Euclidean norm of the flattened tensor.
 func (t *Tensor) Norm2() float64 {
-	s := 0.0
-	for _, v := range t.Data {
-		s += v * v
+	var s0, s1, s2, s3 float64
+	d := t.Data
+	i := 0
+	for ; i+4 <= len(d); i += 4 {
+		s0 += d[i] * d[i]
+		s1 += d[i+1] * d[i+1]
+		s2 += d[i+2] * d[i+2]
+		s3 += d[i+3] * d[i+3]
 	}
-	return math.Sqrt(s)
+	for ; i < len(d); i++ {
+		s0 += d[i] * d[i]
+	}
+	return math.Sqrt((s0 + s1) + (s2 + s3))
 }
 
 // Dot returns the inner product of two equally sized tensors.
 func Dot(a, b *Tensor) float64 {
 	checkSameLen("Dot", a, b)
-	s := 0.0
-	for i := range a.Data {
-		s += a.Data[i] * b.Data[i]
+	var s0, s1, s2, s3 float64
+	ad, bd := a.Data, b.Data
+	i := 0
+	for ; i+4 <= len(ad); i += 4 {
+		s0 += ad[i] * bd[i]
+		s1 += ad[i+1] * bd[i+1]
+		s2 += ad[i+2] * bd[i+2]
+		s3 += ad[i+3] * bd[i+3]
 	}
-	return s
+	for ; i < len(ad); i++ {
+		s0 += ad[i] * bd[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // --- Matrix operations ---------------------------------------------------------
 
-// MatMulInto computes dst = a @ b for 2-D tensors a [m,k] and b [k,n],
-// writing into dst [m,n]. The inner loops are ordered i-k-j so the innermost
-// loop streams both b and dst rows sequentially, which is the standard
-// cache-friendly layout for row-major data.
-func MatMulInto(dst, a, b *Tensor) {
+// checkMatMulShapes validates dst = a @ b and returns (m, k, n).
+func checkMatMulShapes(op string, dst, a, b *Tensor) (m, k, n int) {
 	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
-		panic("tensor: MatMulInto requires 2-D tensors")
+		panic(fmt.Sprintf("tensor: %s requires 2-D tensors, got %v @ %v -> %v", op, a.shape, b.shape, dst.shape))
 	}
-	m, k := a.shape[0], a.shape[1]
+	m, k = a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch %v @ %v -> %v", a.shape, b.shape, dst.shape))
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v @ %v -> %v", op, a.shape, b.shape, dst.shape))
 	}
-	for i := 0; i < m; i++ {
-		di := dst.Data[i*n : (i+1)*n]
+	return m, k, n
+}
+
+// checkMatMulTransAShapes validates dst = aᵀ @ b and returns (k, m, n).
+func checkMatMulTransAShapes(op string, dst, a, b *Tensor) (k, m, n int) {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: %s requires 2-D tensors, got %v ᵀ@ %v -> %v", op, a.shape, b.shape, dst.shape))
+	}
+	k, m = a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v ᵀ@ %v -> %v", op, a.shape, b.shape, dst.shape))
+	}
+	return k, m, n
+}
+
+// checkMatMulTransBShapes validates dst = a @ bᵀ and returns (m, k, n).
+func checkMatMulTransBShapes(op string, dst, a, b *Tensor) (m, k, n int) {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: %s requires 2-D tensors, got %v @ᵀ %v -> %v", op, a.shape, b.shape, dst.shape))
+	}
+	m, k = a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v @ᵀ %v -> %v", op, a.shape, b.shape, dst.shape))
+	}
+	return m, k, n
+}
+
+// dispatchMatMul partitions a matmul's output across the pool: by dst rows
+// when there are enough rows to feed every worker, by dst columns otherwise
+// (the batch-1 probe shape: [1,k] @ [k,n] must not pin a whole forward pass
+// to one core). Both choices partition the *output*, so every element keeps
+// its serial accumulation order and the result is independent of which path
+// ran — parity_test.go pins this.
+func dispatchMatMul(m, n int, run func(i0, i1, j0, j1 int)) {
+	w := Workers()
+	if m >= w || n < 2*w {
+		ParallelFor(m, 1, func(i0, i1 int) { run(i0, i1, 0, n) })
+		return
+	}
+	ParallelFor(n, 16, func(j0, j1 int) { run(0, m, j0, j1) })
+}
+
+// MatMulInto computes dst = a @ b for 2-D tensors a [m,k] and b [k,n],
+// writing into dst [m,n]. The kernel is k-panel tiled: a [tileK, width] slab
+// of b is streamed across every dst row of the current block while it is
+// cache-hot. Output blocks are dispatched onto the shared worker pool above
+// matMulParMin total work. Accumulation over p stays ascending per output
+// element, so the result is identical to the naive kernel for finite inputs.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k, n := checkMatMulShapes("MatMulInto", dst, a, b)
+	if m*n*k < matMulParMin {
+		matMulRange(dst, a, b, 0, m, 0, n)
+		return
+	}
+	dispatchMatMul(m, n, func(i0, i1, j0, j1 int) { matMulRange(dst, a, b, i0, i1, j0, j1) })
+}
+
+// matMulRange computes the dst block rows [i0, i1) × columns [j0, j1) of
+// a @ b.
+func matMulRange(dst, a, b *Tensor, i0, i1, j0, j1 int) {
+	k, n := a.shape[1], b.shape[1]
+	for i := i0; i < i1; i++ {
+		di := dst.Data[i*n+j0 : i*n+j1]
 		for j := range di {
 			di[j] = 0
 		}
-		ai := a.Data[i*k : (i+1)*k]
-		for p := 0; p < k; p++ {
-			av := ai[p]
-			if av == 0 {
-				continue
-			}
-			bp := b.Data[p*n : (p+1)*n]
-			for j, bv := range bp {
-				di[j] += av * bv
+	}
+	for p0 := 0; p0 < k; p0 += tileK {
+		p1 := min(p0+tileK, k)
+		for i := i0; i < i1; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			di := dst.Data[i*n+j0 : i*n+j1]
+			for p := p0; p < p1; p++ {
+				av := ai[p]
+				if av == 0 {
+					continue
+				}
+				bp := b.Data[p*n+j0 : p*n+j1]
+				for j, bv := range bp {
+					di[j] += av * bv
+				}
 			}
 		}
 	}
@@ -291,47 +475,77 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // MatMulTransAInto computes dst = aᵀ @ b where a is [k,m] and b is [k,n].
+// Output blocks are partitioned across the pool; within a block the walk is
+// k-panel tiled so the paired a/b panels stay cache-resident.
 func MatMulTransAInto(dst, a, b *Tensor) {
+	k, m, n := checkMatMulTransAShapes("MatMulTransAInto", dst, a, b)
+	if m*n*k < matMulParMin {
+		matMulTransARange(dst, a, b, 0, m, 0, n)
+		return
+	}
+	dispatchMatMul(m, n, func(i0, i1, j0, j1 int) { matMulTransARange(dst, a, b, i0, i1, j0, j1) })
+}
+
+// matMulTransARange computes the dst block rows [i0, i1) × columns [j0, j1)
+// of aᵀ @ b.
+func matMulTransARange(dst, a, b *Tensor, i0, i1, j0, j1 int) {
 	k, m := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulTransAInto shape mismatch %v ᵀ@ %v -> %v", a.shape, b.shape, dst.shape))
+	n := b.shape[1]
+	for i := i0; i < i1; i++ {
+		di := dst.Data[i*n+j0 : i*n+j1]
+		for j := range di {
+			di[j] = 0
+		}
 	}
-	for i := range dst.Data {
-		dst.Data[i] = 0
-	}
-	for p := 0; p < k; p++ {
-		ap := a.Data[p*m : (p+1)*m]
-		bp := b.Data[p*n : (p+1)*n]
-		for i, av := range ap {
-			if av == 0 {
-				continue
-			}
-			di := dst.Data[i*n : (i+1)*n]
-			for j, bv := range bp {
-				di[j] += av * bv
+	for p0 := 0; p0 < k; p0 += tileK {
+		p1 := min(p0+tileK, k)
+		for p := p0; p < p1; p++ {
+			ap := a.Data[p*m : (p+1)*m]
+			bp := b.Data[p*n+j0 : p*n+j1]
+			for i := i0; i < i1; i++ {
+				av := ap[i]
+				if av == 0 {
+					continue
+				}
+				di := dst.Data[i*n+j0 : i*n+j1]
+				for j, bv := range bp {
+					di[j] += av * bv
+				}
 			}
 		}
 	}
 }
 
 // MatMulTransBInto computes dst = a @ bᵀ where a is [m,k] and b is [n,k].
+// Output blocks are partitioned across the pool; within a block, tileJ rows
+// of b are reused across every a row before moving to the next b panel.
 func MatMulTransBInto(dst, a, b *Tensor) {
-	m, k := a.shape[0], a.shape[1]
-	n, k2 := b.shape[0], b.shape[1]
-	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulTransBInto shape mismatch %v @ᵀ %v -> %v", a.shape, b.shape, dst.shape))
+	m, k, n := checkMatMulTransBShapes("MatMulTransBInto", dst, a, b)
+	if m*n*k < matMulParMin {
+		matMulTransBRange(dst, a, b, 0, m, 0, n)
+		return
 	}
-	for i := 0; i < m; i++ {
-		ai := a.Data[i*k : (i+1)*k]
-		di := dst.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			bj := b.Data[j*k : (j+1)*k]
-			s := 0.0
-			for p, av := range ai {
-				s += av * bj[p]
+	dispatchMatMul(m, n, func(i0, i1, j0, j1 int) { matMulTransBRange(dst, a, b, i0, i1, j0, j1) })
+}
+
+// matMulTransBRange computes the dst block rows [i0, i1) × columns [j0, j1)
+// of a @ bᵀ.
+func matMulTransBRange(dst, a, b *Tensor, i0, i1, j0, j1 int) {
+	k := a.shape[1]
+	n := b.shape[0]
+	for jb := j0; jb < j1; jb += tileJ {
+		je := min(jb+tileJ, j1)
+		for i := i0; i < i1; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			di := dst.Data[i*n : (i+1)*n]
+			for j := jb; j < je; j++ {
+				bj := b.Data[j*k : (j+1)*k]
+				s := 0.0
+				for p, av := range ai {
+					s += av * bj[p]
+				}
+				di[j] = s
 			}
-			di[j] = s
 		}
 	}
 }
@@ -355,22 +569,24 @@ func (t *Tensor) Transpose() *Tensor {
 func AddRowVecInto(dst, a *Tensor, v []float64) {
 	m, n := a.shape[0], a.shape[1]
 	if len(v) != n || dst.shape[0] != m || dst.shape[1] != n {
-		panic("tensor: AddRowVecInto shape mismatch")
+		panic(fmt.Sprintf("tensor: AddRowVecInto shape mismatch: a %v, dst %v, vector length %d", a.shape, dst.shape, len(v)))
 	}
-	for i := 0; i < m; i++ {
-		ai := a.Data[i*n : (i+1)*n]
-		di := dst.Data[i*n : (i+1)*n]
-		for j := range di {
-			di[j] = ai[j] + v[j]
+	forEachScaled(m, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Data[i*n : (i+1)*n]
+			di := dst.Data[i*n : (i+1)*n]
+			for j := range di {
+				di[j] = ai[j] + v[j]
+			}
 		}
-	}
+	})
 }
 
 // ColSumsInto writes the per-column sums of an [m,n] matrix into dst (len n).
 func ColSumsInto(dst []float64, a *Tensor) {
 	m, n := a.shape[0], a.shape[1]
 	if len(dst) != n {
-		panic("tensor: ColSumsInto length mismatch")
+		panic(fmt.Sprintf("tensor: ColSumsInto length mismatch: a %v, dst length %d", a.shape, len(dst)))
 	}
 	for j := range dst {
 		dst[j] = 0

@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -359,6 +360,78 @@ func TestAvgPoolForwardBackward(t *testing.T) {
 	back := AvgPool2DBackward(g, 2, 2)
 	if back.At(0, 0, 1, 1) != 1 || back.At(0, 1, 0, 0) != 2 {
 		t.Fatalf("AvgPool2DBackward got %v", back.Data)
+	}
+}
+
+// TestLengthMismatchPanicsReportShapes covers every checkSameLen panic path:
+// the message must name the operation and both offending shapes (not just
+// lengths), so a failure inside a deep training loop is diagnosable.
+func TestLengthMismatchPanicsReportShapes(t *testing.T) {
+	a23 := New(2, 3) // 6 elements
+	b4 := New(4)     // 4 elements
+	cases := []struct {
+		name string
+		call func()
+	}{
+		{"AddInto", func() { AddInto(New(2, 3), a23, b4) }},
+		{"AddInto-dst", func() { AddInto(b4, a23, a23) }},
+		{"SubInto", func() { SubInto(New(2, 3), a23, b4) }},
+		{"MulInto", func() { MulInto(New(2, 3), a23, b4) }},
+		{"AXPY", func() { AXPY(1, b4, a23) }},
+		{"Dot", func() { Dot(a23, b4) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("expected panic for length mismatch")
+				}
+				msg, ok := r.(string)
+				if !ok {
+					t.Fatalf("panic value %T, want string", r)
+				}
+				for _, want := range []string{"[2 3]", "[4]", "length mismatch"} {
+					if !strings.Contains(msg, want) {
+						t.Fatalf("panic %q does not mention %q", msg, want)
+					}
+				}
+			}()
+			tc.call()
+		})
+	}
+}
+
+// TestMatMulShapePanicsReportShapes covers the matmul shape validators for
+// all three variants and their naive references.
+func TestMatMulShapePanicsReportShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		call func()
+	}{
+		{"MatMulInto-inner", func() { MatMulInto(New(2, 5), New(2, 3), New(4, 5)) }},
+		{"MatMulInto-dst", func() { MatMulInto(New(9, 9), New(2, 3), New(3, 5)) }},
+		{"MatMulInto-rank", func() { MatMulInto(New(2, 5), New(2, 3, 1), New(3, 5)) }},
+		{"MatMulTransAInto", func() { MatMulTransAInto(New(3, 5), New(2, 3), New(4, 5)) }},
+		{"MatMulTransBInto", func() { MatMulTransBInto(New(2, 4), New(2, 3), New(4, 9)) }},
+		{"NaiveMatMulInto", func() { NaiveMatMulInto(New(2, 5), New(2, 3), New(4, 5)) }},
+		{"NaiveMatMulTransAInto", func() { NaiveMatMulTransAInto(New(3, 5), New(2, 3), New(4, 5)) }},
+		{"NaiveMatMulTransBInto", func() { NaiveMatMulTransBInto(New(2, 4), New(2, 3), New(4, 9)) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("expected shape panic")
+				}
+				msg := r.(string)
+				if !strings.Contains(msg, "[2 3") || !strings.Contains(msg, "tensor: ") {
+					t.Fatalf("panic %q does not report the offending shapes", msg)
+				}
+			}()
+			tc.call()
+		})
 	}
 }
 

@@ -3,6 +3,13 @@
 // backward, clip, step — with optional per-epoch evaluation and early
 // stopping. Everything heavier (poisoning, prompting, detection) is built on
 // top of it.
+//
+// The batch loop itself stays single-flight (gradient accumulation into
+// shared Params requires it) and gets its parallelism from below: the tensor
+// kernels inside Forward/Backward partition row blocks onto the shared
+// worker pool, and batch augmentation fans out on the same pool. Concurrent
+// Train calls on different models (bprom shadow training) therefore compose
+// without oversubscription — all of them share one bounded pool.
 package trainer
 
 import (
@@ -131,28 +138,46 @@ func Train(ctx context.Context, model *nn.Model, train *data.Dataset, cfg Config
 // augmentShift translates every sample of a materialized batch by an
 // independent random offset in [-maxShift, maxShift]² with edge clamping
 // (equivalent to pad-and-crop augmentation).
+//
+// The offsets are drawn serially up front — the rng stream must not depend
+// on goroutine scheduling, or training loses bit-reproducibility — and the
+// pixel shuffles then run on the shared tensor worker pool, each sample
+// touching only its own rows of the batch.
 func augmentShift(x *tensor.Tensor, sh data.Shape, maxShift int, r *rng.RNG) {
 	n := x.Dim(0)
 	w := sh.Dim()
-	buf := make([]float64, w)
-	for i := 0; i < n; i++ {
-		dx := r.Intn(2*maxShift+1) - maxShift
-		dy := r.Intn(2*maxShift+1) - maxShift
-		if dx == 0 && dy == 0 {
-			continue
+	offs := make([][2]int, n)
+	for i := range offs {
+		offs[i] = [2]int{
+			r.Intn(2*maxShift+1) - maxShift,
+			r.Intn(2*maxShift+1) - maxShift,
 		}
-		img := x.Data[i*w : (i+1)*w]
-		for c := 0; c < sh.C; c++ {
-			off := c * sh.H * sh.W
-			for y := 0; y < sh.H; y++ {
-				sy := clampInt(y+dy, 0, sh.H-1)
-				for xx := 0; xx < sh.W; xx++ {
-					sx := clampInt(xx+dx, 0, sh.W-1)
-					buf[off+y*sh.W+xx] = img[off+sy*sh.W+sx]
+	}
+	shift := func(lo, hi int) {
+		buf := make([]float64, w)
+		for i := lo; i < hi; i++ {
+			dx, dy := offs[i][0], offs[i][1]
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			img := x.Data[i*w : (i+1)*w]
+			for c := 0; c < sh.C; c++ {
+				off := c * sh.H * sh.W
+				for y := 0; y < sh.H; y++ {
+					sy := clampInt(y+dy, 0, sh.H-1)
+					for xx := 0; xx < sh.W; xx++ {
+						sx := clampInt(xx+dx, 0, sh.W-1)
+						buf[off+y*sh.W+xx] = img[off+sy*sh.W+sx]
+					}
 				}
 			}
+			copy(img, buf)
 		}
-		copy(img, buf)
+	}
+	if tensor.WorthParallel(n * w) {
+		tensor.ParallelFor(n, 8, shift)
+	} else {
+		shift(0, n)
 	}
 }
 
