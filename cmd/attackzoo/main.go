@@ -1,10 +1,14 @@
 // Command attackzoo trains one model per implemented backdoor attack and
 // reports clean accuracy and attack success rate — the substrate validation
-// behind the paper's Tables 13–15.
+// behind the paper's Tables 13–15. With -export it also materializes the
+// zoo as a checkpoint directory (one clean baseline plus one backdoored
+// model per attack, each with a JSON metadata sidecar) ready to serve with
+// `mlaas-server -models` and audit with `bprom -url ... -fleet`.
 //
 // Usage:
 //
 //	attackzoo -dataset cifar10 -epochs 15
+//	attackzoo -epochs 15 -export zoo/   # write clean.bin, badnets.bin, ...
 package main
 
 import (
@@ -12,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"text/tabwriter"
 
 	"bprom/internal/attack"
@@ -34,18 +39,61 @@ func run() error {
 		perClass = flag.Int("per-class", 50, "training samples per class")
 		epochs   = flag.Int("epochs", 15, "training epochs")
 		seed     = flag.Uint64("seed", 1, "root seed")
+		export   = flag.String("export", "", "checkpoint directory to materialize the zoo into (empty: train only)")
 	)
 	flag.Parse()
 	spec, ok := data.SpecFor(*dataset)
 	if !ok {
 		return fmt.Errorf("unknown dataset %q", *dataset)
 	}
+	if *export != "" {
+		if err := os.MkdirAll(*export, 0o755); err != nil {
+			return fmt.Errorf("create export dir: %w", err)
+		}
+	}
 	ctx := context.Background()
 	gen := data.NewGenerator(spec, *seed)
 	train, test := gen.GenerateSplit(*perClass, *perClass/2+1, rng.New(*seed))
 
+	build := func() (*nn.Model, error) {
+		return nn.Build(nn.ArchConfig{
+			Arch: nn.ArchConvLite, C: spec.Shape.C, H: spec.Shape.H, W: spec.Shape.W,
+			NumClasses: spec.Classes, Hidden: 24,
+		}, rng.New(*seed+13))
+	}
+	save := func(m *nn.Model, id, note string, metrics map[string]float64) error {
+		if *export == "" {
+			return nil
+		}
+		path := filepath.Join(*export, id+".bin")
+		if err := m.SaveFile(path); err != nil {
+			return err
+		}
+		sc := nn.SidecarFor(m, *dataset+"/"+id, note)
+		sc.Metrics = metrics
+		return sc.WriteFile(path)
+	}
+
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "attack\tpoison%\tcover%\tACC\tASR")
+
+	// Clean baseline: the zoo's negative control, and the -export default
+	// model (the registry prefers a checkpoint named "clean").
+	if *export != "" {
+		m, err := build()
+		if err != nil {
+			return err
+		}
+		if _, err := trainer.Train(ctx, m, train, trainer.Config{Epochs: *epochs}, rng.New(*seed+17)); err != nil {
+			return err
+		}
+		acc := trainer.Evaluate(m, test, 0)
+		if err := save(m, "clean", "clean baseline (no poisoning)", map[string]float64{"acc": acc}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "clean\t-\t-\t%.3f\t-\n", acc)
+	}
+
 	cfgs := attack.DefaultConfigs(*dataset)
 	for _, kind := range attack.AllKinds() {
 		cfg := cfgs[kind]
@@ -54,10 +102,7 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", kind, err)
 		}
-		m, err := nn.Build(nn.ArchConfig{
-			Arch: nn.ArchConvLite, C: spec.Shape.C, H: spec.Shape.H, W: spec.Shape.W,
-			NumClasses: spec.Classes, Hidden: 24,
-		}, rng.New(*seed+13))
+		m, err := build()
 		if err != nil {
 			return err
 		}
@@ -69,7 +114,19 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		note := fmt.Sprintf("backdoored: %s attack, target class %d, poison rate %.2f", kind, cfg.Target, cfg.PoisonRate)
+		if err := save(m, string(kind), note, map[string]float64{"acc": acc, "asr": asr}); err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.3f\t%.3f\n", kind, cfg.PoisonRate*100, cfg.CoverRate*100, acc, asr)
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if *export != "" {
+		fmt.Printf("\nzoo exported to %s (%d checkpoints + sidecars)\n", *export, len(attack.AllKinds())+1)
+		fmt.Printf("serve it:  mlaas-server -models %s\n", *export)
+		fmt.Printf("audit it:  bprom -url http://127.0.0.1:8080 -fleet\n")
+	}
+	return nil
 }

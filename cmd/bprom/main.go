@@ -1,11 +1,18 @@
-// Command bprom trains a BPROM detector and inspects a suspicious model —
-// either a model file or a remote MLaaS endpoint (black-box over HTTP).
+// Command bprom trains a BPROM detector and inspects suspicious models —
+// a model file, a remote MLaaS endpoint (black-box over HTTP), or, in
+// fleet mode, every model a multi-model endpoint hosts.
 //
 // Usage:
 //
 //	bprom -model suspicious.bin
 //	bprom -url http://127.0.0.1:8080
+//	bprom -url http://127.0.0.1:8080 -fleet        # audit every hosted model
 //	bprom -model m.bin -source cifar10 -external stl10 -shadows 8 -scale small
+//
+// Fleet mode discovers the endpoint's models via /v1/models, trains ONE
+// detector, and then prompts every compatible model concurrently, emitting
+// a per-model clean/backdoored verdict table — the paper's defender
+// auditing an entire MLaaS platform rather than a single upload.
 package main
 
 import (
@@ -13,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"text/tabwriter"
 	"time"
 
 	"bprom/internal/bprom"
@@ -38,6 +47,8 @@ func run() error {
 	var (
 		modelPath = flag.String("model", "", "suspicious model file")
 		url       = flag.String("url", "", "suspicious MLaaS endpoint base URL")
+		fleet     = flag.Bool("fleet", false, "audit every model the endpoint hosts (requires -url)")
+		parallel  = flag.Int("parallel", 4, "concurrent model audits in fleet mode")
 		source    = flag.String("source", data.CIFAR10, "suspicious model's training domain")
 		external  = flag.String("external", data.STL10, "external clean dataset DT")
 		scale     = flag.String("scale", "small", "detector scale: tiny | small | full")
@@ -48,8 +59,29 @@ func run() error {
 	if (*modelPath == "") == (*url == "") {
 		return fmt.Errorf("pass exactly one of -model or -url")
 	}
+	if *fleet && *url == "" {
+		return fmt.Errorf("-fleet requires -url")
+	}
 
 	ctx := context.Background()
+	p := exp.ParamsFor(exp.Scale(*scale))
+	p.Seed = *seed
+	if *shadows > 0 {
+		p.ShadowClean, p.ShadowBackdoor = *shadows, *shadows
+	}
+	srcSpec, ok := data.SpecFor(*source)
+	if !ok {
+		return fmt.Errorf("unknown source dataset %q", *source)
+	}
+	extSpec, ok := data.SpecFor(*external)
+	if !ok {
+		return fmt.Errorf("unknown external dataset %q", *external)
+	}
+
+	if *fleet {
+		return auditFleet(ctx, *url, p, *scale, srcSpec, extSpec, *parallel, *external)
+	}
+
 	var sus oracle.Oracle
 	if *modelPath != "" {
 		m, err := nn.LoadFile(*modelPath)
@@ -64,32 +96,41 @@ func run() error {
 		}
 		sus = c
 	}
-
-	p := exp.ParamsFor(exp.Scale(*scale))
-	p.Seed = *seed
-	if *shadows > 0 {
-		p.ShadowClean, p.ShadowBackdoor = *shadows, *shadows
-	}
-	srcSpec, ok := data.SpecFor(*source)
-	if !ok {
-		return fmt.Errorf("unknown source dataset %q", *source)
-	}
-	extSpec, ok := data.SpecFor(*external)
-	if !ok {
-		return fmt.Errorf("unknown external dataset %q", *external)
-	}
 	if sus.NumClasses() != srcSpec.Classes || sus.InputDim() != srcSpec.Shape.Dim() {
 		return fmt.Errorf("suspicious model reports %d classes / dim %d; %s expects %d / %d",
 			sus.NumClasses(), sus.InputDim(), *source, srcSpec.Classes, srcSpec.Shape.Dim())
 	}
 
+	det, err := trainDetector(ctx, p, *scale, srcSpec, extSpec)
+	if err != nil {
+		return err
+	}
+	v, err := det.Inspect(ctx, sus, 0)
+	if err != nil {
+		return err
+	}
+	verdict := "CLEAN"
+	if v.Backdoored {
+		verdict = "BACKDOORED"
+	}
+	fmt.Printf("verdict:           %s\n", verdict)
+	fmt.Printf("backdoor score:    %.3f (threshold 0.5)\n", v.Score)
+	fmt.Printf("prompted accuracy: %.3f on %s (low accuracy = class-subspace inconsistency)\n", v.PromptedAcc, *external)
+	fmt.Printf("oracle queries:    %d samples\n", v.Queries)
+	return nil
+}
+
+// trainDetector runs BPROM's Algorithm 1 (shadow models + visual prompts +
+// meta-classifier) once; the resulting detector is reusable across any
+// number of suspicious models.
+func trainDetector(ctx context.Context, p exp.Params, scale string, srcSpec, extSpec data.Spec) (*bprom.Detector, error) {
 	r := rng.New(p.Seed)
 	srcGen := data.NewGenerator(srcSpec, p.Seed^0x5151)
 	_, srcTest := srcGen.GenerateSplit(1, p.SrcTest, r.Split("src"))
 	tgtGen := data.NewGenerator(extSpec, p.Seed^0xA7A7)
 	tgtTrain, tgtTest := tgtGen.GenerateSplit(p.TgtTrain, p.TgtTest, r.Split("tgt"))
 
-	fmt.Printf("training detector (scale %s: %d+%d shadows) ...\n", *scale, p.ShadowClean, p.ShadowBackdoor)
+	fmt.Printf("training detector (scale %s: %d+%d shadows) ...\n", scale, p.ShadowClean, p.ShadowBackdoor)
 	start := time.Now()
 	det, err := bprom.Train(ctx, bprom.Config{
 		Reserved:      srcTest.Reserve(p.ReservedFrac, r.Split("reserve")),
@@ -107,22 +148,104 @@ func run() error {
 		Seed:          p.Seed,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Printf("detector ready in %s; prompting suspicious model (black-box) ...\n",
-		time.Since(start).Round(time.Millisecond))
+	fmt.Printf("detector ready in %s\n", time.Since(start).Round(time.Millisecond))
+	return det, nil
+}
 
-	v, err := det.Inspect(ctx, sus, 0)
+// fleetResult is one audited model's outcome.
+type fleetResult struct {
+	info    mlaas.ModelInfo
+	verdict bprom.Verdict
+	err     error
+}
+
+// auditFleet discovers every model on the endpoint, trains one detector,
+// and prompts all compatible models concurrently (bounded by parallel).
+func auditFleet(ctx context.Context, url string, p exp.Params, scale string, srcSpec, extSpec data.Spec, parallel int, external string) error {
+	list, err := mlaas.ListModels(ctx, url, mlaas.ClientConfig{})
 	if err != nil {
 		return err
 	}
-	verdict := "CLEAN"
-	if v.Backdoored {
-		verdict = "BACKDOORED"
+	var targets []mlaas.ModelInfo
+	for _, mi := range list.Models {
+		if mi.Classes != srcSpec.Classes || mi.InputDim != srcSpec.Shape.Dim() {
+			fmt.Printf("skipping %s: %d classes / dim %d does not match source domain (%d / %d)\n",
+				mi.ID, mi.Classes, mi.InputDim, srcSpec.Classes, srcSpec.Shape.Dim())
+			continue
+		}
+		targets = append(targets, mi)
 	}
-	fmt.Printf("verdict:           %s\n", verdict)
-	fmt.Printf("backdoor score:    %.3f (threshold 0.5)\n", v.Score)
-	fmt.Printf("prompted accuracy: %.3f on %s (low accuracy = class-subspace inconsistency)\n", v.PromptedAcc, *external)
-	fmt.Printf("oracle queries:    %d samples\n", v.Queries)
+	if len(targets) == 0 {
+		return fmt.Errorf("endpoint hosts %d models, none match the source domain", len(list.Models))
+	}
+	fmt.Printf("endpoint hosts %d models, auditing %d ...\n", len(list.Models), len(targets))
+
+	det, err := trainDetector(ctx, p, scale, srcSpec, extSpec)
+	if err != nil {
+		return err
+	}
+
+	if parallel < 1 {
+		parallel = 1
+	}
+	fmt.Printf("prompting %d models black-box (%d in parallel) ...\n", len(targets), parallel)
+	start := time.Now()
+	results := make([]fleetResult, len(targets))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, mi := range targets {
+		wg.Add(1)
+		go func(i int, mi mlaas.ModelInfo) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i].info = mi
+			c, err := mlaas.DialModel(ctx, url, mi.ID, mlaas.ClientConfig{})
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			v, err := det.Inspect(ctx, c, i)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			results[i].verdict = v
+		}(i, mi)
+	}
+	wg.Wait()
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "model\tverdict\tscore\tprompted-acc\tqueries")
+	flagged, failed := 0, 0
+	for _, res := range results {
+		if res.err != nil {
+			failed++
+			fmt.Fprintf(w, "%s\tERROR\t-\t-\t-\n", res.info.ID)
+			continue
+		}
+		verdict := "CLEAN"
+		if res.verdict.Backdoored {
+			verdict = "BACKDOORED"
+			flagged++
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\t%d\n",
+			res.info.ID, verdict, res.verdict.Score, res.verdict.PromptedAcc, res.verdict.Queries)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("\nfleet audit done in %s: %d/%d flagged BACKDOORED (prompted on %s)\n",
+		time.Since(start).Round(time.Millisecond), flagged, len(targets)-failed, external)
+	for _, res := range results {
+		if res.err != nil {
+			fmt.Printf("  %s failed: %v\n", res.info.ID, res.err)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d audits failed", failed, len(targets))
+	}
 	return nil
 }

@@ -1,11 +1,13 @@
-// Command mlaas-server serves a model file as an MLaaS prediction endpoint
-// (the black-box boundary of the paper's threat model). Without -model it
-// trains a demo model — optionally backdoored — on the synthetic CIFAR-10
-// analogue first.
+// Command mlaas-server serves models as an MLaaS prediction endpoint (the
+// black-box boundary of the paper's threat model). It runs in one of three
+// modes: serve a single model file, serve a whole checkpoint directory as a
+// multi-model registry with a bounded LRU hot-set, or train a demo model —
+// optionally backdoored — on the synthetic CIFAR-10 analogue first.
 //
 // Usage:
 //
 //	mlaas-server -addr :8080 -model model.bin
+//	mlaas-server -addr :8080 -models zoo/ -max-loaded 4    # serve a zoo
 //	mlaas-server -addr :8080 -demo badnets    # train a backdoored demo model
 package main
 
@@ -36,17 +38,56 @@ func main() {
 func run() error {
 	var (
 		addr          = flag.String("addr", "127.0.0.1:8080", "listen address")
-		modelPath     = flag.String("model", "", "model file to serve (nn binary format)")
+		modelPath     = flag.String("model", "", "single model file to serve (nn binary format)")
+		modelsDir     = flag.String("models", "", "checkpoint directory to serve as a multi-model registry")
+		defaultModel  = flag.String("default", "", "registry model id served by the legacy /v1/info and /v1/predict routes (default: 'clean' if present, else first id)")
+		maxLoaded     = flag.Int("max-loaded", 0, "registry LRU hot-set size: models resident at once (0: default 4)")
 		demo          = flag.String("demo", "", "train a demo model instead: 'clean' or an attack name (badnets, blend, ...)")
 		seed          = flag.Uint64("seed", 1, "demo training seed")
 		maxBatch      = flag.Int("max-batch", 0, "samples per request and micro-batch coalescing target (0: default 512)")
-		maxConcurrent = flag.Int("max-concurrent", 0, "parallel forward passes / micro-batch workers (0: default 4)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "parallel forward passes / micro-batch workers per model (0: default 4)")
 		tensorWorkers = flag.Int("tensor-workers", 0, "shared tensor kernel pool size (0: BPROM_TENSOR_WORKERS or GOMAXPROCS)")
 	)
 	flag.Parse()
 	// Size the kernel pool before any training or serving touches it. The
 	// pool is shared by demo training and all micro-batch workers alike.
 	tensor.SetWorkers(*tensorWorkers)
+
+	modes := 0
+	for _, set := range []bool{*modelPath != "", *modelsDir != "", *demo != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return fmt.Errorf("pass exactly one of -model <path>, -models <dir>, or -demo clean|badnets|...")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var srv *mlaas.Server
+	if *modelsDir != "" {
+		reg, err := mlaas.OpenRegistry(*modelsDir, mlaas.RegistryConfig{
+			MaxLoaded:     *maxLoaded,
+			MaxBatch:      *maxBatch,
+			MaxConcurrent: *maxConcurrent,
+			Default:       *defaultModel,
+		})
+		if err != nil {
+			return err
+		}
+		srv = mlaas.NewRegistryServer(reg)
+		ready := make(chan string, 1)
+		go func() {
+			fmt.Printf("serving %d models from %s on http://%s (default %q, hot-set %d); Ctrl-C to stop\n",
+				reg.Len(), *modelsDir, <-ready, reg.DefaultID(), reg.MaxLoaded())
+			for _, mi := range reg.Models() {
+				fmt.Printf("  /v1/models/%s  (%s, classes=%d dim=%d)\n", mi.ID, mi.Arch, mi.Classes, mi.InputDim)
+			}
+		}()
+		return srv.Serve(ctx, *addr, ready)
+	}
 
 	var model *nn.Model
 	switch {
@@ -56,19 +97,14 @@ func run() error {
 			return err
 		}
 		model = m
-	case *demo != "":
+	default:
 		m, err := trainDemo(*demo, *seed)
 		if err != nil {
 			return err
 		}
 		model = m
-	default:
-		return fmt.Errorf("pass -model <path> or -demo clean|badnets|...")
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	srv := mlaas.NewServer(model, mlaas.ServerConfig{
+	srv = mlaas.NewServer(model, mlaas.ServerConfig{
 		Name:          "bprom-demo",
 		MaxBatch:      *maxBatch,
 		MaxConcurrent: *maxConcurrent,

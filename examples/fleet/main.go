@@ -1,0 +1,173 @@
+// Fleet-audit example: the full "audit a whole platform" workload in one
+// process. An attacker uploads a zoo of checkpoints — a clean model and two
+// backdoored ones — to a multi-model MLaaS registry whose LRU hot-set is
+// SMALLER than the zoo, so serving pages models in and out of memory. The
+// defender then discovers every hosted model over HTTP, trains one BPROM
+// detector, and audits the entire fleet concurrently with nothing but
+// confidence queries.
+//
+// This is the in-process twin of the CLI walkthrough:
+//
+//	attackzoo -export zoo/ && mlaas-server -models zoo/ && bprom -url ... -fleet
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"bprom/internal/attack"
+	"bprom/internal/bprom"
+	"bprom/internal/data"
+	"bprom/internal/mlaas"
+	"bprom/internal/nn"
+	"bprom/internal/rng"
+	"bprom/internal/trainer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	srcGen := data.NewGenerator(data.MustSpec(data.CIFAR10), 1)
+	srcTrain, srcTest := srcGen.GenerateSplit(50, 150, rng.New(2))
+	tgtGen := data.NewGenerator(data.MustSpec(data.STL10), 3)
+	tgtTrain, tgtTest := tgtGen.GenerateSplit(20, 10, rng.New(4))
+
+	// The "attacker" side: materialize a zoo of checkpoints on disk.
+	zoo, err := os.MkdirTemp("", "bprom-zoo-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(zoo)
+	uploads := []struct {
+		id  string
+		atk *attack.Config
+	}{
+		{"clean", nil},
+		{"trojan", &attack.Config{Kind: attack.Trojan, PoisonRate: 0.15, Target: 2, Seed: 5}},
+		{"badnets", &attack.Config{Kind: attack.BadNets, PoisonRate: 0.15, Target: 0, Seed: 6}},
+	}
+	fmt.Printf("attacker: uploading %d models to the platform ...\n", len(uploads))
+	for i, up := range uploads {
+		train := srcTrain
+		note := "clean upload"
+		if up.atk != nil {
+			poisoned, _, err := attack.Poison(srcTrain, *up.atk, rng.New(uint64(20+i)))
+			if err != nil {
+				return err
+			}
+			train = poisoned
+			note = fmt.Sprintf("backdoored upload (%s)", up.atk.Kind)
+		}
+		model, err := nn.Build(nn.ArchConfig{
+			Arch: nn.ArchConvLite, C: srcTrain.Shape.C, H: srcTrain.Shape.H, W: srcTrain.Shape.W,
+			NumClasses: srcTrain.Classes, Hidden: 24,
+		}, rng.New(uint64(30+i)))
+		if err != nil {
+			return err
+		}
+		if _, err := trainer.Train(ctx, model, train, trainer.Config{Epochs: 14}, rng.New(uint64(40+i))); err != nil {
+			return err
+		}
+		path := filepath.Join(zoo, up.id+".bin")
+		if err := model.SaveFile(path); err != nil {
+			return err
+		}
+		if err := nn.SidecarFor(model, "zoo/"+up.id, note).WriteFile(path); err != nil {
+			return err
+		}
+	}
+
+	// The platform: a registry whose hot-set is smaller than the zoo —
+	// serving all models pages checkpoints in and out on demand.
+	const maxLoaded = 2
+	reg, err := mlaas.OpenRegistry(zoo, mlaas.RegistryConfig{MaxLoaded: maxLoaded})
+	if err != nil {
+		return err
+	}
+	server := mlaas.NewRegistryServer(reg)
+	ready := make(chan string, 1)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.Serve(ctx, "127.0.0.1:0", ready) }()
+	addr := <-ready
+	fmt.Printf("platform: %d models live at http://%s (LRU hot-set of %d)\n", reg.Len(), addr, maxLoaded)
+
+	// The defender side: discover the fleet, train ONE detector, audit all.
+	list, err := mlaas.ListModels(ctx, "http://"+addr, mlaas.ClientConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("defender: endpoint lists %d models (default %q)\n", len(list.Models), list.Default)
+
+	fmt.Println("defender: training BPROM detector locally ...")
+	det, err := bprom.Train(ctx, bprom.Config{
+		Reserved:      srcTest.Reserve(0.10, rng.New(9)),
+		ExternalTrain: tgtTrain,
+		ExternalTest:  tgtTest,
+		NumClean:      6,
+		NumBackdoor:   6,
+		ShadowArch:    nn.ArchConfig{Arch: nn.ArchConvLite, Hidden: 24},
+		ShadowTrain:   trainer.Config{Epochs: 14},
+		Seed:          42,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("defender: auditing the whole fleet concurrently (black-box) ...")
+	type result struct {
+		id string
+		v  bprom.Verdict
+	}
+	results := make([]result, len(list.Models))
+	var wg sync.WaitGroup
+	var firstErr error
+	var mu sync.Mutex
+	for i, mi := range list.Models {
+		wg.Add(1)
+		go func(i int, mi mlaas.ModelInfo) {
+			defer wg.Done()
+			client, err := mlaas.DialModel(ctx, "http://"+addr, mi.ID, mlaas.ClientConfig{})
+			if err == nil {
+				var v bprom.Verdict
+				v, err = det.Inspect(ctx, client, i)
+				results[i] = result{id: mi.ID, v: v}
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("audit %s: %w", mi.ID, err)
+				}
+				mu.Unlock()
+			}
+		}(i, mi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	for _, res := range results {
+		verdict := "CLEAN"
+		if res.v.Backdoored {
+			verdict = "BACKDOORED"
+		}
+		fmt.Printf("defender: %-8s -> %-10s (score %.3f, prompted acc %.3f, %d queries)\n",
+			res.id, verdict, res.v.Score, res.v.PromptedAcc, res.v.Queries)
+	}
+
+	cancel()
+	if err := <-serveErr; err != nil {
+		return err
+	}
+	return nil
+}

@@ -325,10 +325,3 @@ func Poison(clean *data.Dataset, cfg Config, r *rng.RNG) (*data.Dataset, *Info, 
 	}
 	return out, info, nil
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -245,7 +245,7 @@ func trainShadow(ctx context.Context, cfg Config, r *rng.RNG, backdoor bool) (Sh
 	if backdoor {
 		// Redraw the trigger parameters (m, t, α, y_t) per shadow: random
 		// target class and pattern seed (§5.2 step 3).
-		atk.Target = r.Intn(ds.Classes - maxInt(0, atk.NumTargets-1))
+		atk.Target = r.Intn(ds.Classes - max(0, atk.NumTargets-1))
 		atk.Seed = r.Uint64()
 		poisoned, _, err := attack.Poison(ds, atk, r.Split("poison"))
 		if err != nil {
@@ -355,6 +355,12 @@ type Verdict struct {
 // confidence vector and scores it with the meta-classifier. The RNG stream
 // is derived from the detector seed and inspectID, so repeated inspections
 // are reproducible and independent.
+//
+// Inspect only reads detector state, and every per-inspection workspace
+// (prompt, query counter, RNG stream) is call-local, so one trained
+// detector may audit any number of suspicious oracles concurrently — the
+// fleet-audit mode of cmd/bprom does exactly that, one goroutine per
+// hosted model.
 func (d *Detector) Inspect(ctx context.Context, sus oracle.Oracle, inspectID int) (Verdict, error) {
 	counter := oracle.NewCounter(sus)
 	r := rng.New(d.seed).Split("inspect", inspectID)
@@ -395,11 +401,4 @@ func (d *Detector) ScoreModel(ctx context.Context, sus oracle.Oracle, inspectID 
 		return 0, err
 	}
 	return v.Score, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

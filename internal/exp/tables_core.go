@@ -589,10 +589,3 @@ func RunFigure5(ctx context.Context, p Params) (*Table, error) {
 	t.AddRow("shadow models (trojan)", f3(stats.Silhouette(proj, labels)), fmt.Sprint(len(rows)))
 	return t, nil
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

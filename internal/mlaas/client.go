@@ -1,0 +1,295 @@
+package mlaas
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"bprom/internal/oracle"
+	"bprom/internal/tensor"
+)
+
+// NoRetries disables retries explicitly. ClientConfig.Retries treats zero
+// as "use the default", so callers that want exactly one attempt per
+// request pass this sentinel.
+const NoRetries = -1
+
+// maxInflightChunks bounds parallel sub-requests when Predict splits an
+// oversized batch across multiple predict calls.
+const maxInflightChunks = 4
+
+// ClientConfig tunes the HTTP oracle.
+type ClientConfig struct {
+	// Timeout per request. Default 30s.
+	Timeout time.Duration
+	// Retries is the number of retry attempts after the first failure, for
+	// transient failures only (network errors and 5xx). Zero means "use the
+	// default" (2); pass NoRetries (or any negative value) to disable
+	// retries entirely.
+	Retries int
+	// HTTPClient overrides the transport (tests).
+	HTTPClient *http.Client
+}
+
+func (c *ClientConfig) defaults() {
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0 // NoRetries and friends: first attempt only
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+}
+
+// Client is an oracle.Oracle backed by one model on a remote MLaaS
+// endpoint. It is safe for concurrent use; batches larger than the
+// endpoint's advertised max_batch are split into parallel chunked requests
+// transparently. Dial binds it to the endpoint's default model, DialModel
+// to a specific one — a fleet audit holds one Client per hosted model.
+type Client struct {
+	base     string
+	modelID  string // "" = default model (legacy un-prefixed routes)
+	cfg      ClientConfig
+	name     string
+	classes  int
+	inputDim int
+	maxBatch int
+}
+
+var _ oracle.Oracle = (*Client)(nil)
+
+// Dial fetches /v1/info and returns a client bound to the endpoint's
+// default model.
+func Dial(ctx context.Context, baseURL string, cfg ClientConfig) (*Client, error) {
+	return dial(ctx, baseURL, "", cfg)
+}
+
+// DialModel fetches /v1/models/{id}/info and returns a client bound to
+// that hosted model.
+func DialModel(ctx context.Context, baseURL, modelID string, cfg ClientConfig) (*Client, error) {
+	if modelID == "" {
+		return nil, fmt.Errorf("mlaas: empty model id (use Dial for the default model)")
+	}
+	return dial(ctx, baseURL, modelID, cfg)
+}
+
+func dial(ctx context.Context, baseURL, modelID string, cfg ClientConfig) (*Client, error) {
+	cfg.defaults()
+	c := &Client{base: baseURL, modelID: modelID, cfg: cfg}
+	var info infoResponse
+	if err := c.getJSON(ctx, c.route("info"), &info); err != nil {
+		return nil, err
+	}
+	if info.Classes < 2 || info.InputDim < 1 {
+		return nil, fmt.Errorf("mlaas: implausible endpoint metadata %+v", info)
+	}
+	c.name = info.Name
+	c.classes = info.Classes
+	c.inputDim = info.InputDim
+	c.maxBatch = info.MaxBatch // 0 for endpoints that do not advertise one
+	return c, nil
+}
+
+// ModelList is the decoded /v1/models listing.
+type ModelList struct {
+	// Default is the id served by the legacy un-prefixed routes.
+	Default string `json:"default"`
+	// Models lists every hosted model, sorted by id.
+	Models []ModelInfo `json:"models"`
+}
+
+// ListModels fetches /v1/models: the ids, shapes, and hot-set state of
+// every model the endpoint hosts. Fleet audits start here, then DialModel
+// each id.
+func ListModels(ctx context.Context, baseURL string, cfg ClientConfig) (ModelList, error) {
+	cfg.defaults()
+	c := &Client{base: baseURL, cfg: cfg}
+	var list ModelList
+	if err := c.getJSON(ctx, baseURL+"/v1/models", &list); err != nil {
+		return ModelList{}, err
+	}
+	return list, nil
+}
+
+// route builds the endpoint path for this client's model: the legacy
+// un-prefixed routes for the default model, /v1/models/{id}/... otherwise.
+func (c *Client) route(leaf string) string {
+	if c.modelID == "" {
+		return c.base + "/v1/" + leaf
+	}
+	return c.base + "/v1/models/" + url.PathEscape(c.modelID) + "/" + leaf
+}
+
+// getJSON fetches one metadata URL and decodes the response (no retries:
+// metadata fetches are cheap for the caller to re-issue).
+func (c *Client) getJSON(ctx context.Context, u string, v any) error {
+	reqCtx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("mlaas: build request: %w", err)
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("mlaas: fetch %s: %w", u, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		return fmt.Errorf("mlaas: %s returned %s (%s)", u, resp.Status, er.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("mlaas: decode %s: %w", u, err)
+	}
+	return nil
+}
+
+// ModelID reports which hosted model this client queries ("" for the
+// endpoint's default model).
+func (c *Client) ModelID() string { return c.modelID }
+
+// Name reports the endpoint's display name for the bound model.
+func (c *Client) Name() string { return c.name }
+
+// NumClasses reports the bound model's label-space size.
+func (c *Client) NumClasses() int { return c.classes }
+
+// InputDim reports the bound model's flattened input width.
+func (c *Client) InputDim() int { return c.inputDim }
+
+// MaxBatch reports the endpoint's advertised per-request batch limit
+// (0 when the endpoint does not advertise one).
+func (c *Client) MaxBatch() int { return c.maxBatch }
+
+// Predict sends the batch to the endpoint, retrying transient failures.
+// Batches beyond the endpoint's max_batch are chunked into multiple
+// requests (at most maxInflightChunks in flight) and reassembled in order.
+func (c *Client) Predict(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Rank() != 2 || x.Dim(1) != c.inputDim {
+		return nil, fmt.Errorf("mlaas: input shape %v, want [N %d]", x.Shape(), c.inputDim)
+	}
+	n := x.Dim(0)
+	if c.maxBatch <= 0 || n <= c.maxBatch {
+		return c.predictBatch(ctx, x)
+	}
+	out := tensor.New(n, c.classes)
+	sem := make(chan struct{}, maxInflightChunks)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for start := 0; start < n; start += c.maxBatch {
+		end := start + c.maxBatch
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			mu.Lock()
+			failed := firstErr != nil
+			mu.Unlock()
+			if failed {
+				return
+			}
+			chunk := tensor.FromSlice(x.Data[start*c.inputDim:end*c.inputDim], end-start, c.inputDim)
+			probs, err := c.predictBatch(ctx, chunk)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("mlaas: chunk [%d:%d]: %w", start, end, err)
+				}
+				mu.Unlock()
+				return
+			}
+			copy(out.Data[start*c.classes:end*c.classes], probs.Data)
+		}(start, end)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// predictBatch sends one already-sized batch with the retry loop.
+func (c *Client) predictBatch(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	n := x.Dim(0)
+	req := predictRequest{Inputs: make([][]float64, n)}
+	for i := 0; i < n; i++ {
+		req.Inputs[i] = x.Row(i)
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("mlaas: encode batch: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			backoff := time.Duration(1<<uint(attempt-1)) * 100 * time.Millisecond
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("mlaas: %w (last error: %v)", ctx.Err(), lastErr)
+			}
+		}
+		out, retryable, err := c.predictOnce(ctx, payload, n)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if !retryable {
+			break
+		}
+	}
+	return nil, fmt.Errorf("mlaas: predict failed: %w", lastErr)
+}
+
+func (c *Client) predictOnce(ctx context.Context, payload []byte, n int) (_ *tensor.Tensor, retryable bool, _ error) {
+	reqCtx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, c.route("predict"), bytes.NewReader(payload))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, true, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		return nil, true, fmt.Errorf("server error: %s", resp.Status)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		return nil, false, fmt.Errorf("endpoint rejected request: %s (%s)", resp.Status, er.Error)
+	}
+	var pr predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, true, fmt.Errorf("decode response: %w", err)
+	}
+	if len(pr.Confidences) != n {
+		return nil, false, fmt.Errorf("endpoint returned %d rows for %d inputs", len(pr.Confidences), n)
+	}
+	out := tensor.New(n, c.classes)
+	for i, row := range pr.Confidences {
+		if len(row) != c.classes {
+			return nil, false, fmt.Errorf("row %d has %d classes, want %d", i, len(row), c.classes)
+		}
+		copy(out.Data[i*c.classes:(i+1)*c.classes], row)
+	}
+	return out, false, nil
+}

@@ -1,0 +1,144 @@
+package mlaas
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"bprom/internal/nn"
+	"bprom/internal/tensor"
+)
+
+// errEngineClosed reports a predict attempted on a stopped worker group
+// (server shut down, or the registry evicted the model).
+var errEngineClosed = errors.New("mlaas: model engine closed")
+
+// predictJob is one decoded predict request waiting for a worker.
+type predictJob struct {
+	x   *tensor.Tensor // [n, InputDim]
+	out chan *tensor.Tensor
+}
+
+// engine is the micro-batch worker group for one frozen model: a request
+// queue drained by maxConcurrent workers, each coalescing whatever is
+// queued at its tick (up to maxBatch rows) into a single forward pass. The
+// nn inference path is reentrant, so no lock guards the model; forward
+// passes themselves run on the process-wide shared tensor worker pool, so
+// engines for many models compose without oversubscribing CPUs.
+//
+// A Server owns one engine in single-model mode; a Registry owns one per
+// hot model and closes it on eviction.
+type engine struct {
+	model    *nn.Model
+	maxBatch int
+	queue    chan *predictJob
+	done     chan struct{}
+	once     sync.Once
+}
+
+// newEngine starts maxConcurrent micro-batch workers over model. The model
+// must not be mutated afterwards; call close to stop the workers.
+func newEngine(model *nn.Model, maxBatch, maxConcurrent int) *engine {
+	e := &engine{
+		model:    model,
+		maxBatch: maxBatch,
+		queue:    make(chan *predictJob, 4*maxConcurrent),
+		done:     make(chan struct{}),
+	}
+	for i := 0; i < maxConcurrent; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// close stops the workers; queued and future predicts fail with
+// errEngineClosed. Safe to call more than once.
+func (e *engine) close() {
+	e.once.Do(func() { close(e.done) })
+}
+
+// predict enqueues one batch and waits for its confidence rows. The batch
+// must already respect maxBatch (the HTTP layer rejects larger requests).
+func (e *engine) predict(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	// Check done first: select chooses randomly among ready cases, so
+	// without this a post-close predict could still win the enqueue race.
+	select {
+	case <-e.done:
+		return nil, errEngineClosed
+	default:
+	}
+	job := &predictJob{x: x, out: make(chan *tensor.Tensor, 1)}
+	select {
+	case e.queue <- job:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-e.done:
+		return nil, errEngineClosed
+	}
+	select {
+	case probs := <-job.out:
+		return probs, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-e.done:
+		return nil, errEngineClosed
+	}
+}
+
+// worker drains the queue: it blocks for one job, greedily coalesces
+// whatever else is already queued into the same forward pass (adaptive
+// batching: no added latency when idle, large batches under load), and
+// fans the confidence rows back out to the waiting callers.
+func (e *engine) worker() {
+	for {
+		select {
+		case <-e.done:
+			return
+		case job := <-e.queue:
+			batch := []*predictJob{job}
+			rows := job.x.Dim(0)
+		coalesce:
+			for rows < e.maxBatch {
+				select {
+				case next := <-e.queue:
+					// Accepting an already-dequeued job may overshoot
+					// maxBatch; since every request holds at most maxBatch
+					// rows the pass stays under 2x, which the model handles
+					// fine — maxBatch bounds request size, not tensor size.
+					batch = append(batch, next)
+					rows += next.x.Dim(0)
+				default:
+					break coalesce
+				}
+			}
+			e.runBatch(batch, rows)
+		}
+	}
+}
+
+// runBatch runs one forward pass for the coalesced jobs and distributes the
+// result rows. Parallelism is bounded by construction: only the engine's
+// workers call this.
+func (e *engine) runBatch(batch []*predictJob, rows int) {
+	if len(batch) == 1 {
+		// Common uncoalesced case: the job owns the whole result.
+		batch[0].out <- e.model.Predict(batch[0].x)
+		return
+	}
+	x := tensor.New(rows, e.model.InputDim)
+	off := 0
+	for _, j := range batch {
+		copy(x.Data[off:off+j.x.Len()], j.x.Data)
+		off += j.x.Len()
+	}
+	probs := e.model.Predict(x)
+	k := e.model.NumClasses
+	row := 0
+	for _, j := range batch {
+		n := j.x.Dim(0)
+		out := tensor.New(n, k)
+		copy(out.Data, probs.Data[row*k:(row+n)*k])
+		row += n
+		j.out <- out // buffered; never blocks even if the caller is gone
+	}
+}

@@ -1,19 +1,29 @@
 // Package mlaas provides a Machine-Learning-as-a-Service layer: an HTTP
-// server that exposes a model as a prediction API (confidence vectors only,
+// server that exposes models as a prediction API (confidence vectors only,
 // exactly the paper's threat model) and a client that implements
 // oracle.Oracle over the wire. BPROM runs unchanged against either an
 // in-process model or a remote endpoint — the examples and integration
 // tests exercise detection across a real network boundary.
 //
-// API:
+// The server hosts either a single in-memory model (NewServer) or a whole
+// zoo of on-disk checkpoints (NewRegistryServer + Registry): the registry
+// scans a checkpoint directory, lazily loads models on first request, and
+// keeps a bounded LRU hot-set so any number of checkpoints serve within a
+// fixed memory budget. Each hot model gets its own micro-batch worker
+// group; all of them share the one process-wide tensor worker pool.
 //
-//	GET  /v1/info     -> {"classes": K, "input_dim": D, "max_batch": B, "name": "..."}
-//	POST /v1/predict  {"inputs": [[f64,...],...]} -> {"confidences": [[f64,...],...]}
+// API (see docs/API.md for the full wire-protocol reference):
 //
-// Serving is fully concurrent: the nn inference path is stateless, so the
-// server runs one forward pass per worker with no global lock. An adaptive
-// micro-batcher coalesces requests that queue up while workers are busy
-// into a single forward pass, so throughput under load approaches the
+//	GET  /v1/models                  -> {"default": id, "models": [{...}, ...]}
+//	GET  /v1/models/{id}/info        -> {"id", "name", "arch", "classes", "input_dim", "max_batch"}
+//	POST /v1/models/{id}/predict     {"inputs": [[f64,...],...]} -> {"confidences": [[f64,...],...]}
+//	GET  /v1/info                    alias for the default model's info
+//	POST /v1/predict                 alias for the default model's predict
+//
+// Serving is fully concurrent: the nn inference path is stateless, so each
+// model's engine runs one forward pass per worker with no global lock. An
+// adaptive micro-batcher coalesces requests that queue up while workers are
+// busy into a single forward pass, so throughput under load approaches the
 // model's raw batched-inference rate — and each coalesced pass is itself
 // parallel inside, because the tensor kernels split row blocks across the
 // process-wide shared worker pool. The client adds timeouts, bounded
@@ -22,7 +32,6 @@
 package mlaas
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -34,20 +43,71 @@ import (
 	"time"
 
 	"bprom/internal/nn"
-	"bprom/internal/oracle"
 	"bprom/internal/tensor"
 )
 
+// ErrUnknownModel reports a model id the serving surface does not host.
+// The HTTP layer maps it to 404.
+var ErrUnknownModel = errors.New("mlaas: unknown model")
+
+// DefaultModelID is the id under which NewServer registers its single
+// model, and the id aliased by the legacy /v1/info and /v1/predict routes
+// on a single-model server.
+const DefaultModelID = "default"
+
+// ModelInfo describes one hosted model in /v1/models listings.
+type ModelInfo struct {
+	// ID is the route segment that selects the model (/v1/models/{id}/...).
+	ID string `json:"id"`
+	// Name is the display name (sidecar name, or the id when absent).
+	Name string `json:"name,omitempty"`
+	// Arch is the nn architecture family of the checkpoint.
+	Arch string `json:"arch,omitempty"`
+	// Note is free-form provenance from the checkpoint sidecar.
+	Note string `json:"note,omitempty"`
+	// Classes is the label-space size.
+	Classes int `json:"classes"`
+	// InputDim is the flattened per-sample input width.
+	InputDim int `json:"input_dim"`
+	// Params is the trainable-scalar count (0 when unknown).
+	Params int `json:"params,omitempty"`
+	// Loaded reports whether the model is resident in the LRU hot-set
+	// right now (single-model servers are always loaded).
+	Loaded bool `json:"loaded"`
+}
+
+// provider abstracts where hosted models come from: a single in-memory
+// model (NewServer) or a disk-backed LRU registry (NewRegistryServer).
+type provider interface {
+	// Models lists every hosted model, sorted by id.
+	Models() []ModelInfo
+	// DefaultID is the model served by the legacy un-prefixed routes.
+	DefaultID() string
+	// Info resolves one model's metadata without forcing a load.
+	// id "" means the default model.
+	Info(id string) (ModelInfo, error)
+	// MaxBatch is the per-request row limit shared by all hosted models.
+	MaxBatch() int
+	// Predict routes one batch to the model's engine, loading it first if
+	// necessary. id "" means the default model.
+	Predict(ctx context.Context, id string, x *tensor.Tensor) (*tensor.Tensor, error)
+	// Close stops every engine.
+	Close()
+}
+
 // ServerConfig tunes the service.
 type ServerConfig struct {
-	// Name is reported by /v1/info (a model-zoo listing name).
+	// Name is reported by /v1/info (a model-zoo listing name). Ignored in
+	// registry mode, where each checkpoint carries its own name.
 	Name string
 	// MaxBatch bounds samples per request, and is the coalescing target of
 	// the micro-batcher. Advertised via /v1/info so clients chunk larger
-	// batches themselves. Default 512.
+	// batches themselves. Default 512. Ignored in registry mode (the
+	// RegistryConfig sets it).
 	MaxBatch int
 	// MaxConcurrent bounds simultaneous forward passes: it is the number of
 	// micro-batch workers, and only workers run inference. Default 4.
+	// Ignored in registry mode (the RegistryConfig sets it per model).
 	//
 	// Forward passes themselves run on the tensor package's shared worker
 	// pool (one bounded pool per process, sized by GOMAXPROCS or
@@ -67,119 +127,105 @@ func (c *ServerConfig) defaults() {
 	}
 }
 
-// predictJob is one decoded /v1/predict request waiting for a worker.
-type predictJob struct {
-	x   *tensor.Tensor // [n, InputDim]
-	out chan *tensor.Tensor
+// singleProvider hosts exactly one in-memory model under DefaultModelID.
+type singleProvider struct {
+	info ModelInfo
+	eng  *engine
 }
 
-// Server serves one frozen model. Inference goes through a queue drained by
-// MaxConcurrent workers; each worker coalesces whatever is queued at its
-// tick (up to MaxBatch rows) into one forward pass. The nn inference path
-// is reentrant, so no lock guards the model.
+func (p *singleProvider) Models() []ModelInfo { return []ModelInfo{p.info} }
+func (p *singleProvider) DefaultID() string   { return p.info.ID }
+func (p *singleProvider) MaxBatch() int       { return p.eng.maxBatch }
+func (p *singleProvider) Close()              { p.eng.close() }
+
+func (p *singleProvider) Info(id string) (ModelInfo, error) {
+	if id != "" && id != p.info.ID {
+		return ModelInfo{}, fmt.Errorf("%w: %q", ErrUnknownModel, id)
+	}
+	return p.info, nil
+}
+
+func (p *singleProvider) Predict(ctx context.Context, id string, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if id != "" && id != p.info.ID {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, id)
+	}
+	return p.eng.predict(ctx, x)
+}
+
+// Server is the HTTP front of the service: request decoding, model routing,
+// and the error envelope. Inference happens in per-model engines owned by
+// the provider behind it.
 type Server struct {
-	cfg   ServerConfig
-	model *nn.Model
-	queue chan *predictJob
-	done  chan struct{}
-	once  sync.Once
+	prov provider
+	once sync.Once
 }
 
-// NewServer wraps a frozen model and starts the micro-batch workers. The
-// model must not be mutated afterwards. Call Close to stop the workers
-// (Serve does so on shutdown).
+// NewServer wraps one frozen in-memory model and starts its micro-batch
+// workers. The model must not be mutated afterwards. Call Close to stop
+// the workers (Serve does so on shutdown). The model is hosted under
+// DefaultModelID, so multi-model clients work against it too.
 func NewServer(model *nn.Model, cfg ServerConfig) *Server {
 	cfg.defaults()
-	s := &Server{
-		cfg:   cfg,
-		model: model,
-		queue: make(chan *predictJob, 4*cfg.MaxConcurrent),
-		done:  make(chan struct{}),
-	}
-	for i := 0; i < cfg.MaxConcurrent; i++ {
-		go s.worker()
-	}
-	return s
+	return &Server{prov: &singleProvider{
+		info: ModelInfo{
+			ID:       DefaultModelID,
+			Name:     cfg.Name,
+			Arch:     string(model.Arch),
+			Classes:  model.NumClasses,
+			InputDim: model.InputDim,
+			Params:   model.ParamCount(),
+			Loaded:   true,
+		},
+		eng: newEngine(model, cfg.MaxBatch, cfg.MaxConcurrent),
+	}}
 }
 
-// Close stops the micro-batch workers; queued and future requests fail with
-// 503. Safe to call more than once.
+// NewRegistryServer serves every checkpoint hosted by reg. The server takes
+// ownership of the registry: Close (and Serve on shutdown) closes it.
+func NewRegistryServer(reg *Registry) *Server {
+	return &Server{prov: reg}
+}
+
+// Close stops all model engines; queued and future requests fail with 503.
+// Safe to call more than once.
 func (s *Server) Close() {
-	s.once.Do(func() { close(s.done) })
-}
-
-// worker drains the queue: it blocks for one job, greedily coalesces
-// whatever else is already queued into the same forward pass (adaptive
-// batching: no added latency when idle, large batches under load), and
-// fans the confidence rows back out to the waiting handlers.
-func (s *Server) worker() {
-	for {
-		select {
-		case <-s.done:
-			return
-		case job := <-s.queue:
-			batch := []*predictJob{job}
-			rows := job.x.Dim(0)
-		coalesce:
-			for rows < s.cfg.MaxBatch {
-				select {
-				case next := <-s.queue:
-					// Accepting an already-dequeued job may overshoot
-					// MaxBatch; since every request holds at most MaxBatch
-					// rows the pass stays under 2x, which the model handles
-					// fine — MaxBatch bounds request size, not tensor size.
-					batch = append(batch, next)
-					rows += next.x.Dim(0)
-				default:
-					break coalesce
-				}
-			}
-			s.runBatch(batch, rows)
-		}
-	}
-}
-
-// runBatch runs one forward pass for the coalesced jobs and distributes the
-// result rows. Parallelism is bounded by construction: only the
-// MaxConcurrent workers call this.
-func (s *Server) runBatch(batch []*predictJob, rows int) {
-	if len(batch) == 1 {
-		// Common uncoalesced case: the job owns the whole result.
-		batch[0].out <- s.model.Predict(batch[0].x)
-		return
-	}
-	x := tensor.New(rows, s.model.InputDim)
-	off := 0
-	for _, j := range batch {
-		copy(x.Data[off:off+j.x.Len()], j.x.Data)
-		off += j.x.Len()
-	}
-	probs := s.model.Predict(x)
-	k := s.model.NumClasses
-	row := 0
-	for _, j := range batch {
-		n := j.x.Dim(0)
-		out := tensor.New(n, k)
-		copy(out.Data, probs.Data[row*k:(row+n)*k])
-		row += n
-		j.out <- out // buffered; never blocks even if the handler is gone
-	}
+	s.once.Do(func() { s.prov.Close() })
 }
 
 // Handler returns the HTTP handler for the service.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/info", s.handleInfo)
-	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /v1/models/{id}/info", func(w http.ResponseWriter, r *http.Request) {
+		s.handleInfo(w, r.PathValue("id"))
+	})
+	mux.HandleFunc("POST /v1/models/{id}/predict", func(w http.ResponseWriter, r *http.Request) {
+		s.handlePredict(w, r, r.PathValue("id"))
+	})
+	// Legacy single-model routes: aliases for the default model.
+	mux.HandleFunc("GET /v1/info", func(w http.ResponseWriter, r *http.Request) {
+		s.handleInfo(w, "")
+	})
+	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		s.handlePredict(w, r, "")
+	})
 	return mux
 }
 
-// infoResponse is the /v1/info payload.
+// infoResponse is the /v1/info and /v1/models/{id}/info payload.
 type infoResponse struct {
+	ID       string `json:"id"`
 	Name     string `json:"name"`
+	Arch     string `json:"arch,omitempty"`
 	Classes  int    `json:"classes"`
 	InputDim int    `json:"input_dim"`
 	MaxBatch int    `json:"max_batch"`
+}
+
+// modelsResponse is the /v1/models payload.
+type modelsResponse struct {
+	Default string      `json:"default"`
+	Models  []ModelInfo `json:"models"`
 }
 
 type predictRequest struct {
@@ -190,23 +236,45 @@ type predictResponse struct {
 	Confidences [][]float64 `json:"confidences"`
 }
 
+// errorResponse is the uniform error envelope: every non-2xx response
+// carries {"error": "..."}.
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, infoResponse{
-		Name:     s.cfg.Name,
-		Classes:  s.model.NumClasses,
-		InputDim: s.model.InputDim,
-		MaxBatch: s.cfg.MaxBatch,
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, modelsResponse{
+		Default: s.prov.DefaultID(),
+		Models:  s.prov.Models(),
 	})
 }
 
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleInfo(w http.ResponseWriter, id string) {
+	info, err := s.prov.Info(id)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, infoResponse{
+		ID:       info.ID,
+		Name:     info.Name,
+		Arch:     info.Arch,
+		Classes:  info.Classes,
+		InputDim: info.InputDim,
+		MaxBatch: s.prov.MaxBatch(),
+	})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, id string) {
+	info, err := s.prov.Info(id)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	maxBatch := s.prov.MaxBatch()
 	// Bound the request body: MaxBatch samples of InputDim float64s encoded
 	// as JSON need at most ~25 bytes per number.
-	limit := int64(s.cfg.MaxBatch*s.model.InputDim*25 + 1024)
+	limit := int64(maxBatch*info.InputDim*25 + 1024)
 	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "read body: " + err.Error()})
@@ -226,56 +294,48 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty batch"})
 		return
 	}
-	if n > s.cfg.MaxBatch {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("batch %d exceeds limit %d", n, s.cfg.MaxBatch)})
+	if n > maxBatch {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("batch %d exceeds limit %d", n, maxBatch)})
 		return
 	}
-	x := tensor.New(n, s.model.InputDim)
+	x := tensor.New(n, info.InputDim)
 	for i, row := range req.Inputs {
-		if len(row) != s.model.InputDim {
+		if len(row) != info.InputDim {
 			writeJSON(w, http.StatusBadRequest, errorResponse{
-				Error: fmt.Sprintf("sample %d has %d values, want %d", i, len(row), s.model.InputDim),
+				Error: fmt.Sprintf("sample %d has %d values, want %d", i, len(row), info.InputDim),
 			})
 			return
 		}
-		copy(x.Data[i*s.model.InputDim:(i+1)*s.model.InputDim], row)
+		copy(x.Data[i*info.InputDim:(i+1)*info.InputDim], row)
 	}
 
-	// Check done first: select chooses randomly among ready cases, so
-	// without this a post-Close request could still win the enqueue race.
-	select {
-	case <-s.done:
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server closed"})
-		return
-	default:
-	}
-	job := &predictJob{x: x, out: make(chan *tensor.Tensor, 1)}
-	select {
-	case s.queue <- job:
-	case <-r.Context().Done():
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "cancelled while queued"})
-		return
-	case <-s.done:
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server closed"})
+	probs, err := s.prov.Predict(r.Context(), id, x)
+	if err != nil {
+		s.writeError(w, err)
 		return
 	}
-	var probs *tensor.Tensor
-	select {
-	case probs = <-job.out:
-	case <-r.Context().Done():
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "cancelled while computing"})
-		return
-	case <-s.done:
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server closed"})
-		return
-	}
-
 	resp := predictResponse{Confidences: make([][]float64, n)}
-	k := s.model.NumClasses
+	k := info.Classes
 	for i := 0; i < n; i++ {
 		resp.Confidences[i] = probs.Data[i*k : (i+1)*k]
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeError maps provider errors onto the wire error envelope: unknown
+// model -> 404, closed/cancelled -> 503, anything else (e.g. a checkpoint
+// that fails to load) -> 500.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownModel):
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+	case errors.Is(err, errEngineClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server closed"})
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "cancelled: " + err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -287,8 +347,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // Serve listens on addr until ctx is cancelled, then shuts down gracefully
-// and stops the micro-batch workers. It reports the bound address through
-// ready (useful with addr ":0").
+// and stops the model engines. It reports the bound address through ready
+// (useful with addr ":0").
 func (s *Server) Serve(ctx context.Context, addr string, ready chan<- string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -320,216 +380,4 @@ func (s *Server) Serve(ctx context.Context, addr string, ready chan<- string) er
 		}
 		return fmt.Errorf("mlaas: serve: %w", err)
 	}
-}
-
-// --- Client ---------------------------------------------------------------------
-
-// NoRetries disables retries explicitly. ClientConfig.Retries treats zero
-// as "use the default", so callers that want exactly one attempt per
-// request pass this sentinel.
-const NoRetries = -1
-
-// maxInflightChunks bounds parallel sub-requests when Predict splits an
-// oversized batch across multiple /v1/predict calls.
-const maxInflightChunks = 4
-
-// ClientConfig tunes the HTTP oracle.
-type ClientConfig struct {
-	// Timeout per request. Default 30s.
-	Timeout time.Duration
-	// Retries is the number of retry attempts after the first failure, for
-	// transient failures only (network errors and 5xx). Zero means "use the
-	// default" (2); pass NoRetries (or any negative value) to disable
-	// retries entirely.
-	Retries int
-	// HTTPClient overrides the transport (tests).
-	HTTPClient *http.Client
-}
-
-func (c *ClientConfig) defaults() {
-	if c.Timeout <= 0 {
-		c.Timeout = 30 * time.Second
-	}
-	if c.Retries < 0 {
-		c.Retries = 0 // NoRetries and friends: first attempt only
-	} else if c.Retries == 0 {
-		c.Retries = 2
-	}
-	if c.HTTPClient == nil {
-		c.HTTPClient = &http.Client{}
-	}
-}
-
-// Client is an oracle.Oracle backed by a remote MLaaS endpoint. It is safe
-// for concurrent use; batches larger than the endpoint's advertised
-// max_batch are split into parallel chunked requests transparently.
-type Client struct {
-	base     string
-	cfg      ClientConfig
-	classes  int
-	inputDim int
-	maxBatch int
-}
-
-var _ oracle.Oracle = (*Client)(nil)
-
-// Dial fetches /v1/info and returns a ready client.
-func Dial(ctx context.Context, baseURL string, cfg ClientConfig) (*Client, error) {
-	cfg.defaults()
-	c := &Client{base: baseURL, cfg: cfg}
-	reqCtx, cancel := context.WithTimeout(ctx, cfg.Timeout)
-	defer cancel()
-	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, baseURL+"/v1/info", nil)
-	if err != nil {
-		return nil, fmt.Errorf("mlaas: build info request: %w", err)
-	}
-	resp, err := cfg.HTTPClient.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("mlaas: fetch info: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("mlaas: info returned %s", resp.Status)
-	}
-	var info infoResponse
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		return nil, fmt.Errorf("mlaas: decode info: %w", err)
-	}
-	if info.Classes < 2 || info.InputDim < 1 {
-		return nil, fmt.Errorf("mlaas: implausible endpoint metadata %+v", info)
-	}
-	c.classes = info.Classes
-	c.inputDim = info.InputDim
-	c.maxBatch = info.MaxBatch // 0 for endpoints that do not advertise one
-	return c, nil
-}
-
-func (c *Client) NumClasses() int { return c.classes }
-func (c *Client) InputDim() int   { return c.inputDim }
-
-// MaxBatch reports the endpoint's advertised per-request batch limit
-// (0 when the endpoint does not advertise one).
-func (c *Client) MaxBatch() int { return c.maxBatch }
-
-// Predict sends the batch to the endpoint, retrying transient failures.
-// Batches beyond the endpoint's max_batch are chunked into multiple
-// requests (at most maxInflightChunks in flight) and reassembled in order.
-func (c *Client) Predict(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
-	if x.Rank() != 2 || x.Dim(1) != c.inputDim {
-		return nil, fmt.Errorf("mlaas: input shape %v, want [N %d]", x.Shape(), c.inputDim)
-	}
-	n := x.Dim(0)
-	if c.maxBatch <= 0 || n <= c.maxBatch {
-		return c.predictBatch(ctx, x)
-	}
-	out := tensor.New(n, c.classes)
-	sem := make(chan struct{}, maxInflightChunks)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for start := 0; start < n; start += c.maxBatch {
-		end := start + c.maxBatch
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(start, end int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			mu.Lock()
-			failed := firstErr != nil
-			mu.Unlock()
-			if failed {
-				return
-			}
-			chunk := tensor.FromSlice(x.Data[start*c.inputDim:end*c.inputDim], end-start, c.inputDim)
-			probs, err := c.predictBatch(ctx, chunk)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("mlaas: chunk [%d:%d]: %w", start, end, err)
-				}
-				mu.Unlock()
-				return
-			}
-			copy(out.Data[start*c.classes:end*c.classes], probs.Data)
-		}(start, end)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return out, nil
-}
-
-// predictBatch sends one already-sized batch with the retry loop.
-func (c *Client) predictBatch(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
-	n := x.Dim(0)
-	req := predictRequest{Inputs: make([][]float64, n)}
-	for i := 0; i < n; i++ {
-		req.Inputs[i] = x.Row(i)
-	}
-	payload, err := json.Marshal(req)
-	if err != nil {
-		return nil, fmt.Errorf("mlaas: encode batch: %w", err)
-	}
-	var lastErr error
-	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
-		if attempt > 0 {
-			backoff := time.Duration(1<<uint(attempt-1)) * 100 * time.Millisecond
-			select {
-			case <-time.After(backoff):
-			case <-ctx.Done():
-				return nil, fmt.Errorf("mlaas: %w (last error: %v)", ctx.Err(), lastErr)
-			}
-		}
-		out, retryable, err := c.predictOnce(ctx, payload, n)
-		if err == nil {
-			return out, nil
-		}
-		lastErr = err
-		if !retryable {
-			break
-		}
-	}
-	return nil, fmt.Errorf("mlaas: predict failed: %w", lastErr)
-}
-
-func (c *Client) predictOnce(ctx context.Context, payload []byte, n int) (_ *tensor.Tensor, retryable bool, _ error) {
-	reqCtx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
-	defer cancel()
-	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, c.base+"/v1/predict", bytes.NewReader(payload))
-	if err != nil {
-		return nil, false, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.cfg.HTTPClient.Do(req)
-	if err != nil {
-		return nil, true, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 500 {
-		return nil, true, fmt.Errorf("server error: %s", resp.Status)
-	}
-	if resp.StatusCode != http.StatusOK {
-		var er errorResponse
-		_ = json.NewDecoder(resp.Body).Decode(&er)
-		return nil, false, fmt.Errorf("endpoint rejected request: %s (%s)", resp.Status, er.Error)
-	}
-	var pr predictResponse
-	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
-		return nil, true, fmt.Errorf("decode response: %w", err)
-	}
-	if len(pr.Confidences) != n {
-		return nil, false, fmt.Errorf("endpoint returned %d rows for %d inputs", len(pr.Confidences), n)
-	}
-	out := tensor.New(n, c.classes)
-	for i, row := range pr.Confidences {
-		if len(row) != c.classes {
-			return nil, false, fmt.Errorf("row %d has %d classes, want %d", i, len(row), c.classes)
-		}
-		copy(out.Data[i*c.classes:(i+1)*c.classes], row)
-	}
-	return out, false, nil
 }

@@ -1,0 +1,325 @@
+package mlaas
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"bprom/internal/nn"
+	"bprom/internal/tensor"
+)
+
+// RegistryConfig tunes a checkpoint registry.
+type RegistryConfig struct {
+	// MaxLoaded bounds the LRU hot-set: at most this many models are
+	// resident (weights in memory, engine running) at once; the rest stay
+	// on disk until requested. Default 4. The bound is soft under pressure:
+	// a model with requests in flight is never evicted, so the hot-set can
+	// transiently overshoot rather than break active predictions.
+	MaxLoaded int
+	// MaxBatch bounds samples per request for every hosted model, and is
+	// each engine's micro-batch coalescing target. Default 512.
+	MaxBatch int
+	// MaxConcurrent is the number of micro-batch workers per hot model.
+	// All engines share the one process-wide tensor worker pool, so this
+	// adds request-level concurrency, not CPU oversubscription. Default 4.
+	MaxConcurrent int
+	// Default selects the model served by the legacy un-prefixed routes.
+	// Empty means: the checkpoint named "clean" if present, else the first
+	// id in sorted order.
+	Default string
+}
+
+func (c *RegistryConfig) defaults() {
+	if c.MaxLoaded <= 0 {
+		c.MaxLoaded = 4
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 512
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+}
+
+// regEntry is one discovered checkpoint. Scan metadata (info) is immutable
+// after OpenRegistry except for info.Loaded; eng/refs/lastUse are guarded
+// by Registry.mu, and loadMu serializes the disk load so concurrent first
+// requests read the file once.
+type regEntry struct {
+	id   string
+	path string
+	info ModelInfo
+
+	loadMu  sync.Mutex
+	eng     *engine
+	refs    int
+	lastUse uint64
+}
+
+// Registry hosts a directory of saved checkpoints (*.bin in the versioned
+// nn binary format, with optional *.bin.json sidecars) behind the provider
+// interface. OpenRegistry scans the directory eagerly — headers and
+// sidecars only, a few dozen bytes per model — and loads weights lazily on
+// the first predict for each model. A bounded LRU hot-set (MaxLoaded) caps
+// resident models: loading a cold model evicts the least-recently-used
+// idle one, closing its engine and dropping its weights. Every hot model
+// runs its own micro-batch worker group; all groups share the process-wide
+// tensor worker pool.
+//
+// Registry implements the provider interface, so NewRegistryServer exposes
+// it over HTTP; it is equally usable in-process (see examples/fleet).
+type Registry struct {
+	dir       string
+	cfg       RegistryConfig
+	defaultID string
+
+	mu      sync.Mutex
+	entries map[string]*regEntry
+	ids     []string // sorted
+	tick    uint64
+	loaded  int
+	closed  bool
+}
+
+var _ provider = (*Registry)(nil)
+
+// OpenRegistry scans dir for checkpoints and returns a registry hosting
+// them. Every *.bin file must parse as an nn checkpoint header; sidecars
+// (*.bin.json) are optional and enrich listings with names, notes, and
+// parameter counts. At least one checkpoint is required.
+func OpenRegistry(dir string, cfg RegistryConfig) (*Registry, error) {
+	cfg.defaults()
+	dirents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("mlaas: scan registry dir: %w", err)
+	}
+	r := &Registry{dir: dir, cfg: cfg, entries: make(map[string]*regEntry)}
+	for _, de := range dirents {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".bin") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".bin")
+		path := filepath.Join(dir, name)
+		h, err := nn.ReadHeaderFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("mlaas: checkpoint %q: %w", id, err)
+		}
+		sc, _, err := nn.ReadSidecar(path)
+		if err != nil {
+			return nil, fmt.Errorf("mlaas: checkpoint %q: %w", id, err)
+		}
+		display := sc.Name
+		if display == "" {
+			display = id
+		}
+		r.entries[id] = &regEntry{
+			id:   id,
+			path: path,
+			info: ModelInfo{
+				ID:       id,
+				Name:     display,
+				Arch:     string(h.Arch),
+				Note:     sc.Note,
+				Classes:  h.NumClasses,
+				InputDim: h.InputDim,
+				Params:   sc.Params,
+			},
+		}
+		r.ids = append(r.ids, id)
+	}
+	if len(r.ids) == 0 {
+		return nil, fmt.Errorf("mlaas: no checkpoints (*.bin) in %s", dir)
+	}
+	sort.Strings(r.ids)
+	switch {
+	case cfg.Default != "":
+		if _, ok := r.entries[cfg.Default]; !ok {
+			return nil, fmt.Errorf("mlaas: default model %q not in %s", cfg.Default, dir)
+		}
+		r.defaultID = cfg.Default
+	case r.entries["clean"] != nil:
+		r.defaultID = "clean"
+	default:
+		r.defaultID = r.ids[0]
+	}
+	return r, nil
+}
+
+// Dir reports the scanned checkpoint directory.
+func (r *Registry) Dir() string { return r.dir }
+
+// Len reports how many checkpoints the registry hosts.
+func (r *Registry) Len() int { return len(r.ids) }
+
+// DefaultID reports the model served by the legacy un-prefixed routes.
+func (r *Registry) DefaultID() string { return r.defaultID }
+
+// MaxBatch reports the per-request row limit shared by all hosted models.
+func (r *Registry) MaxBatch() int { return r.cfg.MaxBatch }
+
+// MaxLoaded reports the LRU hot-set capacity (resolved default included).
+func (r *Registry) MaxLoaded() int { return r.cfg.MaxLoaded }
+
+// LoadedCount reports how many models are resident right now.
+func (r *Registry) LoadedCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.loaded
+}
+
+// Models lists every hosted checkpoint in sorted id order, with current
+// hot-set residency flags.
+func (r *Registry) Models() []ModelInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ModelInfo, 0, len(r.ids))
+	for _, id := range r.ids {
+		out = append(out, r.entries[id].info)
+	}
+	return out
+}
+
+// Info resolves one checkpoint's metadata without loading it. id "" means
+// the default model.
+func (r *Registry) Info(id string) (ModelInfo, error) {
+	if id == "" {
+		id = r.defaultID
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return ModelInfo{}, fmt.Errorf("%w: %q", ErrUnknownModel, id)
+	}
+	return e.info, nil
+}
+
+// Predict routes one batch to the model's engine, loading the checkpoint
+// first if it is cold. id "" means the default model.
+func (r *Registry) Predict(ctx context.Context, id string, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if id == "" {
+		id = r.defaultID
+	}
+	e, eng, err := r.acquire(id)
+	if err != nil {
+		return nil, err
+	}
+	defer r.release(e)
+	return eng.predict(ctx, x)
+}
+
+// acquire returns the model's running engine, loading the checkpoint if
+// needed, and pins the entry (refs) so eviction cannot close the engine
+// while the caller uses it. Balance every successful acquire with release.
+func (r *Registry) acquire(id string) (*regEntry, *engine, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, nil, errEngineClosed
+	}
+	e, ok := r.entries[id]
+	if !ok {
+		r.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownModel, id)
+	}
+	e.refs++
+	r.tick++
+	e.lastUse = r.tick
+	eng := e.eng
+	r.mu.Unlock()
+	if eng != nil {
+		return e, eng, nil
+	}
+
+	// Cold: load under the entry's own lock so racing first requests do
+	// one disk read, while requests for other models proceed untouched.
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+	r.mu.Lock()
+	eng = e.eng
+	r.mu.Unlock()
+	if eng != nil {
+		return e, eng, nil // a racing loader won while we waited
+	}
+	m, err := nn.LoadFile(e.path)
+	if err != nil {
+		r.release(e)
+		return nil, nil, fmt.Errorf("mlaas: load model %q: %w", id, err)
+	}
+	eng = newEngine(m, r.cfg.MaxBatch, r.cfg.MaxConcurrent)
+	r.mu.Lock()
+	if r.closed {
+		e.refs--
+		r.mu.Unlock()
+		eng.close()
+		return nil, nil, errEngineClosed
+	}
+	e.eng = eng
+	e.info.Loaded = true
+	r.loaded++
+	r.evictLocked()
+	r.mu.Unlock()
+	return e, eng, nil
+}
+
+// release unpins an acquired entry. If the hot-set overshot MaxLoaded
+// while every resident model was busy, the drain is when the bound is
+// restored — so eviction reruns here, not only on loads.
+func (r *Registry) release(e *regEntry) {
+	r.mu.Lock()
+	e.refs--
+	if !r.closed && r.loaded > r.cfg.MaxLoaded {
+		r.evictLocked()
+	}
+	r.mu.Unlock()
+}
+
+// evictLocked closes least-recently-used idle engines until the hot-set is
+// back within MaxLoaded. Entries with requests in flight are skipped — the
+// hot-set transiently overshoots rather than failing active predicts.
+// Callers hold r.mu.
+func (r *Registry) evictLocked() {
+	for r.loaded > r.cfg.MaxLoaded {
+		var victim *regEntry
+		for _, e := range r.entries {
+			if e.eng == nil || e.refs > 0 {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return // everything hot is busy; retry at the next load
+		}
+		victim.eng.close()
+		victim.eng = nil
+		victim.info.Loaded = false
+		r.loaded--
+	}
+}
+
+// Close stops every engine and drops the hot-set. In-flight requests fail
+// with 503; the registry cannot be reopened. Safe to call more than once.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for _, e := range r.entries {
+		if e.eng != nil {
+			e.eng.close()
+			e.eng = nil
+			e.info.Loaded = false
+		}
+	}
+	r.loaded = 0
+}

@@ -1,0 +1,157 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+)
+
+// Checkpoint metadata. A saved model is two files: the binary weights
+// (Save/Load, see serialize.go) and an optional JSON sidecar next to it
+// carrying human-facing metadata — a display name, provenance notes, and
+// training metrics — that the binary format deliberately does not encode.
+// The MLaaS registry scans checkpoint directories with ReadHeaderFile (a
+// few dozen bytes per model, no weight I/O) and enriches listings from the
+// sidecars, so a model zoo can be enumerated without loading a single
+// weight tensor.
+
+// Header is the fixed prelude of the binary model format: everything Save
+// writes before the layer list. It identifies a checkpoint — architecture
+// family, input width, label-space size — at the cost of reading ~40 bytes.
+type Header struct {
+	// Version is the on-disk format version (currently 1).
+	Version uint32
+	// Arch is the architecture family the model was built from.
+	Arch Arch
+	// InputDim is the flattened per-sample input width.
+	InputDim int
+	// NumClasses is the label-space size.
+	NumClasses int
+}
+
+// ReadHeader reads the format prelude from r without touching the layer
+// list or weights. The reader is left positioned at the first layer tag.
+func ReadHeader(r io.Reader) (Header, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return readHeader(br)
+}
+
+// ReadHeaderFile reads just the checkpoint prelude from path. It is the
+// cheap way to identify a model file: no weights are read.
+func ReadHeaderFile(path string) (Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, fmt.Errorf("nn: open %s: %w", path, err)
+	}
+	defer f.Close()
+	h, err := ReadHeader(f)
+	if err != nil {
+		return Header{}, fmt.Errorf("nn: %s: %w", path, err)
+	}
+	return h, nil
+}
+
+func readHeader(br *bufio.Reader) (Header, error) {
+	magic := make([]byte, len(formatMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return Header{}, fmt.Errorf("nn: read magic: %w", err)
+	}
+	if string(magic) != formatMagic {
+		return Header{}, fmt.Errorf("nn: bad magic %q", magic)
+	}
+	ver, err := readU32(br)
+	if err != nil {
+		return Header{}, err
+	}
+	if ver != formatVersion {
+		return Header{}, fmt.Errorf("nn: unsupported format version %d", ver)
+	}
+	arch, err := readString(br)
+	if err != nil {
+		return Header{}, err
+	}
+	inDim, err := readU32(br)
+	if err != nil {
+		return Header{}, err
+	}
+	classes, err := readU32(br)
+	if err != nil {
+		return Header{}, err
+	}
+	return Header{Version: ver, Arch: Arch(arch), InputDim: int(inDim), NumClasses: int(classes)}, nil
+}
+
+// Sidecar is the JSON metadata file written next to a checkpoint
+// (<model>.bin -> <model>.bin.json). It duplicates the binary header's
+// shape fields for grep-ability and adds the free-form fields an MLaaS
+// listing wants to show: a display name, a provenance note (e.g. which
+// backdoor attack poisoned the training set), and training metrics.
+type Sidecar struct {
+	// Name is a human-facing display name for model listings.
+	Name string `json:"name,omitempty"`
+	// Note records provenance: how the checkpoint was produced.
+	Note string `json:"note,omitempty"`
+	// Arch mirrors the binary header's architecture family.
+	Arch string `json:"arch,omitempty"`
+	// InputDim mirrors the binary header's flattened input width.
+	InputDim int `json:"input_dim,omitempty"`
+	// NumClasses mirrors the binary header's label-space size.
+	NumClasses int `json:"classes,omitempty"`
+	// Params is the trainable-scalar count of the saved model.
+	Params int `json:"params,omitempty"`
+	// Metrics holds free-form training/evaluation numbers (e.g. "acc",
+	// "asr" for the attack zoo's checkpoints).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// SidecarFor assembles a Sidecar describing m.
+func SidecarFor(m *Model, name, note string) Sidecar {
+	return Sidecar{
+		Name:       name,
+		Note:       note,
+		Arch:       string(m.Arch),
+		InputDim:   m.InputDim,
+		NumClasses: m.NumClasses,
+		Params:     m.ParamCount(),
+	}
+}
+
+// SidecarPath returns the sidecar path for a model file path.
+func SidecarPath(modelPath string) string { return modelPath + ".json" }
+
+// WriteFile writes the sidecar next to the model file at modelPath.
+func (s Sidecar) WriteFile(modelPath string) error {
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("nn: encode sidecar: %w", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(SidecarPath(modelPath), buf, 0o644); err != nil {
+		return fmt.Errorf("nn: write sidecar: %w", err)
+	}
+	return nil
+}
+
+// ReadSidecar loads the sidecar for the model file at modelPath. A missing
+// sidecar is not an error: it returns ok=false (sidecars are optional — the
+// binary header alone identifies a checkpoint).
+func ReadSidecar(modelPath string) (s Sidecar, ok bool, err error) {
+	buf, err := os.ReadFile(SidecarPath(modelPath))
+	if errors.Is(err, fs.ErrNotExist) {
+		return Sidecar{}, false, nil
+	}
+	if err != nil {
+		return Sidecar{}, false, fmt.Errorf("nn: read sidecar: %w", err)
+	}
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return Sidecar{}, false, fmt.Errorf("nn: decode sidecar %s: %w", SidecarPath(modelPath), err)
+	}
+	return s, true, nil
+}

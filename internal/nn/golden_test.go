@@ -1,0 +1,175 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bprom/internal/rng"
+	"bprom/internal/tensor"
+)
+
+// The golden checkpoint guards the binary format against accidental drift:
+// formatVersion bumps, layer-tag renumbering, field reordering, or encoding
+// changes all break the byte-for-byte comparison below. Regenerate (after
+// an INTENTIONAL, versioned format change) with:
+//
+//	go test ./internal/nn -run TestGoldenCheckpoint -update
+var updateGolden = flag.Bool("update", false, "rewrite golden checkpoint testdata")
+
+const (
+	goldenModelFile = "golden_v1.bin"
+	goldenProbsFile = "golden_v1.probs.json"
+)
+
+// goldenModel hand-assembles a model exercising every serializable layer
+// tag (Dense, ReLU, Tanh, Dropout, LayerNorm, Residual, Conv2D, Flatten,
+// ToImage, GlobalAvgPool) with deterministic weights.
+func goldenModel(t *testing.T) *Model {
+	t.Helper()
+	r := rng.New(0x601d) // deterministic; value itself is arbitrary
+	dims := tensor.ConvDims{InC: 1, InH: 4, InW: 4, OutC: 2, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	if err := dims.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	m := &Model{
+		Arch:       ArchConvLite,
+		InputDim:   16,
+		NumClasses: 3,
+		Layers: []Layer{
+			&ToImage{C: 1, H: 4, W: 4},
+			NewConv2D(dims, r),
+			&ReLU{},
+			&Flatten{},
+			NewDense(32, 8, r),
+			&Tanh{},
+			NewLayerNorm(8),
+			&Residual{Body: []Layer{NewDense(8, 8, r), &ReLU{}}},
+			NewDropout(0.25, r),
+			&ToImage{C: 2, H: 2, W: 2},
+			&GlobalAvgPool{},
+			NewDense(2, 3, r),
+		},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// goldenInput is a fixed probe batch: a deterministic ramp over [0, 1).
+func goldenInput() *tensor.Tensor {
+	x := tensor.New(4, 16)
+	for i := range x.Data {
+		x.Data[i] = float64(i%17) / 17
+	}
+	return x
+}
+
+func TestGoldenCheckpointRoundTrip(t *testing.T) {
+	modelPath := filepath.Join("testdata", goldenModelFile)
+	probsPath := filepath.Join("testdata", goldenProbsFile)
+
+	if *updateGolden {
+		m := goldenModel(t)
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SaveFile(modelPath); err != nil {
+			t.Fatal(err)
+		}
+		probs := m.Predict(goldenInput())
+		buf, err := json.MarshalIndent(probs.Data, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(probsPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden checkpoint rewritten: %s", modelPath)
+	}
+
+	raw, err := os.ReadFile(modelPath)
+	if err != nil {
+		t.Fatalf("read golden checkpoint (regenerate with -update): %v", err)
+	}
+
+	// The header must stay at version 1 with the committed shape fields —
+	// bumping formatVersion without a migration breaks every saved model.
+	h, err := ReadHeaderFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != 1 || h.Arch != ArchConvLite || h.InputDim != 16 || h.NumClasses != 3 {
+		t.Fatalf("golden header drifted: %+v", h)
+	}
+
+	// The checkpoint must load, and re-saving it must reproduce the
+	// committed bytes exactly: the encoder is part of the format contract.
+	m, err := Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("golden checkpoint no longer loads: %v", err)
+	}
+	var resaved bytes.Buffer
+	if err := m.Save(&resaved); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resaved.Bytes(), raw) {
+		t.Fatalf("re-saved checkpoint differs from golden bytes (%d vs %d bytes): encoder drifted",
+			resaved.Len(), len(raw))
+	}
+
+	// And the loaded weights must behave identically: fixed probe inputs
+	// produce the committed confidence vectors.
+	var want []float64
+	buf, err := os.ReadFile(probsPath)
+	if err != nil {
+		t.Fatalf("read golden probs (regenerate with -update): %v", err)
+	}
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Predict(goldenInput())
+	if len(want) != got.Len() {
+		t.Fatalf("golden probs length %d, model emits %d", len(want), got.Len())
+	}
+	for i := range want {
+		if math.Abs(got.Data[i]-want[i]) > 1e-12 {
+			t.Fatalf("golden prediction %d drifted: %v vs %v", i, got.Data[i], want[i])
+		}
+	}
+}
+
+// TestSidecarRoundTrip covers the JSON metadata companion of a checkpoint.
+func TestSidecarRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := goldenModel(t)
+	path := filepath.Join(dir, "m.bin")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	sc := SidecarFor(m, "zoo/golden", "hand-built golden model")
+	sc.Metrics = map[string]float64{"acc": 0.5}
+	if err := sc.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := ReadSidecar(path)
+	if err != nil || !ok {
+		t.Fatalf("sidecar read: ok=%v err=%v", ok, err)
+	}
+	if got.Name != "zoo/golden" || got.Params != m.ParamCount() || got.Metrics["acc"] != 0.5 {
+		t.Fatalf("sidecar round trip: %+v", got)
+	}
+	if got.InputDim != 16 || got.NumClasses != 3 || got.Arch != string(ArchConvLite) {
+		t.Fatalf("sidecar shape fields: %+v", got)
+	}
+	// Missing sidecars are ok=false, not errors.
+	_, ok, err = ReadSidecar(filepath.Join(dir, "absent.bin"))
+	if err != nil || ok {
+		t.Fatalf("missing sidecar: ok=%v err=%v", ok, err)
+	}
+}

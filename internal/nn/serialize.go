@@ -80,29 +80,7 @@ func (m *Model) SaveFile(path string) (err error) {
 // Load reads a model previously written by Save.
 func Load(r io.Reader) (*Model, error) {
 	br := bufio.NewReader(r)
-	magic := make([]byte, len(formatMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("nn: read magic: %w", err)
-	}
-	if string(magic) != formatMagic {
-		return nil, fmt.Errorf("nn: bad magic %q", magic)
-	}
-	ver, err := readU32(br)
-	if err != nil {
-		return nil, err
-	}
-	if ver != formatVersion {
-		return nil, fmt.Errorf("nn: unsupported format version %d", ver)
-	}
-	arch, err := readString(br)
-	if err != nil {
-		return nil, err
-	}
-	inDim, err := readU32(br)
-	if err != nil {
-		return nil, err
-	}
-	classes, err := readU32(br)
+	h, err := readHeader(br)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +88,7 @@ func Load(r io.Reader) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Model{Arch: Arch(arch), InputDim: int(inDim), NumClasses: int(classes), Layers: layers}
+	m := &Model{Arch: h.Arch, InputDim: h.InputDim, NumClasses: h.NumClasses, Layers: layers}
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("nn: loaded model invalid: %w", err)
 	}

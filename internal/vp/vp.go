@@ -396,10 +396,3 @@ func clamp01(v float64) float64 {
 	}
 	return v
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

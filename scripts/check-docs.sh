@@ -1,0 +1,41 @@
+#!/bin/sh
+# check-docs.sh — docs-coverage gate for CI and local use.
+#
+# Fails if any internal/ package (or the root package) lacks a package-level
+# doc comment ("// Package <name> ..." immediately above the package clause
+# in at least one file), so `go doc ./...` stays a coherent API reference.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+for dir in . internal/*/; do
+	pkg=$(basename "$(cd "$dir" && pwd)")
+	if [ "$dir" = "." ]; then
+		pkg=$(sed -n 's/^module //p' go.mod)
+	fi
+	found=0
+	for f in "$dir"/*.go; do
+		[ -e "$f" ] || continue
+		case "$f" in *_test.go) continue ;; esac
+		# A doc comment's last line must directly precede the package clause.
+		if awk -v pkg="$pkg" '
+			/^\/\/ Package / && $3 == pkg { seen = 1; next }
+			seen && /^\/\// { next }
+			seen && $1 == "package" && $2 == pkg { ok = 1; exit }
+			{ seen = 0 }
+			END { exit !ok }
+		' "$f"; then
+			found=1
+			break
+		fi
+	done
+	if [ "$found" -eq 0 ]; then
+		echo "missing package doc comment: $dir (package $pkg)" >&2
+		fail=1
+	fi
+done
+if [ "$fail" -ne 0 ]; then
+	echo "docs coverage check FAILED" >&2
+	exit 1
+fi
+echo "docs coverage OK: every package carries a package comment"
