@@ -4,11 +4,22 @@
 // multi-model registry with a bounded LRU hot-set, or train a demo model —
 // optionally backdoored — on the synthetic CIFAR-10 analogue first.
 //
+// Given a detector artifact (-detector, from `bprom train -out`), the
+// server additionally runs audit-as-a-service: asynchronous server-side
+// BPROM audit jobs against its own hosted models on the /v1/audits routes —
+// the paper's train-once / audit-many deployment.
+//
 // Usage:
 //
 //	mlaas-server -addr :8080 -model model.bin
 //	mlaas-server -addr :8080 -models zoo/ -max-loaded 4    # serve a zoo
+//	mlaas-server -addr :8080 -models zoo/ -detector detector.bpd   # + audits
 //	mlaas-server -addr :8080 -demo badnets    # train a backdoored demo model
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight predict
+// requests drain through http.Server.Shutdown, and running audit jobs are
+// cancelled via their contexts before the model engines stop. /v1/healthz
+// reports liveness and whether audits are enabled.
 package main
 
 import (
@@ -20,6 +31,7 @@ import (
 	"syscall"
 
 	"bprom/internal/attack"
+	"bprom/internal/bprom"
 	"bprom/internal/data"
 	"bprom/internal/mlaas"
 	"bprom/internal/nn"
@@ -47,6 +59,9 @@ func run() error {
 		maxBatch      = flag.Int("max-batch", 0, "samples per request and micro-batch coalescing target (0: default 512)")
 		maxConcurrent = flag.Int("max-concurrent", 0, "parallel forward passes / micro-batch workers per model (0: default 4)")
 		tensorWorkers = flag.Int("tensor-workers", 0, "shared tensor kernel pool size (0: BPROM_TENSOR_WORKERS or GOMAXPROCS)")
+		detectorPath  = flag.String("detector", "", "detector artifact (.bpd, from 'bprom train') enabling server-side audit jobs on /v1/audits")
+		auditWorkers  = flag.Int("audit-workers", 0, "concurrently running audit jobs (0: default 2)")
+		auditQueue    = flag.Int("audit-queue", 0, "queued audit jobs before submissions get 429 (0: default 64)")
 	)
 	flag.Parse()
 	// Size the kernel pool before any training or serving touches it. The
@@ -67,6 +82,7 @@ func run() error {
 	defer stop()
 
 	var srv *mlaas.Server
+	var announce func(addr string)
 	if *modelsDir != "" {
 		reg, err := mlaas.OpenRegistry(*modelsDir, mlaas.RegistryConfig{
 			MaxLoaded:     *maxLoaded,
@@ -78,41 +94,54 @@ func run() error {
 			return err
 		}
 		srv = mlaas.NewRegistryServer(reg)
-		ready := make(chan string, 1)
-		go func() {
+		announce = func(addr string) {
 			fmt.Printf("serving %d models from %s on http://%s (default %q, hot-set %d); Ctrl-C to stop\n",
-				reg.Len(), *modelsDir, <-ready, reg.DefaultID(), reg.MaxLoaded())
+				reg.Len(), *modelsDir, addr, reg.DefaultID(), reg.MaxLoaded())
 			for _, mi := range reg.Models() {
 				fmt.Printf("  /v1/models/%s  (%s, classes=%d dim=%d)\n", mi.ID, mi.Arch, mi.Classes, mi.InputDim)
 			}
-		}()
-		return srv.Serve(ctx, *addr, ready)
+		}
+	} else {
+		var model *nn.Model
+		switch {
+		case *modelPath != "":
+			m, err := nn.LoadFile(*modelPath)
+			if err != nil {
+				return err
+			}
+			model = m
+		default:
+			m, err := trainDemo(*demo, *seed)
+			if err != nil {
+				return err
+			}
+			model = m
+		}
+		srv = mlaas.NewServer(model, mlaas.ServerConfig{
+			Name:          "bprom-demo",
+			MaxBatch:      *maxBatch,
+			MaxConcurrent: *maxConcurrent,
+		})
+		announce = func(addr string) {
+			fmt.Printf("serving on http://%s (classes=%d dim=%d); Ctrl-C to stop\n",
+				addr, model.NumClasses, model.InputDim)
+		}
 	}
 
-	var model *nn.Model
-	switch {
-	case *modelPath != "":
-		m, err := nn.LoadFile(*modelPath)
+	auditNote := "audits disabled (pass -detector to enable /v1/audits)"
+	if *detectorPath != "" {
+		det, err := bprom.LoadFile(*detectorPath)
 		if err != nil {
 			return err
 		}
-		model = m
-	default:
-		m, err := trainDemo(*demo, *seed)
-		if err != nil {
-			return err
-		}
-		model = m
+		srv.EnableAudits(det, mlaas.AuditConfig{Workers: *auditWorkers, MaxQueued: *auditQueue})
+		auditNote = fmt.Sprintf("audit-as-a-service live on /v1/audits (detector %s)", *detectorPath)
 	}
-	srv = mlaas.NewServer(model, mlaas.ServerConfig{
-		Name:          "bprom-demo",
-		MaxBatch:      *maxBatch,
-		MaxConcurrent: *maxConcurrent,
-	})
+
 	ready := make(chan string, 1)
 	go func() {
-		fmt.Printf("serving on http://%s (classes=%d dim=%d); Ctrl-C to stop\n",
-			<-ready, model.NumClasses, model.InputDim)
+		announce(<-ready)
+		fmt.Println(auditNote)
 	}()
 	return srv.Serve(ctx, *addr, ready)
 }

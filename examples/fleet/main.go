@@ -1,14 +1,20 @@
-// Fleet-audit example: the full "audit a whole platform" workload in one
+// Fleet-audit example: the full train-once / audit-many workload in one
 // process. An attacker uploads a zoo of checkpoints — a clean model and two
 // backdoored ones — to a multi-model MLaaS registry whose LRU hot-set is
 // SMALLER than the zoo, so serving pages models in and out of memory. The
-// defender then discovers every hosted model over HTTP, trains one BPROM
-// detector, and audits the entire fleet concurrently with nothing but
-// confidence queries.
+// defender trains ONE BPROM detector, persists it as a versioned .bpd
+// artifact, and hands the artifact to the platform; the platform reloads it
+// from disk (exactly what a separate server process would do) and exposes
+// audit-as-a-service. Auditing the whole fleet is then nothing but
+// submitting asynchronous audit jobs over HTTP and polling their progress —
+// no retraining, and no probe traffic across the wire.
 //
 // This is the in-process twin of the CLI walkthrough:
 //
-//	attackzoo -export zoo/ && mlaas-server -models zoo/ && bprom -url ... -fleet
+//	attackzoo -export zoo/
+//	bprom train -out detector.bpd
+//	mlaas-server -models zoo/ -detector detector.bpd
+//	bprom audit -url http://... -fleet
 package main
 
 import (
@@ -18,8 +24,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"bprom/internal/attack"
+	"bprom/internal/audit"
 	"bprom/internal/bprom"
 	"bprom/internal/data"
 	"bprom/internal/mlaas"
@@ -44,11 +52,15 @@ func run() error {
 	tgtTrain, tgtTest := tgtGen.GenerateSplit(20, 10, rng.New(4))
 
 	// The "attacker" side: materialize a zoo of checkpoints on disk.
-	zoo, err := os.MkdirTemp("", "bprom-zoo-*")
+	work, err := os.MkdirTemp("", "bprom-fleet-*")
 	if err != nil {
 		return err
 	}
-	defer os.RemoveAll(zoo)
+	defer os.RemoveAll(work)
+	zoo := filepath.Join(work, "zoo")
+	if err := os.MkdirAll(zoo, 0o755); err != nil {
+		return err
+	}
 	uploads := []struct {
 		id  string
 		atk *attack.Config
@@ -88,28 +100,9 @@ func run() error {
 		}
 	}
 
-	// The platform: a registry whose hot-set is smaller than the zoo —
-	// serving all models pages checkpoints in and out on demand.
-	const maxLoaded = 2
-	reg, err := mlaas.OpenRegistry(zoo, mlaas.RegistryConfig{MaxLoaded: maxLoaded})
-	if err != nil {
-		return err
-	}
-	server := mlaas.NewRegistryServer(reg)
-	ready := make(chan string, 1)
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- server.Serve(ctx, "127.0.0.1:0", ready) }()
-	addr := <-ready
-	fmt.Printf("platform: %d models live at http://%s (LRU hot-set of %d)\n", reg.Len(), addr, maxLoaded)
-
-	// The defender side: discover the fleet, train ONE detector, audit all.
-	list, err := mlaas.ListModels(ctx, "http://"+addr, mlaas.ClientConfig{})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("defender: endpoint lists %d models (default %q)\n", len(list.Models), list.Default)
-
-	fmt.Println("defender: training BPROM detector locally ...")
+	// The defender side, OFFLINE phase: train the detector ONCE and persist
+	// it as a versioned artifact.
+	fmt.Println("defender: training BPROM detector once ...")
 	det, err := bprom.Train(ctx, bprom.Config{
 		Reserved:      srcTest.Reserve(0.10, rng.New(9)),
 		ExternalTrain: tgtTrain,
@@ -123,25 +116,67 @@ func run() error {
 	if err != nil {
 		return err
 	}
-
-	fmt.Println("defender: auditing the whole fleet concurrently (black-box) ...")
-	type result struct {
-		id string
-		v  bprom.Verdict
+	artifact := filepath.Join(work, "detector.bpd")
+	if err := det.SaveFile(artifact); err != nil {
+		return err
 	}
-	results := make([]result, len(list.Models))
+	st, err := os.Stat(artifact)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("defender: detector artifact written (%s, %d bytes)\n", filepath.Base(artifact), st.Size())
+
+	// The platform: a registry whose hot-set is smaller than the zoo, plus
+	// audit-as-a-service over the artifact RELOADED from disk — the same
+	// train-once detector a fresh server process would start from.
+	loaded, err := bprom.LoadFile(artifact)
+	if err != nil {
+		return err
+	}
+	const maxLoaded = 2
+	reg, err := mlaas.OpenRegistry(zoo, mlaas.RegistryConfig{MaxLoaded: maxLoaded})
+	if err != nil {
+		return err
+	}
+	server := mlaas.NewRegistryServer(reg)
+	server.EnableAudits(loaded, mlaas.AuditConfig{Workers: 2})
+	ready := make(chan string, 1)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.Serve(ctx, "127.0.0.1:0", ready) }()
+	addr := <-ready
+	fmt.Printf("platform: %d models live at http://%s (LRU hot-set of %d, audits enabled)\n",
+		reg.Len(), addr, maxLoaded)
+
+	// The defender side, ONLINE phase: discover the fleet and submit one
+	// asynchronous server-side audit job per model. No retraining, no
+	// probe traffic over the wire — just job submissions and polling.
+	base := "http://" + addr
+	if h, err := mlaas.Healthz(ctx, base, mlaas.ClientConfig{}); err != nil || !h.AuditsEnabled {
+		return fmt.Errorf("platform health: %+v err=%v", h, err)
+	}
+	list, err := mlaas.ListModels(ctx, base, mlaas.ClientConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("defender: endpoint lists %d models; submitting audit jobs ...\n", len(list.Models))
+
+	jobs := make([]audit.Job, len(list.Models))
 	var wg sync.WaitGroup
-	var firstErr error
 	var mu sync.Mutex
+	var firstErr error
 	for i, mi := range list.Models {
 		wg.Add(1)
 		go func(i int, mi mlaas.ModelInfo) {
 			defer wg.Done()
-			client, err := mlaas.DialModel(ctx, "http://"+addr, mi.ID, mlaas.ClientConfig{})
+			client, err := mlaas.DialModel(ctx, base, mi.ID, mlaas.ClientConfig{AuditPoll: 50 * time.Millisecond})
+			var job audit.Job
 			if err == nil {
-				var v bprom.Verdict
-				v, err = det.Inspect(ctx, client, i)
-				results[i] = result{id: mi.ID, v: v}
+				job, err = client.AuditModel(ctx, i)
+			}
+			if err == nil {
+				fmt.Printf("defender: job %s queued for %s\n", job.ID, mi.ID)
+				job, err = client.WaitAudit(ctx, job.ID)
+				jobs[i] = job
 			}
 			if err != nil {
 				mu.Lock()
@@ -156,13 +191,18 @@ func run() error {
 	if firstErr != nil {
 		return firstErr
 	}
-	for _, res := range results {
+	for _, job := range jobs {
+		if job.State != audit.StateDone || job.Verdict == nil {
+			return fmt.Errorf("job %s for %s ended %s: %s", job.ID, job.ModelID, job.State, job.Error)
+		}
+		v := job.Verdict
 		verdict := "CLEAN"
-		if res.v.Backdoored {
+		if v.Backdoored {
 			verdict = "BACKDOORED"
 		}
-		fmt.Printf("defender: %-8s -> %-10s (score %.3f, prompted acc %.3f, %d queries)\n",
-			res.id, verdict, res.v.Score, res.v.PromptedAcc, res.v.Queries)
+		fmt.Printf("defender: %-8s -> %-10s (job %s, score %.3f, prompted acc %.3f, %d queries in %s)\n",
+			job.ModelID, verdict, job.ID, v.Score, v.PromptedAcc, v.Queries,
+			job.Finished.Sub(job.Started).Round(time.Millisecond))
 	}
 
 	cancel()

@@ -1,0 +1,368 @@
+// Package audit turns BPROM detection into a platform service: a Manager
+// owns one trained (typically artifact-loaded) detector and runs audit JOBS
+// against hosted models on a bounded worker pool — the paper's
+// train-once / audit-many deployment. Submissions enqueue instantly and
+// return a job id; jobs progress queued → running → done / failed, report
+// live progress (CMA-ES generation plus oracle query count), and can be
+// cancelled at any point via their context. The HTTP face of this package
+// is the /v1/audits route family in internal/mlaas (docs/API.md).
+//
+// Inspections execute in-process on the worker goroutines, so their tensor
+// work lands on the one process-wide shared kernel pool (internal/tensor)
+// alongside the serving path: audit concurrency is bounded by Workers
+// without oversubscribing CPUs.
+package audit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bprom/internal/bprom"
+	"bprom/internal/oracle"
+)
+
+// State is an audit job's lifecycle phase.
+type State string
+
+// The job lifecycle: Queued → Running → Done | Failed. Cancelled and
+// drained jobs end as Failed with a descriptive error.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Job is an immutable snapshot of one audit job. The JSON tags are its wire
+// form in the audit-job API (docs/API.md).
+type Job struct {
+	// ID identifies the job on the /v1/audits routes.
+	ID string `json:"id"`
+	// ModelID names the audited model.
+	ModelID string `json:"model_id"`
+	// InspectID seeds the inspection's RNG stream: the same detector,
+	// model, and InspectID reproduce the same verdict bit-for-bit.
+	InspectID int `json:"inspect_id"`
+	// State is the lifecycle phase at snapshot time.
+	State State `json:"state"`
+	// Progress is the latest inspection progress report.
+	Progress bprom.Progress `json:"progress"`
+	// Verdict is set once State is StateDone.
+	Verdict *bprom.Verdict `json:"verdict,omitempty"`
+	// Error describes the failure once State is StateFailed.
+	Error string `json:"error,omitempty"`
+	// Created, Started and Finished stamp the lifecycle transitions.
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+}
+
+// Config tunes a Manager.
+type Config struct {
+	// Workers bounds concurrently running audits. Each audit is one
+	// in-process black-box inspection (thousands of oracle queries);
+	// its tensor kernels run on the shared process-wide pool. Default 2.
+	Workers int
+	// MaxQueued bounds jobs waiting for a worker; Submit fails with
+	// ErrQueueFull beyond it. Default 64.
+	MaxQueued int
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = 64
+	}
+}
+
+// ErrQueueFull reports a Submit against a full job queue. The HTTP layer
+// maps it to 429.
+var ErrQueueFull = errors.New("audit: job queue full")
+
+// ErrClosed reports an operation on a closed Manager.
+var ErrClosed = errors.New("audit: manager closed")
+
+// ErrUnknownJob reports a job id the manager does not hold. The HTTP layer
+// maps it to 404.
+var ErrUnknownJob = errors.New("audit: unknown job")
+
+// job is the mutable behind-the-scenes record; snap is guarded by mu.
+type job struct {
+	mu     sync.Mutex
+	snap   Job
+	sus    oracle.Oracle
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+func (j *job) snapshot() Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snap
+}
+
+// Manager schedules audit jobs over one trained detector. All methods are
+// safe for concurrent use.
+type Manager struct {
+	det    *bprom.Detector
+	cfg    Config
+	root   context.Context
+	cancel context.CancelFunc
+	wake   chan struct{} // nudges idle workers; buffered, best-effort
+	wg     sync.WaitGroup
+	now    func() time.Time
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // submission order, for stable listings
+	pending []*job   // queued jobs, FIFO; deleting removes immediately
+	seq     int
+	closed  bool
+}
+
+// NewManager starts a Manager with cfg.Workers worker goroutines over det.
+// Call Close to stop them.
+func NewManager(det *bprom.Detector, cfg Config) *Manager {
+	cfg.defaults()
+	root, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		det:    det,
+		cfg:    cfg,
+		root:   root,
+		cancel: cancel,
+		wake:   make(chan struct{}, cfg.Workers),
+		now:    time.Now,
+		jobs:   make(map[string]*job),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Detector exposes the managed detector (serving layers use it for
+// compatibility checks at submission time).
+func (m *Manager) Detector() *bprom.Detector { return m.det }
+
+// Submit enqueues an audit of sus (the black-box oracle for modelID) and
+// returns the queued job snapshot. inspectID selects the inspection RNG
+// stream; pass a negative value to use the job's submission sequence
+// number, which keeps distinct jobs on distinct streams automatically.
+func (m *Manager) Submit(modelID string, sus oracle.Oracle, inspectID int) (Job, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Job{}, ErrClosed
+	}
+	if len(m.pending) >= m.cfg.MaxQueued {
+		m.mu.Unlock()
+		return Job{}, fmt.Errorf("%w (%d queued)", ErrQueueFull, m.cfg.MaxQueued)
+	}
+	m.seq++
+	if inspectID < 0 {
+		inspectID = m.seq
+	}
+	ctx, cancel := context.WithCancel(m.root)
+	j := &job{
+		snap: Job{
+			ID:        fmt.Sprintf("a%d", m.seq),
+			ModelID:   modelID,
+			InspectID: inspectID,
+			State:     StateQueued,
+			Created:   m.now(),
+		},
+		sus:    sus,
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	m.pending = append(m.pending, j)
+	m.jobs[j.snap.ID] = j
+	m.order = append(m.order, j.snap.ID)
+	m.mu.Unlock()
+	// Best-effort nudge: if the buffer is full, enough wakeups are already
+	// outstanding, and workers re-check the pending list before sleeping.
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+	return j.snapshot(), nil
+}
+
+// Len reports how many jobs the manager holds (queued, running, and
+// retained terminal jobs) without snapshotting them.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.jobs)
+}
+
+// Get returns the job's current snapshot.
+func (m *Manager) Get(id string) (Job, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Job{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j.snapshot(), nil
+}
+
+// List returns snapshots of every job the manager holds, in submission
+// order.
+func (m *Manager) List() []Job {
+	m.mu.Lock()
+	js := make([]*job, 0, len(m.order))
+	for _, id := range m.order {
+		js = append(js, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]Job, len(js))
+	for i, j := range js {
+		out[i] = j.snapshot()
+	}
+	return out
+}
+
+// Delete cancels the job via its context — a queued job never starts, a
+// running inspection aborts at its next oracle query or context check — and
+// removes it from the manager. A deleted queued job releases its queue slot
+// immediately. It returns the job's final-as-of-deletion snapshot.
+func (m *Manager) Delete(id string) (Job, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if ok {
+		delete(m.jobs, id)
+		for i, oid := range m.order {
+			if oid == id {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+		for i, pj := range m.pending {
+			if pj == j {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				break
+			}
+		}
+	}
+	m.mu.Unlock()
+	if !ok {
+		return Job{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	j.cancel()
+	return j.snapshot(), nil
+}
+
+// Close cancels every queued and running job via the shared root context
+// and waits for the workers to drain. In-flight inspections abort at their
+// next context check and finish as StateFailed; Close returns once every
+// worker has exited. Safe to call more than once.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.cancel()
+	m.wg.Wait()
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		if j := m.pop(); j != nil {
+			m.run(j)
+			continue
+		}
+		select {
+		case <-m.root.Done():
+			m.failQueued()
+			return
+		case <-m.wake:
+		}
+	}
+}
+
+// pop takes the oldest queued job, or nil when none is waiting. Workers pop
+// before sleeping on wake, so a nudge dropped on a full buffer can never
+// strand a job: some worker's next pop finds it.
+func (m *Manager) pop() *job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.pending) == 0 {
+		return nil
+	}
+	j := m.pending[0]
+	m.pending = m.pending[1:]
+	return j
+}
+
+// failQueued marks every still-queued job failed during shutdown, so no
+// snapshot is left dangling in StateQueued forever. It races only with
+// Delete, which holds m.mu for its pending-list removal.
+func (m *Manager) failQueued() {
+	m.mu.Lock()
+	pending := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+	for _, j := range pending {
+		j.mu.Lock()
+		if !j.snap.State.Terminal() {
+			j.snap.State = StateFailed
+			j.snap.Error = "audit manager closed before the job ran"
+			j.snap.Finished = m.now()
+		}
+		j.mu.Unlock()
+	}
+}
+
+func (m *Manager) run(j *job) {
+	defer j.cancel() // the job is terminal after run; release its context
+	if err := j.ctx.Err(); err != nil {
+		// Deleted (or manager closed) while queued.
+		j.mu.Lock()
+		j.snap.State = StateFailed
+		j.snap.Error = "audit cancelled before it ran"
+		j.snap.Finished = m.now()
+		j.mu.Unlock()
+		return
+	}
+	j.mu.Lock()
+	j.snap.State = StateRunning
+	j.snap.Started = m.now()
+	inspectID := j.snap.InspectID
+	j.mu.Unlock()
+
+	v, err := m.det.InspectProgress(j.ctx, j.sus, inspectID, func(p bprom.Progress) {
+		j.mu.Lock()
+		j.snap.Progress = p
+		j.mu.Unlock()
+	})
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.snap.Finished = m.now()
+	if err != nil {
+		j.snap.State = StateFailed
+		if j.ctx.Err() != nil {
+			j.snap.Error = fmt.Sprintf("audit cancelled: %v", err)
+		} else {
+			j.snap.Error = err.Error()
+		}
+		return
+	}
+	j.snap.State = StateDone
+	j.snap.Verdict = &v
+}

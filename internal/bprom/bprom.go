@@ -337,18 +337,33 @@ func mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-// Verdict is the outcome of inspecting one suspicious model.
+// Verdict is the outcome of inspecting one suspicious model. The JSON tags
+// are its wire form in the audit-job API (docs/API.md).
 type Verdict struct {
 	// Score is the meta-classifier's backdoor probability.
-	Score float64
+	Score float64 `json:"score"`
 	// Threshold is the detector's OOB-calibrated decision threshold.
-	Threshold float64
+	Threshold float64 `json:"threshold"`
 	// Backdoored reports Score >= Threshold.
-	Backdoored bool
+	Backdoored bool `json:"backdoored"`
 	// PromptedAcc is the black-box prompted accuracy on DT_test.
-	PromptedAcc float64
-	// Queries counts oracle sample queries spent.
-	Queries int64
+	PromptedAcc float64 `json:"prompted_acc"`
+	// Queries counts oracle sample queries spent — the paper's black-box
+	// query budget for one audit.
+	Queries int64 `json:"queries"`
+}
+
+// Progress is a point-in-time snapshot of one running inspection: how far
+// the CMA-ES prompt search has advanced and how many oracle sample queries
+// the audit has spent so far. The JSON tags are its wire form in the
+// audit-job API.
+type Progress struct {
+	// Generation counts completed CMA-ES generations (0 before the first).
+	Generation int `json:"generation"`
+	// Generations is the total generation budget.
+	Generations int `json:"generations"`
+	// Queries counts oracle sample queries spent so far.
+	Queries int64 `json:"queries"`
 }
 
 // Inspect prompts the suspicious oracle black-box (CMA-ES), extracts its DQ
@@ -362,13 +377,31 @@ type Verdict struct {
 // fleet-audit mode of cmd/bprom does exactly that, one goroutine per
 // hosted model.
 func (d *Detector) Inspect(ctx context.Context, sus oracle.Oracle, inspectID int) (Verdict, error) {
+	return d.InspectProgress(ctx, sus, inspectID, nil)
+}
+
+// InspectProgress is Inspect with a live progress hook: onProgress (when
+// non-nil) is invoked once before prompting starts, after every completed
+// CMA-ES generation, and once more when the meta-features are extracted.
+// The hook runs on the inspection goroutine and must be fast; it must not
+// query the oracle. Progress reporting does not perturb the RNG streams or
+// the query sequence, so verdicts are bit-identical with or without a hook.
+func (d *Detector) InspectProgress(ctx context.Context, sus oracle.Oracle, inspectID int, onProgress func(Progress)) (Verdict, error) {
 	counter := oracle.NewCounter(sus)
 	r := rng.New(d.seed).Split("inspect", inspectID)
 	prompt, err := vp.NewPrompt(d.prompt.source, d.extTrain.Shape, d.prompt.frac)
 	if err != nil {
 		return Verdict{}, err
 	}
-	if err := vp.TrainBlackBox(ctx, counter, prompt, d.extTrain, d.blackBox, r); err != nil {
+	bb := d.blackBox
+	if onProgress != nil {
+		gens := bb.Generations()
+		bb.OnGeneration = func(gen int) {
+			onProgress(Progress{Generation: gen, Generations: gens, Queries: counter.Queries()})
+		}
+		onProgress(Progress{Generations: gens})
+	}
+	if err := vp.TrainBlackBox(ctx, counter, prompt, d.extTrain, bb, r); err != nil {
 		return Verdict{}, fmt.Errorf("bprom: black-box prompting: %w", err)
 	}
 	pm := &vp.Prompted{Oracle: counter, Prompt: prompt}
@@ -383,6 +416,10 @@ func (d *Detector) Inspect(ctx context.Context, sus oracle.Oracle, inspectID int
 	score, err := d.forest.Score(feats)
 	if err != nil {
 		return Verdict{}, err
+	}
+	if onProgress != nil {
+		gens := bb.Generations()
+		onProgress(Progress{Generation: gens, Generations: gens, Queries: counter.Queries()})
 	}
 	return Verdict{
 		Score:       score,

@@ -1,0 +1,263 @@
+package bprom
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bprom/internal/data"
+	"bprom/internal/meta"
+	"bprom/internal/oracle"
+	"bprom/internal/rng"
+	"bprom/internal/vp"
+)
+
+// The golden detector artifact guards the .bpd binary format against
+// accidental drift: detectorVersion bumps, section reordering, or encoding
+// changes all break the byte-for-byte comparison below — the same contract
+// internal/nn/golden_test.go enforces for model checkpoints. Regenerate
+// (after an INTENTIONAL, versioned format change) with:
+//
+//	go test ./internal/bprom -run TestGoldenDetectorArtifact -update
+var updateGolden = flag.Bool("update", false, "rewrite golden detector testdata")
+
+const (
+	goldenArtifactFile = "golden_v1.bpd"
+	goldenScoreFile    = "golden_v1.score.json"
+)
+
+// goldenDataset hand-assembles a deterministic tiny dataset (a pixel ramp
+// with cyclic labels) — independent of the synthetic generator, so
+// generator changes cannot silently alter the golden bytes.
+func goldenDataset(name string, n int, shape data.Shape, classes int) *data.Dataset {
+	d := &data.Dataset{Name: name, Shape: shape, Classes: classes}
+	dim := shape.Dim()
+	d.X = make([]float64, n*dim)
+	for i := range d.X {
+		d.X[i] = float64(i%23) / 23
+	}
+	d.Y = make([]int, n)
+	for i := range d.Y {
+		d.Y[i] = i % classes
+	}
+	return d
+}
+
+// goldenDetector hand-assembles a Detector exercising every artifact
+// section: forest (with in-bag matrix), threshold, query indices, both DT
+// splits, prompt geometry, black-box config, and shadows with and without
+// retained prompts.
+func goldenDetector(t *testing.T) *Detector {
+	t.Helper()
+	rows := [][]float64{
+		{0.1, 0.9, 0.3, 0.2},
+		{0.8, 0.1, 0.7, 0.9},
+		{0.2, 0.8, 0.2, 0.1},
+		{0.9, 0.2, 0.8, 0.8},
+		{0.1, 0.7, 0.4, 0.3},
+		{0.7, 0.3, 0.9, 0.7},
+	}
+	labels := []bool{false, true, false, true, false, true}
+	forest, err := meta.Train(rows, labels, meta.TrainConfig{Trees: 7, MaxDepth: 3}, rng.New(0x601d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	source := data.Shape{C: 1, H: 8, W: 8}
+	target := data.Shape{C: 1, H: 6, W: 6}
+	shadowPrompt, err := vp.NewPrompt(source, target, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range shadowPrompt.Theta {
+		shadowPrompt.Theta[i] = float64(i%11) / 11
+	}
+	return &Detector{
+		forest:    forest,
+		threshold: 0.4375,
+		queryIdx:  []int{0, 2},
+		external:  goldenDataset("golden-ext-test", 4, target, 3),
+		extTrain:  goldenDataset("golden-ext-train", 6, target, 3),
+		prompt:    promptGeometry{source: source, frac: 0.75},
+		blackBox: vp.BlackBoxConfig{
+			Iterations: 5, PopSize: 7, BatchSize: 4, Sigma0: 0.25, MaxQueries: 100,
+		},
+		seed: 0xBEEF,
+		Shadows: []Shadow{
+			{Backdoor: false, PromptedAcc: 0.875, Features: []float64{0.1, 0.9, 0.3, 0.2}, Prompt: shadowPrompt},
+			{Backdoor: true, PromptedAcc: 0.25, Features: []float64{0.8, 0.1, 0.7, 0.9}},
+		},
+	}
+}
+
+// goldenRow is a fixed feature row for the behavioral score check.
+func goldenRow() []float64 { return []float64{0.15, 0.85, 0.35, 0.25} }
+
+func TestGoldenDetectorArtifact(t *testing.T) {
+	artPath := filepath.Join("testdata", goldenArtifactFile)
+	scorePath := filepath.Join("testdata", goldenScoreFile)
+
+	if *updateGolden {
+		d := goldenDetector(t)
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.SaveFile(artPath); err != nil {
+			t.Fatal(err)
+		}
+		score, err := d.forest.Score(goldenRow())
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(score, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(scorePath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden detector artifact rewritten: %s", artPath)
+	}
+
+	raw, err := os.ReadFile(artPath)
+	if err != nil {
+		t.Fatalf("read golden artifact (regenerate with -update): %v", err)
+	}
+
+	// The artifact must load, and every section must carry the committed
+	// values.
+	d, err := Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("golden artifact no longer loads: %v", err)
+	}
+	if d.seed != 0xBEEF || d.threshold != 0.4375 {
+		t.Fatalf("header fields drifted: seed=%#x threshold=%v", d.seed, d.threshold)
+	}
+	if d.prompt.source != (data.Shape{C: 1, H: 8, W: 8}) || d.prompt.frac != 0.75 {
+		t.Fatalf("prompt geometry drifted: %+v", d.prompt)
+	}
+	if len(d.queryIdx) != 2 || d.queryIdx[0] != 0 || d.queryIdx[1] != 2 {
+		t.Fatalf("query indices drifted: %v", d.queryIdx)
+	}
+	if d.external.Len() != 4 || d.extTrain.Len() != 6 || d.external.Classes != 3 {
+		t.Fatalf("embedded datasets drifted: %d/%d samples", d.external.Len(), d.extTrain.Len())
+	}
+	if d.blackBox.Iterations != 5 || d.blackBox.PopSize != 7 || d.blackBox.Sigma0 != 0.25 {
+		t.Fatalf("black-box config drifted: %+v", d.blackBox)
+	}
+	if len(d.Shadows) != 2 || d.Shadows[0].Prompt == nil || d.Shadows[1].Prompt != nil {
+		t.Fatalf("shadow metadata drifted: %+v", d.Shadows)
+	}
+	if d.Shadows[0].Model != nil {
+		t.Fatal("shadow models must not round-trip through the artifact")
+	}
+
+	// Re-saving must reproduce the committed bytes exactly: the encoder is
+	// part of the format contract.
+	var resaved bytes.Buffer
+	if err := d.Save(&resaved); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resaved.Bytes(), raw) {
+		t.Fatalf("re-saved artifact differs from golden bytes (%d vs %d bytes): encoder drifted",
+			resaved.Len(), len(raw))
+	}
+
+	// And the loaded forest must behave identically: the fixed probe row
+	// produces the committed score.
+	var want float64
+	buf, err := os.ReadFile(scorePath)
+	if err != nil {
+		t.Fatalf("read golden score (regenerate with -update): %v", err)
+	}
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.forest.Score(goldenRow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 0 {
+		t.Fatalf("golden forest score drifted: %v vs %v", got, want)
+	}
+}
+
+// TestArtifactRoundTripInspectParity closes the loop on a REAL trained
+// detector: saving it, loading it back, and inspecting the same suspicious
+// model on the same RNG stream must produce a bit-identical verdict — the
+// train-once / audit-many portability contract.
+func TestArtifactRoundTripInspectParity(t *testing.T) {
+	e := sharedEnv(t)
+	ctx := context.Background()
+
+	var buf bytes.Buffer
+	if err := e.det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Compatible(e.srcTrain.Classes, e.srcTrain.Shape.Dim()); err != nil {
+		t.Fatalf("loaded detector incompatible with its own source domain: %v", err)
+	}
+
+	m := trainSus(t, e, nil, 500)
+	want, err := e.det.Inspect(ctx, oracle.NewModelOracle(m), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Inspect(ctx, oracle.NewModelOracle(m), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("loaded-detector verdict %+v differs from original %+v", got, want)
+	}
+
+	// OOB scoring survives the round trip too (the in-bag matrix is part
+	// of the artifact).
+	rows := make([][]float64, len(e.det.Shadows))
+	for i, s := range e.det.Shadows {
+		rows[i] = s.Features
+	}
+	wantOOB, err := e.det.forest.OOBScores(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOOB, err := loaded.forest.OOBScores(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantOOB {
+		if wantOOB[i] != gotOOB[i] {
+			t.Fatalf("OOB score %d drifted after round trip: %v vs %v", i, gotOOB[i], wantOOB[i])
+		}
+	}
+}
+
+// TestLoadRejectsCorruptArtifacts spot-checks the decoder's validation.
+func TestLoadRejectsCorruptArtifacts(t *testing.T) {
+	d := goldenDetector(t)
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	if _, err := Load(bytes.NewReader([]byte("NOTABPD!xxxx"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Load(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("truncated artifact accepted")
+	}
+	bumped := append([]byte(nil), raw...)
+	bumped[len(detectorMagic)] = 0xFF // version byte
+	if _, err := Load(bytes.NewReader(bumped)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}

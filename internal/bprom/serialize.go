@@ -1,0 +1,270 @@
+package bprom
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"bprom/internal/binio"
+	"bprom/internal/data"
+	"bprom/internal/meta"
+	"bprom/internal/vp"
+)
+
+// Detector artifact format (.bpd): the persistent form of a trained BPROM
+// detector, in the same magic + version discipline as the nn checkpoint
+// format. It holds everything Inspect needs — the meta-classifier forest,
+// the OOB-calibrated threshold, the DQ query-sample indices, the embedded
+// external dataset DT (both splits, bit-exact), the prompt geometry, the
+// black-box prompting configuration, and the detector seed — plus the
+// per-shadow analysis metadata (label, prompted accuracy, meta-features,
+// learned prompt tensors).
+//
+// Shadow MODELS are deliberately not persisted: detection never queries
+// them again, and they dominate the artifact size. A loaded detector
+// therefore has Shadow.Model == nil; everything else round-trips exactly,
+// so a detector trained once with `bprom train -out d.bpd` audits models in
+// any later process with verdicts bit-identical to the training process.
+
+const (
+	detectorMagic   = "BPROMDET"
+	detectorVersion = uint32(1)
+)
+
+// Save writes the detector artifact to w.
+func (d *Detector) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(detectorMagic); err != nil {
+		return fmt.Errorf("bprom: write magic: %w", err)
+	}
+	if err := binio.WriteU32(bw, detectorVersion); err != nil {
+		return err
+	}
+	if err := binio.WriteU64(bw, d.seed); err != nil {
+		return err
+	}
+	if err := binio.WriteF64(bw, d.threshold); err != nil {
+		return err
+	}
+	for _, v := range []int{d.prompt.source.C, d.prompt.source.H, d.prompt.source.W} {
+		if err := binio.WriteU32(bw, uint32(v)); err != nil {
+			return err
+		}
+	}
+	if err := binio.WriteF64(bw, d.prompt.frac); err != nil {
+		return err
+	}
+	// Negative config values mean "use the default" (like zero); clamp them
+	// so they cannot wrap into huge budgets on load.
+	for _, v := range []int{d.blackBox.Iterations, d.blackBox.PopSize, d.blackBox.BatchSize, d.blackBox.MaxQueries} {
+		if v < 0 {
+			v = 0
+		}
+		if err := binio.WriteU32(bw, uint32(v)); err != nil {
+			return err
+		}
+	}
+	if err := binio.WriteF64(bw, d.blackBox.Sigma0); err != nil {
+		return err
+	}
+	if err := binio.WriteBool(bw, d.blackBox.UseSPSA); err != nil {
+		return err
+	}
+	if err := binio.WriteInts(bw, d.queryIdx); err != nil {
+		return err
+	}
+	if err := d.extTrain.Save(bw); err != nil {
+		return fmt.Errorf("bprom: save DT train split: %w", err)
+	}
+	if err := d.external.Save(bw); err != nil {
+		return fmt.Errorf("bprom: save DT test split: %w", err)
+	}
+	if err := d.forest.Save(bw); err != nil {
+		return fmt.Errorf("bprom: save forest: %w", err)
+	}
+	if err := binio.WriteU32(bw, uint32(len(d.Shadows))); err != nil {
+		return err
+	}
+	for i, s := range d.Shadows {
+		if err := binio.WriteBool(bw, s.Backdoor); err != nil {
+			return err
+		}
+		if err := binio.WriteF64(bw, s.PromptedAcc); err != nil {
+			return err
+		}
+		if err := binio.WriteFloats(bw, s.Features); err != nil {
+			return err
+		}
+		if err := binio.WriteBool(bw, s.Prompt != nil); err != nil {
+			return err
+		}
+		if s.Prompt != nil {
+			if err := s.Prompt.Save(bw); err != nil {
+				return fmt.Errorf("bprom: save shadow %d prompt: %w", i, err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("bprom: flush detector: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the detector artifact to path, creating or truncating it.
+func (d *Detector) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bprom: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("bprom: close %s: %w", path, cerr)
+		}
+	}()
+	return d.Save(f)
+}
+
+// Load reads a detector artifact previously written by Save.
+func Load(r io.Reader) (*Detector, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(detectorMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("bprom: read magic: %w", err)
+	}
+	if string(magic) != detectorMagic {
+		return nil, fmt.Errorf("bprom: bad magic %q (not a detector artifact)", magic)
+	}
+	ver, err := binio.ReadU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != detectorVersion {
+		return nil, fmt.Errorf("bprom: unsupported detector format version %d", ver)
+	}
+	d := &Detector{}
+	if d.seed, err = binio.ReadU64(br); err != nil {
+		return nil, err
+	}
+	if d.threshold, err = binio.ReadF64(br); err != nil {
+		return nil, err
+	}
+	var shape [3]uint32
+	for i := range shape {
+		if shape[i], err = binio.ReadU32(br); err != nil {
+			return nil, err
+		}
+	}
+	d.prompt.source = data.Shape{C: int(shape[0]), H: int(shape[1]), W: int(shape[2])}
+	if !d.prompt.source.Valid() {
+		return nil, fmt.Errorf("bprom: invalid prompt canvas %+v", d.prompt.source)
+	}
+	if d.prompt.frac, err = binio.ReadF64(br); err != nil {
+		return nil, err
+	}
+	var bb [4]uint32
+	for i := range bb {
+		if bb[i], err = binio.ReadU32(br); err != nil {
+			return nil, err
+		}
+	}
+	d.blackBox.Iterations = int(bb[0])
+	d.blackBox.PopSize = int(bb[1])
+	d.blackBox.BatchSize = int(bb[2])
+	d.blackBox.MaxQueries = int(bb[3])
+	if d.blackBox.Sigma0, err = binio.ReadF64(br); err != nil {
+		return nil, err
+	}
+	if d.blackBox.UseSPSA, err = binio.ReadBool(br); err != nil {
+		return nil, err
+	}
+	if d.queryIdx, err = binio.ReadInts(br); err != nil {
+		return nil, err
+	}
+	if d.extTrain, err = data.LoadDataset(br); err != nil {
+		return nil, fmt.Errorf("bprom: load DT train split: %w", err)
+	}
+	if d.external, err = data.LoadDataset(br); err != nil {
+		return nil, fmt.Errorf("bprom: load DT test split: %w", err)
+	}
+	for _, qi := range d.queryIdx {
+		if qi >= d.external.Len() {
+			return nil, fmt.Errorf("bprom: query index %d outside DT test split of %d samples", qi, d.external.Len())
+		}
+	}
+	if d.forest, err = meta.Load(br); err != nil {
+		return nil, fmt.Errorf("bprom: load forest: %w", err)
+	}
+	nShadows, err := binio.ReadU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if nShadows > 1<<16 {
+		return nil, fmt.Errorf("bprom: implausible shadow count %d", nShadows)
+	}
+	d.Shadows = make([]Shadow, nShadows)
+	for i := range d.Shadows {
+		s := &d.Shadows[i]
+		if s.Backdoor, err = binio.ReadBool(br); err != nil {
+			return nil, err
+		}
+		if s.PromptedAcc, err = binio.ReadF64(br); err != nil {
+			return nil, err
+		}
+		if s.Features, err = binio.ReadFloats(br); err != nil {
+			return nil, err
+		}
+		hasPrompt, err := binio.ReadBool(br)
+		if err != nil {
+			return nil, err
+		}
+		if hasPrompt {
+			if s.Prompt, err = vp.LoadPrompt(br); err != nil {
+				return nil, fmt.Errorf("bprom: load shadow %d prompt: %w", i, err)
+			}
+		}
+	}
+	return d, nil
+}
+
+// LoadFile reads a detector artifact from path.
+func LoadFile(path string) (*Detector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("bprom: open %s: %w", path, err)
+	}
+	defer f.Close()
+	d, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("bprom: %s: %w", path, err)
+	}
+	return d, nil
+}
+
+// Threshold reports the detector's OOB-calibrated decision threshold.
+func (d *Detector) Threshold() float64 { return d.threshold }
+
+// InputDim reports the flattened input width suspicious oracles must have
+// (the prompt canvas of the source domain).
+func (d *Detector) InputDim() int { return d.prompt.source.Dim() }
+
+// MinClasses reports the smallest label-space size a suspicious oracle can
+// have: the identity label mapping needs at least as many source classes as
+// the external task DT has.
+func (d *Detector) MinClasses() int { return d.extTrain.Classes }
+
+// Compatible reports whether a suspicious oracle with the given label-space
+// size and input width can be audited by this detector, with a descriptive
+// error when it cannot. Serving layers use it to reject incompatible audit
+// submissions up front instead of failing the job mid-prompt.
+func (d *Detector) Compatible(numClasses, inputDim int) error {
+	if inputDim != d.InputDim() {
+		return fmt.Errorf("bprom: model input width %d, detector prompts a %dx%dx%d canvas (dim %d)",
+			inputDim, d.prompt.source.C, d.prompt.source.H, d.prompt.source.W, d.InputDim())
+	}
+	if numClasses < d.MinClasses() {
+		return fmt.Errorf("bprom: model has %d classes, detector's external task needs at least %d",
+			numClasses, d.MinClasses())
+	}
+	return nil
+}

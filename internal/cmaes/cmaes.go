@@ -37,6 +37,12 @@ type Options struct {
 	// TolFun stops when the best value improves by less than this across a
 	// generation window. <= 0 disables.
 	TolFun float64
+	// OnIter, when non-nil, is invoked after every completed generation
+	// with the 1-based generation count — a progress hook for long
+	// optimizations (server-side audit jobs report it live). It must not
+	// mutate optimizer state, and it does not fire for a generation cut
+	// short by MaxEvals.
+	OnIter func(iter int)
 }
 
 func (o *Options) defaults(n int) {
@@ -208,6 +214,9 @@ func MinimizeSep(obj Objective, x0 []float64, opt Options, r *rng.RNG) (Result, 
 		}
 
 		res.Iters = iter + 1
+		if opt.OnIter != nil {
+			opt.OnIter(iter + 1)
+		}
 		if opt.TolFun > 0 {
 			if prevBest-res.BestValue < opt.TolFun {
 				stale++

@@ -159,6 +159,9 @@ func Minimize(obj Objective, x0 []float64, opt Options, r *rng.RNG) (Result, err
 			}
 		}
 		res.Iters = iter + 1
+		if opt.OnIter != nil {
+			opt.OnIter(iter + 1)
+		}
 	}
 	return res, nil
 }

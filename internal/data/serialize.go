@@ -1,0 +1,71 @@
+package data
+
+import (
+	"fmt"
+	"io"
+
+	"bprom/internal/binio"
+)
+
+// Binary dataset section of the detector artifact. A detector is only as
+// portable as its external dataset DT: prompting and the DQ query samples
+// must be bit-identical across processes for verdicts to reproduce, so the
+// artifact embeds the exact pixel and label data rather than a generator
+// recipe. The enclosing artifact (internal/bprom/serialize.go) carries
+// magic and version.
+
+// Save writes the dataset section to w.
+func (d *Dataset) Save(w io.Writer) error {
+	if err := binio.WriteString(w, d.Name); err != nil {
+		return err
+	}
+	for _, v := range []int{d.Shape.C, d.Shape.H, d.Shape.W, d.Classes} {
+		if err := binio.WriteU32(w, uint32(v)); err != nil {
+			return err
+		}
+	}
+	if err := binio.WriteFloats(w, d.X); err != nil {
+		return err
+	}
+	return binio.WriteInts(w, d.Y)
+}
+
+// LoadDataset reads a dataset section previously written by Save and
+// validates its internal consistency.
+func LoadDataset(r io.Reader) (*Dataset, error) {
+	name, err := binio.ReadString(r)
+	if err != nil {
+		return nil, err
+	}
+	var vals [4]uint32
+	for i := range vals {
+		v, err := binio.ReadU32(r)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	d := &Dataset{
+		Name:    name,
+		Shape:   Shape{C: int(vals[0]), H: int(vals[1]), W: int(vals[2])},
+		Classes: int(vals[3]),
+	}
+	if !d.Shape.Valid() || d.Classes < 1 {
+		return nil, fmt.Errorf("data: invalid dataset geometry %+v classes=%d", d.Shape, d.Classes)
+	}
+	if d.X, err = binio.ReadFloats(r); err != nil {
+		return nil, err
+	}
+	if d.Y, err = binio.ReadInts(r); err != nil {
+		return nil, err
+	}
+	if len(d.X) != len(d.Y)*d.Shape.Dim() {
+		return nil, fmt.Errorf("data: %d pixel values for %d samples of dim %d", len(d.X), len(d.Y), d.Shape.Dim())
+	}
+	for i, y := range d.Y {
+		if y < 0 || y >= d.Classes {
+			return nil, fmt.Errorf("data: sample %d has label %d outside %d classes", i, y, d.Classes)
+		}
+	}
+	return d, nil
+}

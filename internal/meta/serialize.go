@@ -1,0 +1,161 @@
+package meta
+
+import (
+	"fmt"
+	"io"
+
+	"bprom/internal/binio"
+)
+
+// Binary forest section of the detector artifact: feature count, ensemble
+// size, the in-bag bootstrap matrix (so OOBScores keeps working on a loaded
+// forest), then every tree as a tag-prefixed recursive node list — the same
+// append-only tag discipline as the nn checkpoint format. The section has no
+// magic of its own; the enclosing artifact (internal/bprom/serialize.go)
+// carries magic and version.
+
+// Node tags. Values are stable once released — append only.
+const (
+	tagLeaf byte = iota + 1
+	tagSplit
+)
+
+// Save writes the forest section to w.
+func (f *Forest) Save(w io.Writer) error {
+	if err := binio.WriteU32(w, uint32(f.NumFeatures)); err != nil {
+		return err
+	}
+	if err := binio.WriteU32(w, uint32(len(f.Trees))); err != nil {
+		return err
+	}
+	rows := 0
+	if len(f.inBag) > 0 {
+		rows = len(f.inBag[0])
+	}
+	if err := binio.WriteU32(w, uint32(rows)); err != nil {
+		return err
+	}
+	for t, tree := range f.Trees {
+		for i := 0; i < rows; i++ {
+			if err := binio.WriteBool(w, f.inBag[t][i]); err != nil {
+				return err
+			}
+		}
+		if err := writeNode(w, tree); err != nil {
+			return fmt.Errorf("meta: tree %d: %w", t, err)
+		}
+	}
+	return nil
+}
+
+// Load reads a forest section previously written by Save.
+func Load(r io.Reader) (*Forest, error) {
+	numFeatures, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	trees, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if trees > 1<<20 {
+		return nil, fmt.Errorf("meta: implausible tree count %d", trees)
+	}
+	rows, err := binio.ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if rows > 1<<20 {
+		return nil, fmt.Errorf("meta: implausible training-row count %d", rows)
+	}
+	f := &Forest{
+		NumFeatures: int(numFeatures),
+		Trees:       make([]*node, trees),
+		inBag:       make([][]bool, trees),
+	}
+	for t := range f.Trees {
+		f.inBag[t] = make([]bool, rows)
+		for i := range f.inBag[t] {
+			b, err := binio.ReadBool(r)
+			if err != nil {
+				return nil, err
+			}
+			f.inBag[t][i] = b
+		}
+		tree, err := readNode(r, 0, int(numFeatures))
+		if err != nil {
+			return nil, fmt.Errorf("meta: tree %d: %w", t, err)
+		}
+		f.Trees[t] = tree
+	}
+	return f, nil
+}
+
+func writeNode(w io.Writer, n *node) error {
+	if n.feature < 0 {
+		if _, err := w.Write([]byte{tagLeaf}); err != nil {
+			return err
+		}
+		return binio.WriteF64(w, n.prob)
+	}
+	if _, err := w.Write([]byte{tagSplit}); err != nil {
+		return err
+	}
+	if err := binio.WriteU32(w, uint32(n.feature)); err != nil {
+		return err
+	}
+	if err := binio.WriteF64(w, n.threshold); err != nil {
+		return err
+	}
+	if err := writeNode(w, n.left); err != nil {
+		return err
+	}
+	return writeNode(w, n.right)
+}
+
+// maxTreeDepth caps decode recursion; trained trees are depth-bounded by
+// TrainConfig.MaxDepth, so anything deeper is a corrupt artifact.
+const maxTreeDepth = 64
+
+func readNode(r io.Reader, depth, numFeatures int) (*node, error) {
+	if depth > maxTreeDepth {
+		return nil, fmt.Errorf("tree deeper than %d: corrupt artifact", maxTreeDepth)
+	}
+	var tag [1]byte
+	if _, err := io.ReadFull(r, tag[:]); err != nil {
+		return nil, fmt.Errorf("read node tag: %w", err)
+	}
+	switch tag[0] {
+	case tagLeaf:
+		prob, err := binio.ReadF64(r)
+		if err != nil {
+			return nil, err
+		}
+		return &node{feature: -1, prob: prob}, nil
+	case tagSplit:
+		feature, err := binio.ReadU32(r)
+		if err != nil {
+			return nil, err
+		}
+		// An out-of-range split feature would panic Score mid-audit;
+		// reject it at load time like every other corruption.
+		if int(feature) >= numFeatures {
+			return nil, fmt.Errorf("split on feature %d of %d: corrupt artifact", feature, numFeatures)
+		}
+		threshold, err := binio.ReadF64(r)
+		if err != nil {
+			return nil, err
+		}
+		left, err := readNode(r, depth+1, numFeatures)
+		if err != nil {
+			return nil, err
+		}
+		right, err := readNode(r, depth+1, numFeatures)
+		if err != nil {
+			return nil, err
+		}
+		return &node{feature: int(feature), threshold: threshold, left: left, right: right}, nil
+	default:
+		return nil, fmt.Errorf("unknown node tag %d", tag[0])
+	}
+}

@@ -1,0 +1,210 @@
+package mlaas
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"bprom/internal/audit"
+	"bprom/internal/bprom"
+	"bprom/internal/tensor"
+)
+
+// Audit-as-a-service routes: the HTTP face of internal/audit. A server
+// started with a detector artifact (EnableAudits) accepts asynchronous
+// audit jobs against its own hosted models — POST to submit, GET to list
+// and poll, DELETE to cancel — so the platform audits its zoo server-side
+// instead of every defender pulling thousands of confidence vectors over
+// the wire. See docs/API.md for the wire reference.
+
+// ErrAuditsDisabled reports an audit request against a server that was not
+// given a detector. The HTTP layer maps it to 501.
+var ErrAuditsDisabled = errors.New("mlaas: audits not enabled on this server (start it with a detector artifact)")
+
+// AuditConfig tunes the server-side audit service.
+type AuditConfig struct {
+	// Workers bounds concurrently running audit jobs. Default 2.
+	Workers int
+	// MaxQueued bounds jobs waiting for a worker (submissions beyond it
+	// get 429). Default 64.
+	MaxQueued int
+}
+
+// EnableAudits attaches an audit job manager over det to the server: the
+// /v1/audits route family becomes live, auditing the server's own hosted
+// models in-process. Call it once, before the server starts handling
+// requests; Close (and Serve on shutdown) stops the manager, cancelling
+// running jobs via their contexts.
+func (s *Server) EnableAudits(det *bprom.Detector, cfg AuditConfig) {
+	s.audits = audit.NewManager(det, audit.Config{Workers: cfg.Workers, MaxQueued: cfg.MaxQueued})
+}
+
+// Audits exposes the attached audit manager (nil when audits are disabled).
+// In-process callers (examples, tests) can submit and poll without HTTP.
+func (s *Server) Audits() *audit.Manager { return s.audits }
+
+// providerOracle adapts one hosted model to oracle.Oracle for server-side
+// audits: queries go straight to the provider's engines (no HTTP loopback),
+// chunked to the provider's per-request batch limit so audit traffic obeys
+// the same batching contract as wire traffic.
+type providerOracle struct {
+	prov     provider
+	id       string
+	classes  int
+	inputDim int
+}
+
+func (o *providerOracle) NumClasses() int { return o.classes }
+func (o *providerOracle) InputDim() int   { return o.inputDim }
+
+func (o *providerOracle) Predict(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Rank() != 2 || x.Dim(1) != o.inputDim {
+		return nil, fmt.Errorf("mlaas: audit input shape %v, want [N %d]", x.Shape(), o.inputDim)
+	}
+	n := x.Dim(0)
+	maxBatch := o.prov.MaxBatch()
+	if maxBatch <= 0 || n <= maxBatch {
+		return o.prov.Predict(ctx, o.id, x)
+	}
+	out := tensor.New(n, o.classes)
+	for start := 0; start < n; start += maxBatch {
+		end := start + maxBatch
+		if end > n {
+			end = n
+		}
+		chunk := tensor.FromSlice(x.Data[start*o.inputDim:end*o.inputDim], end-start, o.inputDim)
+		probs, err := o.prov.Predict(ctx, o.id, chunk)
+		if err != nil {
+			return nil, err
+		}
+		copy(out.Data[start*o.classes:end*o.classes], probs.Data)
+	}
+	return out, nil
+}
+
+// auditSubmitRequest is the POST /v1/models/{id}/audits body. All fields
+// are optional; an empty body is valid.
+type auditSubmitRequest struct {
+	// InspectID selects the inspection RNG stream (reproducibility handle:
+	// the same detector, model, and inspect_id give a bit-identical
+	// verdict). Absent or negative: the server assigns the job's
+	// submission sequence number.
+	InspectID *int `json:"inspect_id"`
+}
+
+// auditListResponse is the GET /v1/audits payload.
+type auditListResponse struct {
+	Jobs []audit.Job `json:"jobs"`
+}
+
+// Health is the GET /v1/healthz payload: liveness plus the state of the
+// audit service, so orchestrators (and fleet CLIs, as a preflight) can tell
+// a serving-only endpoint from a full audit platform.
+type Health struct {
+	// Status is "ok" whenever the server answers at all.
+	Status string `json:"status"`
+	// Models counts hosted models.
+	Models int `json:"models"`
+	// AuditsEnabled reports whether the server carries a detector.
+	AuditsEnabled bool `json:"audits_enabled"`
+	// AuditJobs counts jobs the audit manager currently holds (always
+	// present — 0 with audits enabled means "idle", which monitoring must
+	// be able to tell apart from "disabled").
+	AuditJobs int `json:"audit_jobs"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := Health{
+		Status:        "ok",
+		Models:        len(s.prov.Models()),
+		AuditsEnabled: s.audits != nil,
+	}
+	if s.audits != nil {
+		resp.AuditJobs = s.audits.Len()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSubmitAudit serves POST /v1/models/{id}/audits (and the legacy
+// default-model alias POST /v1/audits, id ""). It validates the model and
+// its detector compatibility up front, so incompatible submissions fail
+// fast with 400 instead of producing a failed job.
+func (s *Server) handleSubmitAudit(w http.ResponseWriter, r *http.Request, id string) {
+	if s.audits == nil {
+		s.writeError(w, ErrAuditsDisabled)
+		return
+	}
+	info, err := s.prov.Info(id)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := s.audits.Detector().Compatible(info.Classes, info.InputDim); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("model %q not auditable: %v", info.ID, err)})
+		return
+	}
+	var req auditSubmitRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "read body: " + err.Error()})
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decode: " + err.Error()})
+			return
+		}
+	}
+	inspectID := -1
+	if req.InspectID != nil {
+		inspectID = *req.InspectID
+	}
+	sus := &providerOracle{prov: s.prov, id: info.ID, classes: info.Classes, inputDim: info.InputDim}
+	job, err := s.audits.Submit(info.ID, sus, inspectID)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleListAudits(w http.ResponseWriter, r *http.Request) {
+	if s.audits == nil {
+		s.writeError(w, ErrAuditsDisabled)
+		return
+	}
+	jobs := s.audits.List()
+	if jobs == nil {
+		jobs = []audit.Job{}
+	}
+	writeJSON(w, http.StatusOK, auditListResponse{Jobs: jobs})
+}
+
+func (s *Server) handleGetAudit(w http.ResponseWriter, r *http.Request) {
+	if s.audits == nil {
+		s.writeError(w, ErrAuditsDisabled)
+		return
+	}
+	job, err := s.audits.Get(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleDeleteAudit(w http.ResponseWriter, r *http.Request) {
+	if s.audits == nil {
+		s.writeError(w, ErrAuditsDisabled)
+		return
+	}
+	job, err := s.audits.Delete(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"bprom/internal/audit"
 	"bprom/internal/oracle"
 	"bprom/internal/tensor"
 )
@@ -30,8 +31,11 @@ type ClientConfig struct {
 	// Retries is the number of retry attempts after the first failure, for
 	// transient failures only (network errors and 5xx). Zero means "use the
 	// default" (2); pass NoRetries (or any negative value) to disable
-	// retries entirely.
+	// retries entirely. Retrying stops immediately once the caller's
+	// context is cancelled or past its deadline.
 	Retries int
+	// AuditPoll is the WaitAudit polling interval. Default 250ms.
+	AuditPoll time.Duration
 	// HTTPClient overrides the transport (tests).
 	HTTPClient *http.Client
 }
@@ -44,6 +48,9 @@ func (c *ClientConfig) defaults() {
 		c.Retries = 0 // NoRetries and friends: first attempt only
 	} else if c.Retries == 0 {
 		c.Retries = 2
+	}
+	if c.AuditPoll <= 0 {
+		c.AuditPoll = 250 * time.Millisecond
 	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = &http.Client{}
@@ -129,6 +136,23 @@ func (c *Client) route(leaf string) string {
 	return c.base + "/v1/models/" + url.PathEscape(c.modelID) + "/" + leaf
 }
 
+// StatusError is a non-2xx endpoint response, carrying the HTTP status
+// code and the decoded error envelope. Callers that must distinguish
+// rejection classes (e.g. a fleet audit telling "model incompatible with
+// the detector" from "queue full") unwrap it with errors.As.
+type StatusError struct {
+	// Code is the HTTP status code.
+	Code int
+	// URL is the request URL.
+	URL string
+	// Msg is the error-envelope message (may be empty).
+	Msg string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("mlaas: %s returned %d (%s)", e.URL, e.Code, e.Msg)
+}
+
 // getJSON fetches one metadata URL and decodes the response (no retries:
 // metadata fetches are cheap for the caller to re-issue).
 func (c *Client) getJSON(ctx context.Context, u string, v any) error {
@@ -138,20 +162,7 @@ func (c *Client) getJSON(ctx context.Context, u string, v any) error {
 	if err != nil {
 		return fmt.Errorf("mlaas: build request: %w", err)
 	}
-	resp, err := c.cfg.HTTPClient.Do(req)
-	if err != nil {
-		return fmt.Errorf("mlaas: fetch %s: %w", u, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var er errorResponse
-		_ = json.NewDecoder(resp.Body).Decode(&er)
-		return fmt.Errorf("mlaas: %s returned %s (%s)", u, resp.Status, er.Error)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
-		return fmt.Errorf("mlaas: decode %s: %w", u, err)
-	}
-	return nil
+	return c.doJSON(req, v)
 }
 
 // ModelID reports which hosted model this client queries ("" for the
@@ -249,11 +260,152 @@ func (c *Client) predictBatch(ctx context.Context, x *tensor.Tensor) (*tensor.Te
 			return out, nil
 		}
 		lastErr = err
-		if !retryable {
+		// A cancelled or expired caller context is never transient: a
+		// deleted audit job or an aborted fleet run must stop querying
+		// immediately instead of burning the retry budget. Per-request
+		// timeouts (reqCtx) without a dead parent stay retryable.
+		if !retryable || ctx.Err() != nil {
 			break
 		}
 	}
 	return nil, fmt.Errorf("mlaas: predict failed: %w", lastErr)
+}
+
+// --- Audit-as-a-service helpers -----------------------------------------------------
+
+// Healthz fetches GET /v1/healthz: endpoint liveness plus whether the
+// server runs the audit service. Fleet audits use it as a preflight before
+// submitting jobs.
+func Healthz(ctx context.Context, baseURL string, cfg ClientConfig) (Health, error) {
+	cfg.defaults()
+	c := &Client{base: baseURL, cfg: cfg}
+	var h Health
+	if err := c.getJSON(ctx, baseURL+"/v1/healthz", &h); err != nil {
+		return Health{}, err
+	}
+	return h, nil
+}
+
+// ServerAssignedInspectID lets the server pick the inspection RNG stream
+// for a submitted audit job (its job sequence number). Pass an explicit
+// non-negative id instead when verdicts must be reproducible against an
+// in-process Detector.Inspect call.
+const ServerAssignedInspectID = -1
+
+// AuditModel submits an asynchronous server-side audit job for the bound
+// model (POST /v1/models/{id}/audits) and returns the queued job snapshot.
+// The server audits the model with ITS detector artifact in-process — no
+// probe traffic crosses the wire. inspectID seeds the inspection RNG
+// stream; pass ServerAssignedInspectID to let the server choose. Poll the
+// returned job with GetAudit, or block with WaitAudit.
+func (c *Client) AuditModel(ctx context.Context, inspectID int) (audit.Job, error) {
+	var req struct {
+		InspectID *int `json:"inspect_id,omitempty"`
+	}
+	if inspectID >= 0 {
+		req.InspectID = &inspectID
+	}
+	var job audit.Job
+	if err := c.postJSON(ctx, c.route("audits"), req, &job); err != nil {
+		return audit.Job{}, err
+	}
+	return job, nil
+}
+
+// GetAudit fetches one audit job snapshot (GET /v1/audits/{id}).
+func (c *Client) GetAudit(ctx context.Context, jobID string) (audit.Job, error) {
+	var job audit.Job
+	if err := c.getJSON(ctx, c.base+"/v1/audits/"+url.PathEscape(jobID), &job); err != nil {
+		return audit.Job{}, err
+	}
+	return job, nil
+}
+
+// ListAudits fetches every audit job the endpoint holds, in submission
+// order (GET /v1/audits).
+func (c *Client) ListAudits(ctx context.Context) ([]audit.Job, error) {
+	var resp auditListResponse
+	if err := c.getJSON(ctx, c.base+"/v1/audits", &resp); err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
+
+// CancelAudit cancels and removes an audit job (DELETE /v1/audits/{id}):
+// a queued job never runs, a running one is context-cancelled server-side.
+// It returns the job's snapshot as of deletion.
+func (c *Client) CancelAudit(ctx context.Context, jobID string) (audit.Job, error) {
+	reqCtx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodDelete, c.base+"/v1/audits/"+url.PathEscape(jobID), nil)
+	if err != nil {
+		return audit.Job{}, fmt.Errorf("mlaas: build request: %w", err)
+	}
+	var job audit.Job
+	if err := c.doJSON(req, &job); err != nil {
+		return audit.Job{}, err
+	}
+	return job, nil
+}
+
+// WaitAudit polls an audit job (every ClientConfig.AuditPoll) until it
+// reaches a terminal state and returns the final snapshot. A job that ends
+// StateFailed is returned with a nil error — the failure is the job's
+// Error field; WaitAudit's own error means the polling itself broke
+// (endpoint unreachable, job deleted, ctx cancelled).
+func (c *Client) WaitAudit(ctx context.Context, jobID string) (audit.Job, error) {
+	ticker := time.NewTicker(c.cfg.AuditPoll)
+	defer ticker.Stop()
+	for {
+		job, err := c.GetAudit(ctx, jobID)
+		if err != nil {
+			return audit.Job{}, err
+		}
+		if job.State.Terminal() {
+			return job, nil
+		}
+		select {
+		case <-ctx.Done():
+			return audit.Job{}, fmt.Errorf("mlaas: waiting for audit %s: %w", jobID, ctx.Err())
+		case <-ticker.C:
+		}
+	}
+}
+
+// postJSON sends one JSON request body and decodes the JSON response (no
+// retries: submissions are not idempotent from the caller's viewpoint).
+func (c *Client) postJSON(ctx context.Context, u string, body, v any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("mlaas: encode request: %w", err)
+	}
+	reqCtx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, u, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("mlaas: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.doJSON(req, v)
+}
+
+// doJSON executes req and decodes a 2xx JSON response into v; non-2xx
+// responses become *StatusError with the decoded error envelope.
+func (c *Client) doJSON(req *http.Request, v any) error {
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("mlaas: %s %s: %w", req.Method, req.URL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var er errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		return &StatusError{Code: resp.StatusCode, URL: req.URL.String(), Msg: er.Error}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("mlaas: decode %s: %w", req.URL, err)
+	}
+	return nil
 }
 
 func (c *Client) predictOnce(ctx context.Context, payload []byte, n int) (_ *tensor.Tensor, retryable bool, _ error) {

@@ -12,13 +12,24 @@
 // fixed memory budget. Each hot model gets its own micro-batch worker
 // group; all of them share the one process-wide tensor worker pool.
 //
+// A server given a detector artifact (EnableAudits) additionally runs
+// audit-as-a-service: asynchronous server-side BPROM audit jobs against its
+// own hosted models (internal/audit), so one trained detector screens the
+// whole zoo without the defender pulling predictions over the wire.
+//
 // API (see docs/API.md for the full wire-protocol reference):
 //
-//	GET  /v1/models                  -> {"default": id, "models": [{...}, ...]}
-//	GET  /v1/models/{id}/info        -> {"id", "name", "arch", "classes", "input_dim", "max_batch"}
-//	POST /v1/models/{id}/predict     {"inputs": [[f64,...],...]} -> {"confidences": [[f64,...],...]}
-//	GET  /v1/info                    alias for the default model's info
-//	POST /v1/predict                 alias for the default model's predict
+//	GET    /v1/models                  -> {"default": id, "models": [{...}, ...]}
+//	GET    /v1/models/{id}/info        -> {"id", "name", "arch", "classes", "input_dim", "max_batch"}
+//	POST   /v1/models/{id}/predict     {"inputs": [[f64,...],...]} -> {"confidences": [[f64,...],...]}
+//	POST   /v1/models/{id}/audits      submit an async audit job -> 202 + job
+//	GET    /v1/audits                  -> {"jobs": [...]} (submission order)
+//	GET    /v1/audits/{id}             poll one job (state, progress, verdict)
+//	DELETE /v1/audits/{id}             cancel (context-cancel) and remove a job
+//	GET    /v1/healthz                 liveness + audit-service state
+//	GET    /v1/info                    alias for the default model's info
+//	POST   /v1/predict                 alias for the default model's predict
+//	POST   /v1/audits                  alias: audit the default model
 //
 // Serving is fully concurrent: the nn inference path is stateless, so each
 // model's engine runs one forward pass per worker with no global lock. An
@@ -42,6 +53,7 @@ import (
 	"sync"
 	"time"
 
+	"bprom/internal/audit"
 	"bprom/internal/nn"
 	"bprom/internal/tensor"
 )
@@ -154,10 +166,12 @@ func (p *singleProvider) Predict(ctx context.Context, id string, x *tensor.Tenso
 
 // Server is the HTTP front of the service: request decoding, model routing,
 // and the error envelope. Inference happens in per-model engines owned by
-// the provider behind it.
+// the provider behind it; server-side audit jobs (EnableAudits) run in an
+// audit.Manager beside it.
 type Server struct {
-	prov provider
-	once sync.Once
+	prov   provider
+	audits *audit.Manager // nil until EnableAudits
+	once   sync.Once
 }
 
 // NewServer wraps one frozen in-memory model and starts its micro-batch
@@ -186,10 +200,16 @@ func NewRegistryServer(reg *Registry) *Server {
 	return &Server{prov: reg}
 }
 
-// Close stops all model engines; queued and future requests fail with 503.
-// Safe to call more than once.
+// Close drains the audit manager (running jobs are cancelled via their
+// contexts) and then stops all model engines; queued and future requests
+// fail with 503. Safe to call more than once.
 func (s *Server) Close() {
-	s.once.Do(func() { s.prov.Close() })
+	s.once.Do(func() {
+		if s.audits != nil {
+			s.audits.Close()
+		}
+		s.prov.Close()
+	})
 }
 
 // Handler returns the HTTP handler for the service.
@@ -202,12 +222,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/models/{id}/predict", func(w http.ResponseWriter, r *http.Request) {
 		s.handlePredict(w, r, r.PathValue("id"))
 	})
+	// Audit-as-a-service routes (501 until EnableAudits): asynchronous
+	// server-side audit jobs over the hosted models.
+	mux.HandleFunc("POST /v1/models/{id}/audits", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSubmitAudit(w, r, r.PathValue("id"))
+	})
+	mux.HandleFunc("GET /v1/audits", s.handleListAudits)
+	mux.HandleFunc("GET /v1/audits/{id}", s.handleGetAudit)
+	mux.HandleFunc("DELETE /v1/audits/{id}", s.handleDeleteAudit)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	// Legacy single-model routes: aliases for the default model.
 	mux.HandleFunc("GET /v1/info", func(w http.ResponseWriter, r *http.Request) {
 		s.handleInfo(w, "")
 	})
 	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
 		s.handlePredict(w, r, "")
+	})
+	// Default-model audit alias, in the same spirit as /v1/predict.
+	mux.HandleFunc("POST /v1/audits", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSubmitAudit(w, r, "")
 	})
 	return mux
 }
@@ -322,14 +355,19 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, id string
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// writeError maps provider errors onto the wire error envelope: unknown
-// model -> 404, closed/cancelled -> 503, anything else (e.g. a checkpoint
+// writeError maps provider and audit errors onto the wire error envelope:
+// unknown model or audit job -> 404, audits not enabled -> 501, audit queue
+// full -> 429, closed/cancelled -> 503, anything else (e.g. a checkpoint
 // that fails to load) -> 500.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, ErrUnknownModel):
+	case errors.Is(err, ErrUnknownModel), errors.Is(err, audit.ErrUnknownJob):
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
-	case errors.Is(err, errEngineClosed):
+	case errors.Is(err, ErrAuditsDisabled):
+		writeJSON(w, http.StatusNotImplemented, errorResponse{Error: err.Error()})
+	case errors.Is(err, audit.ErrQueueFull):
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case errors.Is(err, errEngineClosed), errors.Is(err, audit.ErrClosed):
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server closed"})
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "cancelled: " + err.Error()})

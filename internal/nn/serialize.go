@@ -2,12 +2,11 @@ package nn
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
 	"os"
 
+	"bprom/internal/binio"
 	"bprom/internal/rng"
 	"bprom/internal/tensor"
 )
@@ -313,76 +312,18 @@ func readLayer(r *bufio.Reader) (Layer, error) {
 	}
 }
 
-func writeU32(w *bufio.Writer, v uint32) error {
-	var buf [4]byte
-	binary.LittleEndian.PutUint32(buf[:], v)
-	if _, err := w.Write(buf[:]); err != nil {
-		return fmt.Errorf("nn: write u32: %w", err)
-	}
-	return nil
-}
+// The encoding primitives live in internal/binio (shared with the detector
+// artifact format, which mirrors this checkpoint format's conventions);
+// these wrappers only keep the historical call sites short.
 
-func readU32(r *bufio.Reader) (uint32, error) {
-	var buf [4]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return 0, fmt.Errorf("nn: read u32: %w", err)
-	}
-	return binary.LittleEndian.Uint32(buf[:]), nil
-}
+func writeU32(w *bufio.Writer, v uint32) error { return binio.WriteU32(w, v) }
 
-func writeString(w *bufio.Writer, s string) error {
-	if err := writeU32(w, uint32(len(s))); err != nil {
-		return err
-	}
-	if _, err := w.WriteString(s); err != nil {
-		return fmt.Errorf("nn: write string: %w", err)
-	}
-	return nil
-}
+func readU32(r *bufio.Reader) (uint32, error) { return binio.ReadU32(r) }
 
-func readString(r *bufio.Reader) (string, error) {
-	n, err := readU32(r)
-	if err != nil {
-		return "", err
-	}
-	if n > 1<<16 {
-		return "", fmt.Errorf("nn: implausible string length %d", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", fmt.Errorf("nn: read string: %w", err)
-	}
-	return string(buf), nil
-}
+func writeString(w *bufio.Writer, s string) error { return binio.WriteString(w, s) }
 
-func writeFloats(w *bufio.Writer, data []float64) error {
-	if err := writeU32(w, uint32(len(data))); err != nil {
-		return err
-	}
-	var buf [8]byte
-	for _, v := range data {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		if _, err := w.Write(buf[:]); err != nil {
-			return fmt.Errorf("nn: write floats: %w", err)
-		}
-	}
-	return nil
-}
+func readString(r *bufio.Reader) (string, error) { return binio.ReadString(r) }
 
-func readFloats(r *bufio.Reader, dst []float64) error {
-	n, err := readU32(r)
-	if err != nil {
-		return err
-	}
-	if int(n) != len(dst) {
-		return fmt.Errorf("nn: float block length %d, expected %d", n, len(dst))
-	}
-	var buf [8]byte
-	for i := range dst {
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			return fmt.Errorf("nn: read floats: %w", err)
-		}
-		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
-	}
-	return nil
-}
+func writeFloats(w *bufio.Writer, data []float64) error { return binio.WriteFloats(w, data) }
+
+func readFloats(r *bufio.Reader, dst []float64) error { return binio.ReadFloatsInto(r, dst) }

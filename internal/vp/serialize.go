@@ -1,0 +1,56 @@
+package vp
+
+import (
+	"fmt"
+	"io"
+
+	"bprom/internal/binio"
+	"bprom/internal/data"
+)
+
+// Binary prompt section of the detector artifact: the source canvas
+// geometry, the inner window side length, and the learned border pixels θ.
+// The border index set is not stored — it is a pure function of the
+// geometry and is rebuilt on load, so the section stays compact and cannot
+// desynchronize from the canvas shape. The enclosing artifact
+// (internal/bprom/serialize.go) carries magic and version.
+
+// Save writes the prompt section to w.
+func (p *Prompt) Save(w io.Writer) error {
+	for _, v := range []int{p.Source.C, p.Source.H, p.Source.W, p.Inner} {
+		if err := binio.WriteU32(w, uint32(v)); err != nil {
+			return err
+		}
+	}
+	return binio.WriteFloats(w, p.Theta)
+}
+
+// LoadPrompt reads a prompt section previously written by Save and rebuilds
+// the border geometry.
+func LoadPrompt(r io.Reader) (*Prompt, error) {
+	var vals [4]uint32
+	for i := range vals {
+		v, err := binio.ReadU32(r)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	source := data.Shape{C: int(vals[0]), H: int(vals[1]), W: int(vals[2])}
+	if !source.Valid() {
+		return nil, fmt.Errorf("vp: invalid prompt canvas %+v", source)
+	}
+	p, err := newPromptGeometry(source, int(vals[3]))
+	if err != nil {
+		return nil, err
+	}
+	theta, err := binio.ReadFloats(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(theta) != len(p.Theta) {
+		return nil, fmt.Errorf("vp: prompt has %d border values, geometry needs %d", len(theta), len(p.Theta))
+	}
+	p.Theta = theta
+	return p, nil
+}

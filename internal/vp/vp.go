@@ -63,7 +63,23 @@ func NewPrompt(source data.Shape, target data.Shape, innerFrac float64) (*Prompt
 	if inner < 1 {
 		inner = 1
 	}
-	if inner >= min(source.H, source.W) {
+	p, err := newPromptGeometry(source, inner)
+	if err != nil {
+		return nil, err
+	}
+	for i := range p.Theta {
+		p.Theta[i] = 0.5 // neutral gray start
+	}
+	return p, nil
+}
+
+// newPromptGeometry builds a prompt from its canonical geometry — the
+// source canvas and the inner window side length — with Theta zeroed. Both
+// NewPrompt and the artifact decoder (serialize.go) derive the border index
+// set from this one function, so a deserialized prompt is geometrically
+// identical to a freshly constructed one.
+func newPromptGeometry(source data.Shape, inner int) (*Prompt, error) {
+	if inner < 1 || inner >= min(source.H, source.W) {
 		return nil, fmt.Errorf("vp: inner window %d leaves no border on %dx%d canvas", inner, source.H, source.W)
 	}
 	p := &Prompt{
@@ -84,9 +100,6 @@ func NewPrompt(source data.Shape, target data.Shape, innerFrac float64) (*Prompt
 		}
 	}
 	p.Theta = make([]float64, len(p.borderIdx))
-	for i := range p.Theta {
-		p.Theta[i] = 0.5 // neutral gray start
-	}
 	return p, nil
 }
 
@@ -240,6 +253,11 @@ type BlackBoxConfig struct {
 	MaxQueries int
 	// UseSPSA switches to SPSA (ablation).
 	UseSPSA bool
+	// OnGeneration, when non-nil, is invoked after every completed CMA-ES
+	// generation with the 1-based generation count — the progress hook
+	// behind live audit-job reporting. Ignored by SPSA. Not persisted in
+	// detector artifacts.
+	OnGeneration func(gen int)
 }
 
 func (c *BlackBoxConfig) defaults() {
@@ -252,6 +270,14 @@ func (c *BlackBoxConfig) defaults() {
 	if c.Sigma0 <= 0 {
 		c.Sigma0 = 0.15
 	}
+}
+
+// Generations reports the resolved CMA-ES generation budget (the configured
+// Iterations, or the default when unset) — the denominator of audit-job
+// progress.
+func (c BlackBoxConfig) Generations() int {
+	c.defaults()
+	return c.Iterations
 }
 
 // TrainBlackBox optimizes p.Theta using only oracle queries: the objective
@@ -302,6 +328,7 @@ func TrainBlackBox(ctx context.Context, o oracle.Oracle, p *Prompt, train *data.
 		MaxIters: cfg.Iterations,
 		Lo:       0,
 		Hi:       1,
+		OnIter:   cfg.OnGeneration,
 	}
 	if cfg.MaxQueries > 0 {
 		opt.MaxEvals = cfg.MaxQueries / cfg.BatchSize
