@@ -14,12 +14,16 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"testing"
+	"time"
 
+	"bprom/internal/data"
 	"bprom/internal/exp"
 	"bprom/internal/mlaas"
 	"bprom/internal/nn"
+	"bprom/internal/oracle"
 	"bprom/internal/rng"
 	"bprom/internal/tensor"
+	"bprom/internal/vp"
 )
 
 // runExperiment executes one registered experiment per benchmark iteration
@@ -238,6 +242,128 @@ func BenchmarkConvIm2Col(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		conv.Infer(x)
 	}
+}
+
+// --- Generation-batched CMA-ES evaluation ------------------------------------
+//
+// The before/after pair for PR 5's tentpole: TrainBlackBox with the legacy
+// per-candidate objective (one oracle call per CMA-ES candidate, re-resizing
+// the mini-batch every evaluation) versus the generation-batched evaluator
+// (candidate-invariant resize cache + one fused oracle call per generation).
+// Both paths are bit-identical in output — the delta is pure evaluation-
+// pipeline overhead. The HTTP variants add the wire: serial sends λ narrow
+// requests per generation, batched sends one wide call that the client chunks
+// into parallel full-width requests. scripts/bench.sh records all four in
+// BENCH_5.json. Reproduce locally with:
+//
+//	go test -bench 'TrainBlackBox' -benchtime=3x .
+
+func benchPromptWorkload(b *testing.B) (*nn.Model, *data.Dataset) {
+	b.Helper()
+	m := benchModel(b) // 3×12×12 canvas, 10 classes
+	tgt := data.NewGenerator(data.MustSpec(data.STL10), 7).Generate(6, rng.New(8))
+	return m, tgt
+}
+
+func benchTrainBlackBox(b *testing.B, o oracle.Oracle, src data.Shape, tgt *data.Dataset, serial bool) {
+	b.Helper()
+	cfg := vp.BlackBoxConfig{Iterations: 4, SerialEval: serial}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := vp.NewPrompt(src, tgt.Shape, 0.83)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := vp.TrainBlackBox(ctx, o, p, tgt, cfg, rng.New(9)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainBlackBoxSerial is the legacy per-candidate baseline against
+// an in-process oracle.
+func BenchmarkTrainBlackBoxSerial(b *testing.B) {
+	m, tgt := benchPromptWorkload(b)
+	src := data.Shape{C: 3, H: 12, W: 12}
+	benchTrainBlackBox(b, oracle.NewModelOracle(m), src, tgt, true)
+}
+
+// BenchmarkTrainBlackBoxBatched is the generation-batched path against the
+// same in-process oracle. On a single core both paths are bound by the
+// identical model flops, so the delta is the evaluation-pipeline overhead
+// the batching removes (resizes, canvas allocations — see the allocs/op
+// column); the ≥2× wins appear where the fused call changes what the
+// backend can do: multi-core hosts parallelize the full-width batches
+// across the worker pool, and the RemoteRTT pair below shows the λ→1
+// round-trip collapse that dominates real remote audits.
+func BenchmarkTrainBlackBoxBatched(b *testing.B) {
+	m, tgt := benchPromptWorkload(b)
+	src := data.Shape{C: 3, H: 12, W: 12}
+	benchTrainBlackBox(b, oracle.NewModelOracle(m), src, tgt, false)
+}
+
+func benchHTTPOracle(b *testing.B, m *nn.Model) *mlaas.Client {
+	b.Helper()
+	s := mlaas.NewServer(m, mlaas.ServerConfig{Name: "bench-vp", MaxBatch: 128})
+	b.Cleanup(s.Close)
+	srv := httptest.NewServer(s.Handler())
+	b.Cleanup(srv.Close)
+	c, err := mlaas.Dial(context.Background(), srv.URL, mlaas.ClientConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkTrainBlackBoxSerialHTTP audits over the wire with the legacy
+// path: λ narrow sequential requests per generation.
+func BenchmarkTrainBlackBoxSerialHTTP(b *testing.B) {
+	m, tgt := benchPromptWorkload(b)
+	src := data.Shape{C: 3, H: 12, W: 12}
+	benchTrainBlackBox(b, benchHTTPOracle(b, m), src, tgt, true)
+}
+
+// BenchmarkTrainBlackBoxBatchedHTTP audits over the wire with one fused
+// call per generation, chunked by the client into parallel full-width
+// requests for the server's micro-batch engine.
+func BenchmarkTrainBlackBoxBatchedHTTP(b *testing.B) {
+	m, tgt := benchPromptWorkload(b)
+	src := data.Shape{C: 3, H: 12, W: 12}
+	benchTrainBlackBox(b, benchHTTPOracle(b, m), src, tgt, false)
+}
+
+// rttOracle simulates a genuinely remote endpoint: every Predict call pays
+// a fixed round-trip latency before the in-process forward pass. Loopback
+// httptest hides exactly this cost, yet it dominates real MLaaS audits (the
+// paper's query-budget setting): the serial path pays it λ times per
+// generation, the fused path once. The 3ms default is a conservative
+// same-region RTT.
+type rttOracle struct {
+	oracle.Oracle
+	rtt time.Duration
+}
+
+func (o *rttOracle) Predict(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	time.Sleep(o.rtt)
+	return o.Oracle.Predict(ctx, x)
+}
+
+// BenchmarkTrainBlackBoxSerialRemoteRTT: legacy path against a 3ms-RTT
+// oracle — λ round-trips per generation.
+func BenchmarkTrainBlackBoxSerialRemoteRTT(b *testing.B) {
+	m, tgt := benchPromptWorkload(b)
+	src := data.Shape{C: 3, H: 12, W: 12}
+	benchTrainBlackBox(b, &rttOracle{Oracle: oracle.NewModelOracle(m), rtt: 3 * time.Millisecond}, src, tgt, true)
+}
+
+// BenchmarkTrainBlackBoxBatchedRemoteRTT: generation-batched path against
+// the same 3ms-RTT oracle — one round-trip per generation.
+func BenchmarkTrainBlackBoxBatchedRemoteRTT(b *testing.B) {
+	m, tgt := benchPromptWorkload(b)
+	src := data.Shape{C: 3, H: 12, W: 12}
+	benchTrainBlackBox(b, &rttOracle{Oracle: oracle.NewModelOracle(m), rtt: 3 * time.Millisecond}, src, tgt, false)
 }
 
 // Ablations and the limitation experiment (DESIGN.md extensions).

@@ -364,6 +364,11 @@ type Progress struct {
 	Generations int `json:"generations"`
 	// Queries counts oracle sample queries spent so far.
 	Queries int64 `json:"queries"`
+	// QueriesDelta counts the queries spent since the previous progress
+	// report — for a CMA-ES generation, the row count of that generation's
+	// fused oracle call (λ×BatchSize on a full generation). It lets audit
+	// watchers see per-generation spend without diffing snapshots.
+	QueriesDelta int64 `json:"queries_delta"`
 }
 
 // Inspect prompts the suspicious oracle black-box (CMA-ES), extracts its DQ
@@ -394,10 +399,13 @@ func (d *Detector) InspectProgress(ctx context.Context, sus oracle.Oracle, inspe
 		return Verdict{}, err
 	}
 	bb := d.blackBox
+	var reported int64
 	if onProgress != nil {
 		gens := bb.Generations()
 		bb.OnGeneration = func(gen int) {
-			onProgress(Progress{Generation: gen, Generations: gens, Queries: counter.Queries()})
+			q := counter.Queries()
+			onProgress(Progress{Generation: gen, Generations: gens, Queries: q, QueriesDelta: q - reported})
+			reported = q
 		}
 		onProgress(Progress{Generations: gens})
 	}
@@ -419,7 +427,8 @@ func (d *Detector) InspectProgress(ctx context.Context, sus oracle.Oracle, inspe
 	}
 	if onProgress != nil {
 		gens := bb.Generations()
-		onProgress(Progress{Generation: gens, Generations: gens, Queries: counter.Queries()})
+		q := counter.Queries()
+		onProgress(Progress{Generation: gens, Generations: gens, Queries: q, QueriesDelta: q - reported})
 	}
 	return Verdict{
 		Score:       score,

@@ -217,3 +217,76 @@ func TestScoreModelMatchesInspect(t *testing.T) {
 		t.Fatalf("ScoreModel %v != Inspect score %v", s, v.Score)
 	}
 }
+
+// TestInspectSerialBatchedParity is the end-to-end bit-parity gate for the
+// generation-batched evaluator: a detector forced onto the legacy
+// per-candidate evaluation path must produce the byte-identical verdict —
+// score, prompted accuracy, AND total query count — as the default fused
+// path. Combined with the golden-artifact test (whose committed score the
+// batched path must keep reproducing), this locks the optimization out of
+// the observable behavior.
+func TestInspectSerialBatchedParity(t *testing.T) {
+	e := sharedEnv(t)
+	ctx := context.Background()
+	m := trainSus(t, e, nil, 600)
+
+	batched, err := e.det.Inspect(ctx, oracle.NewModelOracle(m), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialDet := *e.det // shallow copy: Inspect only reads detector state
+	serialDet.blackBox.SerialEval = true
+	serial, err := serialDet.Inspect(ctx, oracle.NewModelOracle(m), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched != serial {
+		t.Fatalf("batched verdict %+v != serial verdict %+v", batched, serial)
+	}
+	if batched.Queries == 0 {
+		t.Fatal("inspection made no oracle queries")
+	}
+}
+
+// TestProgressQueryDeltas asserts the per-generation spend reporting: the
+// deltas must be positive for every completed generation and sum to the
+// final cumulative query count.
+func TestProgressQueryDeltas(t *testing.T) {
+	e := sharedEnv(t)
+	ctx := context.Background()
+	m := trainSus(t, e, nil, 700)
+	var snaps []Progress
+	v, err := e.det.InspectProgress(ctx, oracle.NewModelOracle(m), 17, func(p Progress) {
+		snaps = append(snaps, p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 3 {
+		t.Fatalf("only %d progress snapshots", len(snaps))
+	}
+	var sum int64
+	for i, p := range snaps {
+		if i == 0 {
+			if p.Generation != 0 || p.Queries != 0 || p.QueriesDelta != 0 {
+				t.Fatalf("initial snapshot not zeroed: %+v", p)
+			}
+			continue
+		}
+		if p.QueriesDelta <= 0 {
+			t.Fatalf("snapshot %d has non-positive delta: %+v", i, p)
+		}
+		if p.Queries != snaps[i-1].Queries+p.QueriesDelta {
+			t.Fatalf("snapshot %d delta inconsistent with cumulative count: %+v after %+v", i, p, snaps[i-1])
+		}
+		sum += p.QueriesDelta
+	}
+	if sum != v.Queries {
+		t.Fatalf("deltas sum to %d, verdict reports %d queries", sum, v.Queries)
+	}
+	// Every mid-run snapshot's delta is one fused generation: λ×k rows.
+	final := snaps[len(snaps)-1]
+	if final.Queries != v.Queries || final.Generation != final.Generations {
+		t.Fatalf("final snapshot %+v inconsistent with verdict %+v", final, v)
+	}
+}

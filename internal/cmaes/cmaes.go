@@ -21,6 +21,14 @@ import (
 // losses); rank-based selection makes CMA-ES robust to that noise.
 type Objective func(x []float64) float64
 
+// BatchObjective evaluates one whole generation of candidates at once and
+// returns one value per candidate, in order. It exists for objectives whose
+// dominant cost is a batched backend call (an oracle Predict, an MLaaS
+// round-trip): fusing the λ evaluations lets the backend see one full-width
+// batch per generation instead of λ narrow ones. The candidate slices are
+// owned by the optimizer — implementations must not retain or mutate them.
+type BatchObjective func(cands [][]float64) []float64
+
 // Options configures a minimization run.
 type Options struct {
 	// Sigma0 is the initial step size. Default 0.3.
@@ -43,6 +51,15 @@ type Options struct {
 	// mutate optimizer state, and it does not fire for a generation cut
 	// short by MaxEvals.
 	OnIter func(iter int)
+	// Evaluate, when non-nil, replaces the per-candidate Objective calls
+	// with one fused BatchObjective call per generation. The call receives
+	// the λ clipped candidates in sample order (fewer when MaxEvals
+	// truncates the final generation), and eval counting, best-point
+	// tracking, and selection consume its values in that same order — so a
+	// run with Evaluate is bit-identical to the scalar path as long as the
+	// two evaluators agree per candidate. The scalar objective argument is
+	// ignored (and may be nil) while Evaluate is set.
+	Evaluate BatchObjective
 }
 
 func (o *Options) defaults(n int) {
@@ -98,6 +115,37 @@ func clipInto(x []float64, lo, hi float64) {
 	}
 }
 
+// evaluatePop scores the already-sampled candidates xs into fs: one fused
+// batch call when configured, otherwise one scalar call per candidate. Both
+// paths visit candidates in sample order, so a stochastic objective drawing
+// from its own RNG stream sees the identical draw sequence either way.
+func evaluatePop(obj Objective, batch BatchObjective, xs [][]float64, fs []float64) error {
+	if batch == nil {
+		for i, x := range xs {
+			fs[i] = obj(x)
+		}
+		return nil
+	}
+	vals := batch(xs)
+	if len(vals) != len(xs) {
+		return fmt.Errorf("cmaes: batch evaluator returned %d values for %d candidates", len(vals), len(xs))
+	}
+	copy(fs, vals)
+	return nil
+}
+
+// generationBudget reports how many of the λ candidates of the next
+// generation fit in the remaining eval budget (λ when unlimited).
+func generationBudget(opt Options, done, lambda int) int {
+	if opt.MaxEvals <= 0 {
+		return lambda
+	}
+	if remaining := opt.MaxEvals - done; remaining < lambda {
+		return remaining
+	}
+	return lambda
+}
+
 // MinimizeSep runs sep-CMA-ES (diagonal covariance) from x0. It is the
 // default for visual prompts, whose dimension (hundreds of pixels) makes the
 // full covariance update unnecessary and slow.
@@ -133,6 +181,8 @@ func MinimizeSep(obj Objective, x0 []float64, opt Options, r *rng.RNG) (Result, 
 		f    float64
 	}
 	pop := make([]cand, lambda)
+	xs := make([][]float64, lambda) // candidate views handed to the evaluator
+	fs := make([]float64, lambda)
 	for i := range pop {
 		pop[i].x = make([]float64, n)
 		pop[i].z = make([]float64, n)
@@ -142,23 +192,33 @@ func MinimizeSep(obj Objective, x0 []float64, opt Options, r *rng.RNG) (Result, 
 	prevBest := math.Inf(1)
 	stale := 0
 	for iter := 0; iter < opt.MaxIters; iter++ {
-		for i := range pop {
+		// Sample the whole generation first (RNG draw order is identical to
+		// drawing per candidate: the objective never touches r), then score
+		// it — one fused call when Evaluate is set.
+		take := generationBudget(opt, res.Evals, lambda)
+		for i := 0; i < take; i++ {
 			for j := 0; j < n; j++ {
 				z := r.NormFloat64()
 				pop[i].z[j] = z
 				pop[i].x[j] = mean[j] + sigma*math.Sqrt(diag[j])*z
 			}
 			clipInto(pop[i].x, opt.Lo, opt.Hi)
-			pop[i].f = obj(pop[i].x)
+			xs[i] = pop[i].x
+		}
+		if err := evaluatePop(obj, opt.Evaluate, xs[:take], fs[:take]); err != nil {
+			return res, err
+		}
+		for i := 0; i < take; i++ {
+			pop[i].f = fs[i]
 			res.Evals++
 			if pop[i].f < res.BestValue {
 				res.BestValue = pop[i].f
 				copy(res.Best, pop[i].x)
 			}
-			if opt.MaxEvals > 0 && res.Evals >= opt.MaxEvals {
-				res.Iters = iter + 1
-				return res, nil
-			}
+		}
+		if take < lambda || (opt.MaxEvals > 0 && res.Evals >= opt.MaxEvals) {
+			res.Iters = iter + 1
+			return res, nil
 		}
 		// sort ascending by f (selection)
 		sort.Slice(pop, func(a, b int) bool { return pop[a].f < pop[b].f })

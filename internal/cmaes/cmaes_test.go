@@ -1,6 +1,7 @@
 package cmaes
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -181,18 +182,141 @@ func TestDeterministicRuns(t *testing.T) {
 }
 
 func TestSPSAConverges(t *testing.T) {
-	res := SPSA(sphere, []float64{3, -2, 4}, 500, 0.2, 0.1, Options{}, rng.New(12))
+	res := SPSA(context.Background(), sphere, []float64{3, -2, 4}, 500, 0.2, 0.1, Options{}, rng.New(12))
 	if res.BestValue > 0.1 {
 		t.Fatalf("SPSA best %v", res.BestValue)
 	}
 }
 
 func TestSPSABounds(t *testing.T) {
-	res := SPSA(shiftedSphere([]float64{5, 5}), []float64{0, 0}, 200, 0.3, 0.1, Options{Lo: -1, Hi: 1}, rng.New(13))
+	res := SPSA(context.Background(), shiftedSphere([]float64{5, 5}), []float64{0, 0}, 200, 0.3, 0.1, Options{Lo: -1, Hi: 1}, rng.New(13))
 	for _, v := range res.Best {
 		if v < -1 || v > 1 {
 			t.Fatalf("SPSA left the box: %v", v)
 		}
+	}
+}
+
+func TestSPSAMaxEvalsBudget(t *testing.T) {
+	for _, maxEvals := range []int{1, 2, 3, 7, 29, 30} {
+		evals := 0
+		obj := func(x []float64) float64 {
+			evals++
+			return sphere(x)
+		}
+		res := SPSA(context.Background(), obj, []float64{3, -2}, 1000, 0.2, 0.1, Options{MaxEvals: maxEvals}, rng.New(14))
+		if evals > maxEvals || res.Evals != evals {
+			t.Fatalf("MaxEvals=%d: %d objective calls (reported %d)", maxEvals, evals, res.Evals)
+		}
+		// A step either runs all three of its evaluations or none: the
+		// budget must never be spent on a discarded partial step.
+		if want := 3 * (maxEvals / 3); evals != want {
+			t.Fatalf("MaxEvals=%d: %d evals, want %d full steps' worth", maxEvals, evals, want)
+		}
+	}
+}
+
+func TestSPSAContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	evals := 0
+	obj := func(x []float64) float64 {
+		evals++
+		if evals == 6 { // cancel mid-run: the next step must not start
+			cancel()
+		}
+		return sphere(x)
+	}
+	res := SPSA(ctx, obj, []float64{3, -2}, 1000, 0.2, 0.1, Options{}, rng.New(15))
+	if evals > 6 {
+		t.Fatalf("SPSA kept evaluating after cancellation: %d evals", evals)
+	}
+	if res.Iters >= 1000 {
+		t.Fatal("SPSA ran to completion despite cancellation")
+	}
+}
+
+// batchFrom adapts a scalar objective into a BatchObjective that records
+// call widths, for the parity tests below.
+func batchFrom(obj Objective, widths *[]int) BatchObjective {
+	return func(cands [][]float64) []float64 {
+		*widths = append(*widths, len(cands))
+		out := make([]float64, len(cands))
+		for i, x := range cands {
+			out[i] = obj(x)
+		}
+		return out
+	}
+}
+
+// TestBatchEvaluateBitParity locks the tentpole contract: a run whose
+// generations are evaluated by one fused call must be bit-identical to the
+// scalar run — same best point, same value, same eval count, same iteration
+// count — for both optimizers, with and without a truncating MaxEvals.
+func TestBatchEvaluateBitParity(t *testing.T) {
+	type minimizer func(obj Objective, x0 []float64, opt Options, r *rng.RNG) (Result, error)
+	cases := []struct {
+		name string
+		run  minimizer
+		opt  Options
+	}{
+		{"sep", MinimizeSep, Options{MaxIters: 60, Sigma0: 0.7}},
+		{"sep-maxevals", MinimizeSep, Options{MaxIters: 60, Sigma0: 0.7, MaxEvals: 47}}, // not a λ multiple: truncates a generation
+		{"sep-box", MinimizeSep, Options{MaxIters: 40, Sigma0: 0.5, Lo: -1, Hi: 1}},
+		{"full", Minimize, Options{MaxIters: 60, Sigma0: 0.7}},
+		{"full-maxevals", Minimize, Options{MaxIters: 60, Sigma0: 0.7, MaxEvals: 31}},
+	}
+	x0 := []float64{2, -3, 1, 4, -2, 0.5}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Stochastic objective with its own stream, like a mini-batch
+			// loss: parity must hold for the draw sequence too.
+			mkObj := func(seed uint64) Objective {
+				noise := rng.New(seed)
+				return func(x []float64) float64 { return sphere(x) + 0.01*noise.NormFloat64() }
+			}
+			serial, err := tc.run(mkObj(77), x0, tc.opt, rng.New(21))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var widths []int
+			opt := tc.opt
+			opt.Evaluate = batchFrom(mkObj(77), &widths)
+			batched, err := tc.run(nil, x0, opt, rng.New(21))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batched.BestValue != serial.BestValue || batched.Evals != serial.Evals || batched.Iters != serial.Iters {
+				t.Fatalf("batched %+v != serial %+v", batched, serial)
+			}
+			for i := range serial.Best {
+				if batched.Best[i] != serial.Best[i] {
+					t.Fatalf("best[%d]: batched %v != serial %v", i, batched.Best[i], serial.Best[i])
+				}
+			}
+			if len(widths) != serial.Iters {
+				t.Fatalf("%d fused calls for %d generations", len(widths), serial.Iters)
+			}
+			total := 0
+			for _, w := range widths {
+				total += w
+			}
+			if total != serial.Evals {
+				t.Fatalf("fused widths sum to %d, want %d evals", total, serial.Evals)
+			}
+			if tc.opt.MaxEvals > 0 && widths[len(widths)-1] >= widths[0] && serial.Evals == tc.opt.MaxEvals && tc.opt.MaxEvals%widths[0] != 0 {
+				t.Fatalf("expected a truncated final generation, widths %v", widths)
+			}
+		})
+	}
+}
+
+func TestBatchEvaluateWrongWidthRejected(t *testing.T) {
+	bad := func(cands [][]float64) []float64 { return make([]float64, len(cands)+1) }
+	if _, err := MinimizeSep(nil, []float64{1, 2}, Options{MaxIters: 5, Evaluate: bad}, rng.New(1)); err == nil {
+		t.Fatal("expected error for wrong-width batch evaluator")
+	}
+	if _, err := Minimize(nil, []float64{1, 2}, Options{MaxIters: 5, Evaluate: bad}, rng.New(1)); err == nil {
+		t.Fatal("expected error for wrong-width batch evaluator")
 	}
 }
 

@@ -1,6 +1,7 @@
 package cmaes
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -44,6 +45,8 @@ func Minimize(obj Objective, x0 []float64, opt Options, r *rng.RNG) (Result, err
 		f       float64
 	}
 	pop := make([]cand, lambda)
+	xs := make([][]float64, lambda) // candidate views handed to the evaluator
+	fs := make([]float64, lambda)
 	for i := range pop {
 		pop[i].x = make([]float64, n)
 		pop[i].y = make([]float64, n)
@@ -68,7 +71,10 @@ func Minimize(obj Objective, x0 []float64, opt Options, r *rng.RNG) (Result, err
 		}
 		eigenStale = (eigenStale + 1) % maxI(1, n/10)
 
-		for i := range pop {
+		// Sample first, then score — one fused Evaluate call per generation
+		// when configured (see MinimizeSep for the parity argument).
+		take := generationBudget(opt, res.Evals, lambda)
+		for i := 0; i < take; i++ {
 			for j := 0; j < n; j++ {
 				pop[i].z[j] = r.NormFloat64()
 			}
@@ -82,16 +88,22 @@ func Minimize(obj Objective, x0 []float64, opt Options, r *rng.RNG) (Result, err
 				pop[i].x[j] = mean[j] + sigma*s
 			}
 			clipInto(pop[i].x, opt.Lo, opt.Hi)
-			pop[i].f = obj(pop[i].x)
+			xs[i] = pop[i].x
+		}
+		if err := evaluatePop(obj, opt.Evaluate, xs[:take], fs[:take]); err != nil {
+			return res, err
+		}
+		for i := 0; i < take; i++ {
+			pop[i].f = fs[i]
 			res.Evals++
 			if pop[i].f < res.BestValue {
 				res.BestValue = pop[i].f
 				copy(res.Best, pop[i].x)
 			}
-			if opt.MaxEvals > 0 && res.Evals >= opt.MaxEvals {
-				res.Iters = iter + 1
-				return res, nil
-			}
+		}
+		if take < lambda || (opt.MaxEvals > 0 && res.Evals >= opt.MaxEvals) {
+			res.Iters = iter + 1
+			return res, nil
 		}
 		sort.Slice(pop, func(a, bb int) bool { return pop[a].f < pop[bb].f })
 
@@ -167,16 +179,31 @@ func Minimize(obj Objective, x0 []float64, opt Options, r *rng.RNG) (Result, err
 }
 
 // SPSA minimizes obj by simultaneous-perturbation stochastic approximation:
-// two evaluations per step estimate a descent direction. Cheapest in queries;
-// noisier than CMA-ES. Used as an ablation against CMA-ES prompting.
-func SPSA(obj Objective, x0 []float64, steps int, a, cGain float64, opt Options, r *rng.RNG) Result {
+// two evaluations per step estimate a descent direction, a third scores the
+// stepped point. Cheapest in queries; noisier than CMA-ES. Used as an
+// ablation against CMA-ES prompting.
+//
+// SPSA honors the same run bounds as the CMA-ES entry points: it stops
+// between steps once ctx is cancelled, and opt.MaxEvals caps total objective
+// evaluations — a step whose remaining budget cannot cover all three of its
+// evaluations returns before spending any of them, so res.Evals never
+// exceeds the cap and no partial step burns budget on results that would be
+// discarded. This is how vp.BlackBoxConfig.MaxQueries bounds SPSA audits
+// identically to CMA-ES ones.
+func SPSA(ctx context.Context, obj Objective, x0 []float64, steps int, a, cGain float64, opt Options, r *rng.RNG) Result {
 	n := len(x0)
 	x := append([]float64(nil), x0...)
 	res := Result{Best: append([]float64(nil), x0...), BestValue: math.Inf(1)}
 	delta := make([]float64, n)
 	plus := make([]float64, n)
 	minus := make([]float64, n)
+	budget := func(next int) bool {
+		return opt.MaxEvals <= 0 || res.Evals+next <= opt.MaxEvals
+	}
 	for k := 0; k < steps; k++ {
+		if ctx.Err() != nil || !budget(3) {
+			return res
+		}
 		ak := a / math.Pow(float64(k+1), 0.602)
 		ck := cGain / math.Pow(float64(k+1), 0.101)
 		for i := range delta {
@@ -197,13 +224,13 @@ func SPSA(obj Objective, x0 []float64, steps int, a, cGain float64, opt Options,
 			x[i] -= ak * g
 		}
 		clipInto(x, opt.Lo, opt.Hi)
+		res.Iters = k + 1
 		f := obj(x)
 		res.Evals++
 		if f < res.BestValue {
 			res.BestValue = f
 			copy(res.Best, x)
 		}
-		res.Iters = k + 1
 	}
 	return res
 }

@@ -10,6 +10,7 @@ import (
 
 	"bprom/internal/audit"
 	"bprom/internal/bprom"
+	"bprom/internal/oracle"
 	"bprom/internal/tensor"
 )
 
@@ -57,8 +58,14 @@ type providerOracle struct {
 	inputDim int
 }
 
+var _ oracle.BatchLimiter = (*providerOracle)(nil)
+
 func (o *providerOracle) NumClasses() int { return o.classes }
 func (o *providerOracle) InputDim() int   { return o.inputDim }
+
+// MaxBatch reports the provider's per-request row limit (oracle.BatchLimiter):
+// the width fused audit batches are chunked to below.
+func (o *providerOracle) MaxBatch() int { return o.prov.MaxBatch() }
 
 func (o *providerOracle) Predict(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
 	if x.Rank() != 2 || x.Dim(1) != o.inputDim {

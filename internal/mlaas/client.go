@@ -72,7 +72,10 @@ type Client struct {
 	maxBatch int
 }
 
-var _ oracle.Oracle = (*Client)(nil)
+var (
+	_ oracle.Oracle       = (*Client)(nil)
+	_ oracle.BatchLimiter = (*Client)(nil)
+)
 
 // Dial fetches /v1/info and returns a client bound to the endpoint's
 // default model.
@@ -179,12 +182,17 @@ func (c *Client) NumClasses() int { return c.classes }
 func (c *Client) InputDim() int { return c.inputDim }
 
 // MaxBatch reports the endpoint's advertised per-request batch limit
-// (0 when the endpoint does not advertise one).
+// (0 when the endpoint does not advertise one). It implements
+// oracle.BatchLimiter; callers may still Predict larger batches — they are
+// chunked transparently.
 func (c *Client) MaxBatch() int { return c.maxBatch }
 
 // Predict sends the batch to the endpoint, retrying transient failures.
 // Batches beyond the endpoint's max_batch are chunked into multiple
 // requests (at most maxInflightChunks in flight) and reassembled in order.
+// Generation-batched audits lean on exactly this: one fused CMA-ES
+// generation arrives here as a single λ×k-row call and leaves as parallel
+// full-width requests, instead of λ narrow sequential round-trips.
 func (c *Client) Predict(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
 	if x.Rank() != 2 || x.Dim(1) != c.inputDim {
 		return nil, fmt.Errorf("mlaas: input shape %v, want [N %d]", x.Shape(), c.inputDim)

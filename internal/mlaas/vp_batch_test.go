@@ -1,0 +1,118 @@
+package mlaas
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"bprom/internal/data"
+	"bprom/internal/oracle"
+	"bprom/internal/rng"
+	"bprom/internal/vp"
+)
+
+// promptTrainSet hand-assembles a deterministic target-domain dataset (a
+// pixel ramp with cyclic labels) for prompt-training tests.
+func promptTrainSet(n int, shape data.Shape, classes int) *data.Dataset {
+	d := &data.Dataset{Name: "vp-batch", Shape: shape, Classes: classes}
+	dim := shape.Dim()
+	d.X = make([]float64, n*dim)
+	for i := range d.X {
+		d.X[i] = float64(i%17) / 17
+	}
+	d.Y = make([]int, n)
+	for i := range d.Y {
+		d.Y[i] = i % classes
+	}
+	return d
+}
+
+// TestBatchedTrainBlackBoxRemoteParity runs the generation-batched CMA-ES
+// prompt training through the full HTTP stack — a fused generation arrives
+// at the Client as one wide Predict, is chunked to the endpoint's small
+// max_batch, fanned out in parallel, and coalesced by the server's
+// micro-batch engine — and asserts the learned θ and the per-sample query
+// count are bit-identical to the same training against the in-process
+// oracle.
+func TestBatchedTrainBlackBoxRemoteParity(t *testing.T) {
+	// MaxBatch 8 guarantees a fused generation (λ×k = 9×6 = 54 rows) spans
+	// several wire requests.
+	srv, m := startTestServer(t, ServerConfig{Name: "vp-batch", MaxBatch: 8, MaxConcurrent: 4})
+	ctx := context.Background()
+	c, err := Dial(ctx, srv.URL, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := data.Shape{C: 1, H: 4, W: 4}
+	train := promptTrainSet(12, data.Shape{C: 1, H: 6, W: 6}, 3)
+	cfg := vp.BlackBoxConfig{Iterations: 6, BatchSize: 6}
+
+	run := func(o oracle.Oracle) ([]float64, int64) {
+		p, err := vp.NewPrompt(src, train.Shape, 0.75)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counter := oracle.NewCounter(o)
+		if err := vp.TrainBlackBox(ctx, counter, p, train, cfg, rng.New(42)); err != nil {
+			t.Fatal(err)
+		}
+		return p.Theta, counter.Queries()
+	}
+	remoteTheta, remoteQ := run(c)
+	localTheta, localQ := run(oracle.NewModelOracle(m))
+	if remoteQ != localQ || remoteQ == 0 {
+		t.Fatalf("query accounting diverged across the wire: remote %d, in-process %d", remoteQ, localQ)
+	}
+	for i := range localTheta {
+		if remoteTheta[i] != localTheta[i] {
+			t.Fatalf("theta[%d] diverged across the wire: remote %v, in-process %v", i, remoteTheta[i], localTheta[i])
+		}
+	}
+}
+
+// TestBatchedTrainBlackBoxSharedClientRace drives concurrent
+// generation-batched trainings through ONE shared Client against one
+// httptest endpoint — the fleet-audit topology, where chunk fan-out,
+// retries, and the server's micro-batch coalescing all interleave. Run
+// under -race; same-seed workers must still agree bit-for-bit.
+func TestBatchedTrainBlackBoxSharedClientRace(t *testing.T) {
+	srv, _ := startTestServer(t, ServerConfig{Name: "vp-race", MaxBatch: 16, MaxConcurrent: 2})
+	ctx := context.Background()
+	c, err := Dial(ctx, srv.URL, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := data.Shape{C: 1, H: 4, W: 4}
+	train := promptTrainSet(10, data.Shape{C: 1, H: 6, W: 6}, 3)
+
+	const workers = 4
+	thetas := make([][]float64, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p, err := vp.NewPrompt(src, train.Shape, 0.75)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			cfg := vp.BlackBoxConfig{Iterations: 4, BatchSize: 5}
+			if errs[w] = vp.TrainBlackBox(ctx, c, p, train, cfg, rng.New(60+uint64(w%2))); errs[w] == nil {
+				thetas[w] = p.Theta
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	for i := range thetas[0] {
+		if thetas[0][i] != thetas[2][i] {
+			t.Fatal("same-seed trainings diverged through the shared client")
+		}
+	}
+}

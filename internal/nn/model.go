@@ -117,12 +117,45 @@ func (m *Model) Features(x *tensor.Tensor) *tensor.Tensor {
 	return h
 }
 
+// predictBlock bounds the rows of one inference pass inside Predict. Wide
+// batches (fused CMA-ES generations, coalesced micro-batches) are split
+// into row blocks that run on the shared worker pool: each block's
+// intermediate activations stay cache-resident instead of streaming a
+// whole generation's worth of feature maps through memory, and the blocks
+// parallelize across workers on top of the kernels' own chunking. Every
+// layer is row-independent in inference mode (the micro-batch engine
+// already coalesces unrelated requests into one pass), so the split is
+// bitwise invisible.
+const predictBlock = 16
+
 // Predict returns softmax probabilities of shape [N, NumClasses]. Pure,
-// like Infer.
+// like Infer. Batches wider than predictBlock rows are processed as
+// independent row blocks on the shared worker pool; results are bitwise
+// identical to a single pass.
 func (m *Model) Predict(x *tensor.Tensor) *tensor.Tensor {
-	logits := m.Infer(x)
-	SoftmaxInPlace(logits)
-	return logits
+	n := x.Dim(0)
+	if n <= predictBlock || x.Rank() != 2 {
+		logits := m.Infer(x)
+		SoftmaxInPlace(logits)
+		return logits
+	}
+	dim := x.Dim(1)
+	out := tensor.New(n, m.NumClasses)
+	blocks := (n + predictBlock - 1) / predictBlock
+	tensor.ParallelFor(blocks, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			r0 := b * predictBlock
+			r1 := r0 + predictBlock
+			if r1 > n {
+				r1 = n
+			}
+			sub := tensor.FromSlice(x.Data[r0*dim:r1*dim], r1-r0, dim)
+			logits := m.Infer(sub)
+			SoftmaxInPlace(logits)
+			copy(out.Data[r0*m.NumClasses:r1*m.NumClasses], logits.Data)
+		}
+	})
+	return out
 }
 
 // PredictClasses returns the argmax class for each sample. Pure, like Infer.

@@ -16,6 +16,12 @@ import (
 )
 
 // Oracle is a black-box classifier: inputs in, confidence vectors out.
+//
+// Predict accepts batches of any size: callers like the generation-batched
+// CMA-ES evaluator (internal/vp) fuse a whole population's probes into one
+// call. Implementations backed by a per-request transport limit (an MLaaS
+// endpoint's max_batch) must chunk oversized batches internally rather than
+// reject them, and may advertise the limit via BatchLimiter.
 type Oracle interface {
 	// Predict returns softmax confidence vectors [N, NumClasses] for a batch
 	// of flattened inputs [N, InputDim].
@@ -24,6 +30,20 @@ type Oracle interface {
 	NumClasses() int
 	// InputDim reports the flattened input width.
 	InputDim() int
+}
+
+// BatchLimiter is optionally implemented by oracles whose backend caps the
+// rows of a single transport request (mlaas.Client mirrors the endpoint's
+// advertised max_batch; server-side audit oracles mirror the provider's).
+// The limit is advisory — a BatchLimiter oracle still accepts arbitrarily
+// large Predict batches and splits them internally — and it marks the
+// oracle as self-chunking: batching callers (vp's prompted-prediction
+// paths) hand such oracles one fused call covering everything, so the
+// oracle's own parallel chunk fan-out sets the request width, instead of
+// pre-splitting and serializing the round-trips. MaxBatch returns 0 when
+// the backend advertises no limit.
+type BatchLimiter interface {
+	MaxBatch() int
 }
 
 // ModelOracle adapts an in-process nn.Model to the Oracle interface. It is
@@ -58,12 +78,28 @@ func (o *ModelOracle) InputDim() int   { return o.model.InputDim }
 // Counter wraps an Oracle and counts queries (individual samples, not
 // batches). The paper reports query budgets; experiments use this to audit
 // black-box cost. Safe for concurrent use.
+//
+// Accounting is per-row, so it is invariant to how probes are batched: a
+// CMA-ES generation evaluated as one fused λ×k-row Predict costs exactly
+// the λ separate k-row calls it replaces, and a client that splits a batch
+// into several HTTP requests still counts it once. The serial-vs-batched
+// parity tests assert this invariance end to end.
 type Counter struct {
 	inner   Oracle
 	queries atomic.Int64
 }
 
 var _ Oracle = (*Counter)(nil)
+
+// MaxBatch exposes the wrapped oracle's advertised per-request batch limit
+// (0 when the oracle has none), so wrapping an oracle in a Counter does not
+// hide it from batching callers.
+func (c *Counter) MaxBatch() int {
+	if bl, ok := c.inner.(BatchLimiter); ok {
+		return bl.MaxBatch()
+	}
+	return 0
+}
 
 // NewCounter wraps inner with a query counter.
 func NewCounter(inner Oracle) *Counter {

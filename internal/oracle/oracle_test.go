@@ -127,3 +127,23 @@ func (s *stubOracle) NumClasses() int { return s.classes }
 func (s *stubOracle) InputDim() int   { return s.dim }
 
 var _ Oracle = (*stubOracle)(nil)
+
+// limitedStub is a stubOracle that advertises a per-request batch cap.
+type limitedStub struct {
+	stubOracle
+	max int
+}
+
+func (s *limitedStub) MaxBatch() int { return s.max }
+
+func TestCounterExposesBatchLimit(t *testing.T) {
+	plain := NewCounter(&stubOracle{classes: 3, dim: 4})
+	if got := plain.MaxBatch(); got != 0 {
+		t.Fatalf("unlimited oracle reported MaxBatch %d, want 0", got)
+	}
+	capped := NewCounter(&limitedStub{stubOracle: stubOracle{classes: 3, dim: 4}, max: 64})
+	if got := capped.MaxBatch(); got != 64 {
+		t.Fatalf("MaxBatch %d not forwarded through Counter, want 64", got)
+	}
+	var _ BatchLimiter = capped
+}

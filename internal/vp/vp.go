@@ -124,17 +124,8 @@ func (p *Prompt) Apply(dst, img []float64, imgShape data.Shape) {
 }
 
 func (p *Prompt) applyResized(dst, resized []float64) {
-	for i, bi := range p.borderIdx {
-		dst[bi] = clamp01(p.Theta[i])
-	}
-	for c := 0; c < p.Source.C; c++ {
-		srcOff := c * p.Inner * p.Inner
-		dstOff := c * p.Source.H * p.Source.W
-		for y := 0; y < p.Inner; y++ {
-			copy(dst[dstOff+(p.y0+y)*p.Source.W+p.x0:dstOff+(p.y0+y)*p.Source.W+p.x0+p.Inner],
-				resized[srcOff+y*p.Inner:srcOff+(y+1)*p.Inner])
-		}
-	}
+	p.fillBorder(dst, p.Theta)
+	p.copyWindow(dst, resized)
 }
 
 // Batch materializes prompted canvases for the given samples of ds as an
@@ -201,6 +192,20 @@ func TrainWhiteBox(ctx context.Context, model *nn.Model, p *Prompt, train *data.
 	n := train.Len()
 	pass := model.NewPass()
 	defer pass.Release()
+	// Candidate-invariant work is hoisted out of the epoch loop: every
+	// image is resized into the inner window once (the old path re-resized
+	// each image every epoch), and one pooled canvas is reused across
+	// batches. The materialized pixels are bit-identical to the old
+	// per-batch Prompt.Batch, so θ's trajectory is unchanged.
+	cache := newResizeCache(p, train)
+	dim := p.Source.Dim()
+	bs := cfg.BatchSize
+	if bs > n {
+		bs = n
+	}
+	buf := getCanvas(bs * dim)
+	defer putCanvas(buf)
+	y := make([]int, bs)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		perm := r.Perm(n)
 		for start := 0; start < n; start += cfg.BatchSize {
@@ -212,13 +217,14 @@ func TrainWhiteBox(ctx context.Context, model *nn.Model, p *Prompt, train *data.
 				end = n
 			}
 			idx := perm[start:end]
-			x := p.Batch(train, idx)
-			y := make([]int, len(idx))
+			x := tensor.FromSlice((*buf)[:len(idx)*dim], len(idx), dim)
+			p.materializeInto(x, 0, p.Theta, cache.resized, idx)
+			yb := y[:len(idx)]
 			for bi, i := range idx {
-				y[bi] = train.Y[i]
+				yb[bi] = train.Y[i]
 			}
 			logits := pass.Forward(x, false)
-			_, grad := nn.CrossEntropy(logits, y)
+			_, grad := nn.CrossEntropy(logits, yb)
 			dx := pass.Backward(grad)
 			// Accumulate input gradient onto θ (sum over batch rows at the
 			// border positions) and take a momentum SGD step.
@@ -253,6 +259,14 @@ type BlackBoxConfig struct {
 	MaxQueries int
 	// UseSPSA switches to SPSA (ablation).
 	UseSPSA bool
+	// SerialEval forces the legacy per-candidate evaluation path: one
+	// oracle call per CMA-ES candidate, re-resizing the mini-batch per
+	// evaluation. The default generation-batched path (one fused oracle
+	// call per generation) is bit-identical — same θ, same query count —
+	// and strictly faster; this switch exists for the parity harness, the
+	// before/after benchmarks, and debugging. Ignored by SPSA (which is
+	// per-candidate by construction). Not persisted in detector artifacts.
+	SerialEval bool
 	// OnGeneration, when non-nil, is invoked after every completed CMA-ES
 	// generation with the 1-based generation count — the progress hook
 	// behind live audit-job reporting. Ignored by SPSA. Not persisted in
@@ -284,6 +298,13 @@ func (c BlackBoxConfig) Generations() int {
 // is the mini-batch cross-entropy of the oracle's confidences against the
 // identity label mapping, minimized by sep-CMA-ES (or SPSA). This is the
 // only access BPROM has to the suspicious model.
+//
+// The CMA-ES path is generation-batched by default: every training image is
+// resized into the inner window once per call, each generation's λ×k
+// prompted canvases are materialized into one pooled tensor, and the oracle
+// sees one fused Predict per generation. The result — learned θ and oracle
+// query count alike — is bit-identical to the per-candidate path
+// (cfg.SerialEval), which remains as the fallback.
 func TrainBlackBox(ctx context.Context, o oracle.Oracle, p *Prompt, train *data.Dataset, cfg BlackBoxConfig, r *rng.RNG) error {
 	cfg.defaults()
 	if train.Classes > o.NumClasses() {
@@ -299,15 +320,18 @@ func TrainBlackBox(ctx context.Context, o oracle.Oracle, p *Prompt, train *data.
 	work := p.Clone()
 	var oracleErr error
 	n := train.Len()
+	k := cfg.BatchSize
+	if k > n {
+		k = n
+	}
+	// Serial objective: one oracle call per candidate, re-resizing the
+	// mini-batch per evaluation. SPSA and the SerialEval fallback use it;
+	// the batched path below replaces it wholesale.
 	objective := func(theta []float64) float64 {
 		if oracleErr != nil || ctx.Err() != nil {
 			return math.Inf(1)
 		}
 		copy(work.Theta, theta)
-		k := cfg.BatchSize
-		if k > n {
-			k = n
-		}
 		idx := batchRNG.Sample(n, k)
 		x := work.Batch(train, idx)
 		probs, err := o.Predict(ctx, x)
@@ -338,9 +362,23 @@ func TrainBlackBox(ctx context.Context, o oracle.Oracle, p *Prompt, train *data.
 	}
 	var best []float64
 	if cfg.UseSPSA {
-		res := cmaes.SPSA(objective, p.Theta, cfg.Iterations*10, 0.2, 0.05, cmaes.Options{Lo: 0, Hi: 1}, r.Split("spsa"))
+		spsaOpt := cmaes.Options{Lo: 0, Hi: 1, MaxEvals: opt.MaxEvals}
+		res := cmaes.SPSA(ctx, objective, p.Theta, cfg.Iterations*10, 0.2, 0.05, spsaOpt, r.Split("spsa"))
 		best = res.Best
 	} else {
+		if !cfg.SerialEval {
+			ev := &genEvaluator{
+				ctx:      ctx,
+				oracle:   o,
+				prompt:   p,
+				cache:    newResizeCache(p, train),
+				train:    train,
+				k:        k,
+				batchRNG: batchRNG,
+				errp:     &oracleErr,
+			}
+			opt.Evaluate = ev.evaluate
+		}
 		res, err := cmaes.MinimizeSep(objective, p.Theta, opt, r.Split("cmaes"))
 		if err != nil {
 			return fmt.Errorf("vp: black-box prompt optimization: %w", err)
@@ -369,10 +407,11 @@ type Prompted struct {
 
 // Confidences returns the oracle's confidence vectors for the prompted
 // versions of the given target samples — the raw material of BPROM's
-// meta-features.
+// meta-features. Canvases are materialized into pooled scratch and streamed
+// in promptChunk-row batches (chunking is invisible to results and query
+// accounting).
 func (pm *Prompted) Confidences(ctx context.Context, ds *data.Dataset, idx []int) (*tensor.Tensor, error) {
-	x := pm.Prompt.Batch(ds, idx)
-	return pm.Oracle.Predict(ctx, x)
+	return predictPrompted(ctx, pm.Oracle, pm.Prompt, ds, idx)
 }
 
 // Accuracy evaluates prompted-task accuracy on ds under the identity label
@@ -382,33 +421,26 @@ func (pm *Prompted) Accuracy(ctx context.Context, ds *data.Dataset) (float64, er
 	if ds.Len() == 0 {
 		return 0, fmt.Errorf("vp: empty evaluation set")
 	}
-	const batch = 128
+	idx := make([]int, ds.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	probs, err := predictPrompted(ctx, pm.Oracle, pm.Prompt, ds, idx)
+	if err != nil {
+		return 0, err
+	}
+	k := probs.Dim(1)
 	correct := 0
-	for start := 0; start < ds.Len(); start += batch {
-		end := start + batch
-		if end > ds.Len() {
-			end = ds.Len()
-		}
-		idx := make([]int, 0, end-start)
-		for i := start; i < end; i++ {
-			idx = append(idx, i)
-		}
-		probs, err := pm.Confidences(ctx, ds, idx)
-		if err != nil {
-			return 0, err
-		}
-		k := probs.Dim(1)
-		for bi, i := range idx {
-			row := probs.Data[bi*k : (bi+1)*k]
-			best, bj := math.Inf(-1), 0
-			for j, v := range row {
-				if v > best {
-					best, bj = v, j
-				}
+	for i := 0; i < ds.Len(); i++ {
+		row := probs.Data[i*k : (i+1)*k]
+		best, bj := math.Inf(-1), 0
+		for j, v := range row {
+			if v > best {
+				best, bj = v, j
 			}
-			if bj == ds.Y[i] {
-				correct++
-			}
+		}
+		if bj == ds.Y[i] {
+			correct++
 		}
 	}
 	return float64(correct) / float64(ds.Len()), nil

@@ -3,6 +3,7 @@ package vp
 import (
 	"context"
 	"math"
+	"sync"
 	"testing"
 
 	"bprom/internal/data"
@@ -247,5 +248,189 @@ func TestAccuracyEmptySet(t *testing.T) {
 	empty := &data.Dataset{Shape: tgt, Classes: 10}
 	if _, err := (&Prompted{Oracle: oracle.NewModelOracle(model), Prompt: p}).Accuracy(context.Background(), empty); err == nil {
 		t.Fatal("expected error for empty evaluation set")
+	}
+}
+
+// TestBlackBoxSerialBatchedBitParity locks the tentpole contract at the vp
+// level: training a prompt through the generation-batched evaluator (one
+// fused oracle call per generation) must be bit-identical to the legacy
+// per-candidate path — same learned θ, same oracle query count — including
+// when MaxQueries truncates the final generation mid-population.
+func TestBlackBoxSerialBatchedBitParity(t *testing.T) {
+	ctx := context.Background()
+	model, src := trainSourceModel(t, 61)
+	tgtGen := data.NewGenerator(data.MustSpec(data.STL10), 65)
+	tgtTrain, _ := tgtGen.GenerateSplit(10, 4, rng.New(66))
+
+	cases := []struct {
+		name string
+		cfg  BlackBoxConfig
+	}{
+		{"default", BlackBoxConfig{Iterations: 8}},
+		{"custom-pop", BlackBoxConfig{Iterations: 6, PopSize: 9, BatchSize: 5}},
+		{"truncating-budget", BlackBoxConfig{Iterations: 50, BatchSize: 6, MaxQueries: 6 * 23}}, // 23 evals: not a λ multiple
+		{"batch-capped-by-n", BlackBoxConfig{Iterations: 4, BatchSize: 64}},                     // k capped to len(train)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(serial bool) (*Prompt, int64) {
+				p, err := NewPrompt(src.Shape, tgtTrain.Shape, 0.83)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := tc.cfg
+				cfg.SerialEval = serial
+				o := oracle.NewCounter(oracle.NewModelOracle(model))
+				if err := TrainBlackBox(ctx, o, p, tgtTrain, cfg, rng.New(67)); err != nil {
+					t.Fatal(err)
+				}
+				return p, o.Queries()
+			}
+			pSerial, qSerial := run(true)
+			pBatched, qBatched := run(false)
+			if qBatched != qSerial {
+				t.Fatalf("query count diverged: batched %d, serial %d", qBatched, qSerial)
+			}
+			if qSerial == 0 {
+				t.Fatal("no oracle queries made")
+			}
+			for i := range pSerial.Theta {
+				if pBatched.Theta[i] != pSerial.Theta[i] {
+					t.Fatalf("theta[%d] diverged: batched %v, serial %v", i, pBatched.Theta[i], pSerial.Theta[i])
+				}
+			}
+		})
+	}
+}
+
+// TestBatchedEvaluatorSharedOracleRace drives several concurrent
+// generation-batched trainings against ONE shared ModelOracle (the fleet
+// audit topology: every audit goroutine funnels into the shared tensor
+// worker pool). Run under -race this is the data-race harness; the result
+// check asserts the trainings stay independent despite the shared oracle
+// and the shared canvas pool.
+func TestBatchedEvaluatorSharedOracleRace(t *testing.T) {
+	ctx := context.Background()
+	model, src := trainSourceModel(t, 71)
+	tgtGen := data.NewGenerator(data.MustSpec(data.STL10), 75)
+	tgtTrain, _ := tgtGen.GenerateSplit(10, 4, rng.New(76))
+	shared := oracle.NewModelOracle(model)
+
+	const workers = 4
+	thetas := make([][]float64, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p, err := NewPrompt(src.Shape, tgtTrain.Shape, 0.83)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			// Workers 0 and 2 share a seed; they must agree bit-for-bit
+			// even while racing workers 1 and 3 on the same oracle.
+			if errs[w] = TrainBlackBox(ctx, shared, p, tgtTrain, BlackBoxConfig{Iterations: 5}, rng.New(80+uint64(w%2))); errs[w] == nil {
+				thetas[w] = p.Theta
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	for i := range thetas[0] {
+		if thetas[0][i] != thetas[2][i] {
+			t.Fatal("same-seed concurrent trainings diverged: shared state leaked between workers")
+		}
+	}
+}
+
+// TestSPSARespectsQueryBudgetAndContext covers the SPSA parity satellite:
+// MaxQueries must bound SPSA audits exactly as it bounds CMA-ES ones, and a
+// cancelled context must stop the optimization with an error.
+func TestSPSARespectsQueryBudgetAndContext(t *testing.T) {
+	ctx := context.Background()
+	model, src := trainSourceModel(t, 81)
+	tgtGen := data.NewGenerator(data.MustSpec(data.STL10), 85)
+	tgtTrain, _ := tgtGen.GenerateSplit(10, 4, rng.New(86))
+
+	p, _ := NewPrompt(src.Shape, tgtTrain.Shape, 0.83)
+	o := oracle.NewCounter(oracle.NewModelOracle(model))
+	cfg := BlackBoxConfig{Iterations: 100, BatchSize: 20, MaxQueries: 500, UseSPSA: true}
+	if err := TrainBlackBox(ctx, o, p, tgtTrain, cfg, rng.New(87)); err != nil {
+		t.Fatal(err)
+	}
+	if o.Queries() == 0 {
+		t.Fatal("SPSA made no oracle queries")
+	}
+	if o.Queries() > 500 {
+		t.Fatalf("SPSA exceeded MaxQueries: %d > 500", o.Queries())
+	}
+
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	p2, _ := NewPrompt(src.Shape, tgtTrain.Shape, 0.83)
+	if err := TrainBlackBox(cancelled, oracle.NewModelOracle(model), p2, tgtTrain, cfg, rng.New(88)); err == nil {
+		t.Fatal("expected cancellation error from SPSA path")
+	}
+}
+
+// TestConfidencesMatchesBatchPredict pins the refactored chunked
+// Confidences path to the reference Batch+Predict composition.
+func TestConfidencesMatchesBatchPredict(t *testing.T) {
+	ctx := context.Background()
+	model, src := trainSourceModel(t, 91)
+	tgtGen := data.NewGenerator(data.MustSpec(data.STL10), 95)
+	ds := tgtGen.Generate(3, rng.New(96))
+	p, err := NewPrompt(src.Shape, ds.Shape, 0.83)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng.New(97).Uniform(p.Theta, 0, 1)
+	o := oracle.NewModelOracle(model)
+	idx := []int{5, 0, 17, 3}
+	pm := &Prompted{Oracle: o, Prompt: p}
+	got, err := pm.Confidences(ctx, ds, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := o.Predict(ctx, p.Batch(ds, idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim(0) != want.Dim(0) || got.Dim(1) != want.Dim(1) {
+		t.Fatalf("shape %v, want %v", got.Shape(), want.Shape())
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("confidence %d diverged: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestResizeCacheMatchesDirectResize pins the cache to data.ResizeImage.
+func TestResizeCacheMatchesDirectResize(t *testing.T) {
+	src, _ := shapes()
+	gen := data.NewGenerator(data.MustSpec(data.STL10), 99)
+	ds := gen.Generate(2, rng.New(99))
+	p, err := NewPrompt(src, ds.Shape, 0.83)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := newResizeCache(p, ds)
+	inner := data.Shape{C: p.Source.C, H: p.Inner, W: p.Inner}
+	want := make([]float64, inner.Dim())
+	for i := 0; i < ds.Len(); i++ {
+		data.ResizeImage(ds.Sample(i), ds.Shape, want, inner)
+		got := cache.resized(i)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("cached resize of sample %d differs at %d", i, j)
+			}
+		}
 	}
 }

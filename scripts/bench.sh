@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# bench.sh — run the generation-batched CMA-ES evaluation hot-path
+# benchmarks (PR 5) and emit a machine-readable BENCH_5.json capturing the
+# serial-vs-batched before/after for the three oracle flavors: in-process,
+# loopback HTTP, and simulated-RTT remote.
+#
+# Usage: scripts/bench.sh [benchtime] [output]
+#   benchtime  go -benchtime value (default 10x; CI uses 1x as a smoke run)
+#   output     JSON path (default BENCH_5.json in the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-10x}"
+OUT="${2:-BENCH_5.json}"
+
+raw=$(go test -run '^$' -bench 'BenchmarkTrainBlackBox' -benchtime="$BENCHTIME" -benchmem .)
+echo "$raw"
+
+echo "$raw" | awk -v benchtime="$BENCHTIME" -v goversion="$(go version | awk '{print $3}')" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    ns[name] = $3
+    bytes[name] = $5
+    allocs[name] = $7
+    order[n++] = name
+}
+END {
+    printf "{\n"
+    printf "  \"issue\": 5,\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchmarks\": {\n"
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            name, ns[name], bytes[name], allocs[name], (i < n-1 ? "," : "")
+    }
+    printf "  },\n"
+    printf "  \"speedup_batched_over_serial\": {\n"
+    printf "    \"in_process\": %.2f,\n", ns["TrainBlackBoxSerial"] / ns["TrainBlackBoxBatched"]
+    printf "    \"http\": %.2f,\n", ns["TrainBlackBoxSerialHTTP"] / ns["TrainBlackBoxBatchedHTTP"]
+    printf "    \"remote_rtt_3ms\": %.2f\n", ns["TrainBlackBoxSerialRemoteRTT"] / ns["TrainBlackBoxBatchedRemoteRTT"]
+    printf "  }\n"
+    printf "}\n"
+}' > "$OUT"
+
+echo "wrote $OUT"
