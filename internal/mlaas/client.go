@@ -63,13 +63,14 @@ func (c *ClientConfig) defaults() {
 // transparently. Dial binds it to the endpoint's default model, DialModel
 // to a specific one — a fleet audit holds one Client per hosted model.
 type Client struct {
-	base     string
-	modelID  string // "" = default model (legacy un-prefixed routes)
-	cfg      ClientConfig
-	name     string
-	classes  int
-	inputDim int
-	maxBatch int
+	base      string
+	modelID   string // "" = default model (legacy un-prefixed routes)
+	cfg       ClientConfig
+	name      string
+	classes   int
+	inputDim  int
+	maxBatch  int
+	precision string
 }
 
 var (
@@ -105,7 +106,8 @@ func dial(ctx context.Context, baseURL, modelID string, cfg ClientConfig) (*Clie
 	c.name = info.Name
 	c.classes = info.Classes
 	c.inputDim = info.InputDim
-	c.maxBatch = info.MaxBatch // 0 for endpoints that do not advertise one
+	c.maxBatch = info.MaxBatch   // 0 for endpoints that do not advertise one
+	c.precision = info.Precision // "" for endpoints that predate the field
 	return c, nil
 }
 
@@ -181,6 +183,11 @@ func (c *Client) NumClasses() int { return c.classes }
 // InputDim reports the bound model's flattened input width.
 func (c *Client) InputDim() int { return c.inputDim }
 
+// Precision reports the endpoint's advertised serving precision for the
+// bound model ("fp64", "int8", or "" when the endpoint does not advertise
+// one).
+func (c *Client) Precision() string { return c.precision }
+
 // MaxBatch reports the endpoint's advertised per-request batch limit
 // (0 when the endpoint does not advertise one). It implements
 // oracle.BatchLimiter; callers may still Predict larger batches — they are
@@ -242,17 +249,43 @@ func (c *Client) Predict(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor,
 	return out, nil
 }
 
+// Encoding/decoding scratch for the predict hot path. Generation-batched
+// audits push hundreds of chunked predict calls through one client, and
+// each call used to marshal a fresh multi-megabyte payload and decode into
+// fresh confidence rows; pooling the encode buffer, the row-header slice,
+// and the decode target keeps the steady-state allocation rate of the
+// batched path below the serial one instead of above it.
+var (
+	encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	reqPool    = sync.Pool{New: func() any { return new(predictRequest) }}
+	respPool   = sync.Pool{New: func() any { return new(predictResponse) }}
+)
+
 // predictBatch sends one already-sized batch with the retry loop.
 func (c *Client) predictBatch(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
 	n := x.Dim(0)
-	req := predictRequest{Inputs: make([][]float64, n)}
+	req := reqPool.Get().(*predictRequest)
+	if cap(req.Inputs) < n {
+		req.Inputs = make([][]float64, n)
+	}
+	req.Inputs = req.Inputs[:n]
 	for i := 0; i < n; i++ {
 		req.Inputs[i] = x.Row(i)
 	}
-	payload, err := json.Marshal(req)
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer encBufPool.Put(buf)
+	err := json.NewEncoder(buf).Encode(req)
+	// Drop the row views before pooling so the scratch never pins the
+	// caller's tensor beyond this call.
+	for i := range req.Inputs {
+		req.Inputs[i] = nil
+	}
+	reqPool.Put(req)
 	if err != nil {
 		return nil, fmt.Errorf("mlaas: encode batch: %w", err)
 	}
+	payload := buf.Bytes()
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
@@ -437,8 +470,12 @@ func (c *Client) predictOnce(ctx context.Context, payload []byte, n int) (_ *ten
 		_ = json.NewDecoder(resp.Body).Decode(&er)
 		return nil, false, fmt.Errorf("endpoint rejected request: %s (%s)", resp.Status, er.Error)
 	}
-	var pr predictResponse
-	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+	// Decode into a pooled response: encoding/json reuses both the outer
+	// slice and the per-row []float64 backing arrays across calls, and the
+	// rows are copied into the caller's tensor before the scratch goes back.
+	pr := respPool.Get().(*predictResponse)
+	defer respPool.Put(pr)
+	if err := json.NewDecoder(resp.Body).Decode(pr); err != nil {
 		return nil, true, fmt.Errorf("decode response: %w", err)
 	}
 	if len(pr.Confidences) != n {

@@ -83,9 +83,17 @@ type ModelInfo struct {
 	InputDim int `json:"input_dim"`
 	// Params is the trainable-scalar count (0 when unknown).
 	Params int `json:"params,omitempty"`
+	// Precision is the serving precision: "fp64" for the bit-exact float
+	// path, "int8" for the quantized inference path (registry default or
+	// sidecar override; quantization is derived at load, checkpoints stay
+	// full-precision on disk).
+	Precision string `json:"precision,omitempty"`
 	// Loaded reports whether the model is resident in the LRU hot-set
 	// right now (single-model servers are always loaded).
 	Loaded bool `json:"loaded"`
+	// ResidentBytes is the weight bytes the model occupies while resident
+	// (0 when cold). Quantized models charge their int8 footprint.
+	ResidentBytes int `json:"resident_bytes,omitempty"`
 }
 
 // provider abstracts where hosted models come from: a single in-memory
@@ -182,13 +190,15 @@ func NewServer(model *nn.Model, cfg ServerConfig) *Server {
 	cfg.defaults()
 	return &Server{prov: &singleProvider{
 		info: ModelInfo{
-			ID:       DefaultModelID,
-			Name:     cfg.Name,
-			Arch:     string(model.Arch),
-			Classes:  model.NumClasses,
-			InputDim: model.InputDim,
-			Params:   model.ParamCount(),
-			Loaded:   true,
+			ID:            DefaultModelID,
+			Name:          cfg.Name,
+			Arch:          string(model.Arch),
+			Classes:       model.NumClasses,
+			InputDim:      model.InputDim,
+			Params:        model.ParamCount(),
+			Precision:     model.Precision(),
+			Loaded:        true,
+			ResidentBytes: model.WeightBytes(),
 		},
 		eng: newEngine(model, cfg.MaxBatch, cfg.MaxConcurrent),
 	}}
@@ -253,6 +263,10 @@ type infoResponse struct {
 	Classes  int    `json:"classes"`
 	InputDim int    `json:"input_dim"`
 	MaxBatch int    `json:"max_batch"`
+	// Precision advertises the serving precision ("fp64" or "int8") so
+	// clients know whether confidences come from the bit-exact float path
+	// or the quantized one. Omitted by servers that predate the field.
+	Precision string `json:"precision,omitempty"`
 }
 
 // modelsResponse is the /v1/models payload.
@@ -289,12 +303,13 @@ func (s *Server) handleInfo(w http.ResponseWriter, id string) {
 		return
 	}
 	writeJSON(w, http.StatusOK, infoResponse{
-		ID:       info.ID,
-		Name:     info.Name,
-		Arch:     info.Arch,
-		Classes:  info.Classes,
-		InputDim: info.InputDim,
-		MaxBatch: s.prov.MaxBatch(),
+		ID:        info.ID,
+		Name:      info.Name,
+		Arch:      info.Arch,
+		Classes:   info.Classes,
+		InputDim:  info.InputDim,
+		MaxBatch:  s.prov.MaxBatch(),
+		Precision: info.Precision,
 	})
 }
 

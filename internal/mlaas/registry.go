@@ -32,6 +32,16 @@ type RegistryConfig struct {
 	// Empty means: the checkpoint named "clean" if present, else the first
 	// id in sorted order.
 	Default string
+	// Quantize makes int8 the registry's default serving precision: models
+	// are quantized right after their weights load (nn.Model.Quantize with
+	// the default weight floor), so hot-set residency is charged at int8
+	// size — roughly 4x more checkpoints fit the same memory budget.
+	// Checkpoints are always stored full-precision on disk; quantization is
+	// derived at load and never persisted. A sidecar "precision" field
+	// overrides the default per model in either direction: "fp64" pins a
+	// model to the bit-exact float path (experiment reproducibility),
+	// "int8" quantizes one model on an otherwise full-precision registry.
+	Quantize bool
 }
 
 func (c *RegistryConfig) defaults() {
@@ -54,11 +64,18 @@ type regEntry struct {
 	id   string
 	path string
 	info ModelInfo
+	// quantize is the precision resolved at scan time: the registry default,
+	// unless the sidecar's "precision" field overrode it for this model.
+	quantize bool
 
 	loadMu  sync.Mutex
 	eng     *engine
 	refs    int
 	lastUse uint64
+	// residentBytes is what this entry currently charges against the
+	// registry's resident-weight total: the loaded model's WeightBytes()
+	// (int8-sized for quantized entries), 0 while cold.
+	residentBytes int
 }
 
 // Registry hosts a directory of saved checkpoints (*.bin in the versioned
@@ -78,12 +95,13 @@ type Registry struct {
 	cfg       RegistryConfig
 	defaultID string
 
-	mu      sync.Mutex
-	entries map[string]*regEntry
-	ids     []string // sorted
-	tick    uint64
-	loaded  int
-	closed  bool
+	mu            sync.Mutex
+	entries       map[string]*regEntry
+	ids           []string // sorted
+	tick          uint64
+	loaded        int
+	residentBytes int
+	closed        bool
 }
 
 var _ provider = (*Registry)(nil)
@@ -118,17 +136,37 @@ func OpenRegistry(dir string, cfg RegistryConfig) (*Registry, error) {
 		if display == "" {
 			display = id
 		}
+		// Serving precision: registry default, unless the sidecar pins this
+		// model. Unknown values are a scan error — a typo silently serving
+		// the wrong precision would defeat the fp-exact fallback.
+		quantize := cfg.Quantize
+		switch sc.Precision {
+		case "":
+		case nn.PrecisionFP64:
+			quantize = false
+		case nn.PrecisionInt8:
+			quantize = true
+		default:
+			return nil, fmt.Errorf("mlaas: checkpoint %q: sidecar precision %q (want %q or %q)",
+				id, sc.Precision, nn.PrecisionFP64, nn.PrecisionInt8)
+		}
+		precision := nn.PrecisionFP64
+		if quantize {
+			precision = nn.PrecisionInt8
+		}
 		r.entries[id] = &regEntry{
-			id:   id,
-			path: path,
+			id:       id,
+			path:     path,
+			quantize: quantize,
 			info: ModelInfo{
-				ID:       id,
-				Name:     display,
-				Arch:     string(h.Arch),
-				Note:     sc.Note,
-				Classes:  h.NumClasses,
-				InputDim: h.InputDim,
-				Params:   sc.Params,
+				ID:        id,
+				Name:      display,
+				Arch:      string(h.Arch),
+				Note:      sc.Note,
+				Classes:   h.NumClasses,
+				InputDim:  h.InputDim,
+				Params:    sc.Params,
+				Precision: precision,
 			},
 		}
 		r.ids = append(r.ids, id)
@@ -171,6 +209,17 @@ func (r *Registry) LoadedCount() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.loaded
+}
+
+// ResidentBytes reports the total weight bytes held by resident models
+// right now: quantized entries charge their int8 footprint, full-precision
+// entries their float64 one. The LRU bound itself stays count-based
+// (MaxLoaded); this is the observability hook that shows what Quantize
+// buys within that count.
+func (r *Registry) ResidentBytes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.residentBytes
 }
 
 // Models lists every hosted checkpoint in sorted id order, with current
@@ -252,6 +301,13 @@ func (r *Registry) acquire(id string) (*regEntry, *engine, error) {
 		r.release(e)
 		return nil, nil, fmt.Errorf("mlaas: load model %q: %w", id, err)
 	}
+	if e.quantize {
+		// Quantization is derived here, at load, from the full-precision
+		// checkpoint — never persisted. Layers under the weight floor stay
+		// fp inside the model; residency is charged at whatever the mixed
+		// representation actually occupies.
+		m.Quantize(0)
+	}
 	eng = newEngine(m, r.cfg.MaxBatch, r.cfg.MaxConcurrent)
 	r.mu.Lock()
 	if r.closed {
@@ -262,7 +318,10 @@ func (r *Registry) acquire(id string) (*regEntry, *engine, error) {
 	}
 	e.eng = eng
 	e.info.Loaded = true
+	e.residentBytes = m.WeightBytes()
+	e.info.ResidentBytes = e.residentBytes
 	r.loaded++
+	r.residentBytes += e.residentBytes
 	r.evictLocked()
 	r.mu.Unlock()
 	return e, eng, nil
@@ -302,6 +361,9 @@ func (r *Registry) evictLocked() {
 		victim.eng = nil
 		victim.info.Loaded = false
 		r.loaded--
+		r.residentBytes -= victim.residentBytes
+		victim.residentBytes = 0
+		victim.info.ResidentBytes = 0
 	}
 }
 
@@ -319,7 +381,10 @@ func (r *Registry) Close() {
 			e.eng.close()
 			e.eng = nil
 			e.info.Loaded = false
+			e.residentBytes = 0
+			e.info.ResidentBytes = 0
 		}
 	}
 	r.loaded = 0
+	r.residentBytes = 0
 }

@@ -106,6 +106,11 @@ type Sidecar struct {
 	NumClasses int `json:"classes,omitempty"`
 	// Params is the trainable-scalar count of the saved model.
 	Params int `json:"params,omitempty"`
+	// Precision optionally overrides the registry's serving precision for
+	// this model: "int8" forces quantize-on-load, "fp64" forces the exact
+	// float64 path even when the registry default is quantized. Empty means
+	// follow the registry default. The checkpoint itself is always float64.
+	Precision string `json:"precision,omitempty"`
 	// Metrics holds free-form training/evaluation numbers (e.g. "acc",
 	// "asr" for the attack zoo's checkpoints).
 	Metrics map[string]float64 `json:"metrics,omitempty"`

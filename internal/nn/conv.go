@@ -10,10 +10,15 @@ import (
 
 // Conv2D is a 2-D convolution over batches shaped [N, C, H, W], implemented
 // with im2col + matmul. Weights are stored as [OutC, InC*KH*KW].
+// When Q is non-nil the layer is quantized: it holds the transposed weights
+// [InC*KH*KW, OutC] in per-output-channel int8 (so the im2col product runs
+// through the fast per-column kernel), W's float64 tensors are dropped, and
+// the layer is inference-only (Backward panics). See Model.Quantize.
 type Conv2D struct {
 	Dims tensor.ConvDims
-	W    *Param // [OutC, InC*KH*KW]
-	B    *Param // [1, OutC]
+	W    *Param // [OutC, InC*KH*KW]; Value/Grad nil once quantized
+	B    *Param // [1, OutC]; always float64
+	Q    *tensor.QTensor
 
 	// colPool recycles [OutH*OutW, InC*KH*KW] im2col matrices between a
 	// recording Forward and the Backward that consumes them, keeping the
@@ -87,7 +92,11 @@ func (c *Conv2D) forward(x *tensor.Tensor, cols []*tensor.Tensor) *tensor.Tensor
 			}
 			tensor.Im2Col(x.Data[i*img:(i+1)*img], d, col)
 			// tmp[pos, oc] = col[pos, :] · W[oc, :]
-			tensor.MatMulTransBInto(tmp, col, c.W.Value)
+			if c.Q != nil {
+				tensor.QMatMulInto(tmp, col, c.Q) // Q holds Wᵀ [k, OutC]
+			} else {
+				tensor.MatMulTransBInto(tmp, col, c.W.Value)
+			}
 			// transpose into [OutC, OutH*OutW] layout of the output image
 			dst := out.Data[i*d.OutC*spatial : (i+1)*d.OutC*spatial]
 			for pos := 0; pos < spatial; pos++ {
@@ -118,6 +127,9 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Cache) {
 }
 
 func (c *Conv2D) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
+	if c.Q != nil {
+		panic("nn: Backward on a quantized Conv2D layer (quantized models are inference-only)")
+	}
 	cc := cache.(*conv2DCache)
 	n := grad.Dim(0)
 	d := c.Dims
@@ -149,7 +161,12 @@ func (c *Conv2D) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
 	return dx
 }
 
-func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+func (c *Conv2D) Params() []*Param {
+	if c.Q != nil {
+		return []*Param{c.B} // W lives in Q; no trainable float64 weights
+	}
+	return []*Param{c.W, c.B}
+}
 
 // Flatten reshapes [N, C, H, W] to [N, C*H*W]; identity for 2-D inputs.
 type Flatten struct{}

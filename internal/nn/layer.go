@@ -70,10 +70,14 @@ type Layer interface {
 // --- Dense -------------------------------------------------------------------
 
 // Dense is a fully connected layer: y = xW + b for x of shape [N, In].
+// When Q is non-nil the layer is quantized: W's float64 tensors are dropped
+// (Value and Grad nil), Infer multiplies through the int8 kernel, and the
+// layer is inference-only (Backward panics). See Model.Quantize.
 type Dense struct {
 	In, Out int
-	W       *Param // [In, Out]
-	B       *Param // [1, Out]
+	W       *Param // [In, Out]; Value/Grad nil once quantized
+	B       *Param // [1, Out]; always float64
+	Q       *tensor.QTensor
 }
 
 var _ Layer = (*Dense)(nil)
@@ -93,7 +97,11 @@ func NewDense(in, out int, r *rng.RNG) *Dense {
 func (d *Dense) Infer(x *tensor.Tensor) *tensor.Tensor {
 	n := x.Dim(0)
 	out := tensor.New(n, d.Out)
-	tensor.MatMulInto(out, x, d.W.Value)
+	if d.Q != nil {
+		tensor.QMatMulInto(out, x, d.Q)
+	} else {
+		tensor.MatMulInto(out, x, d.W.Value)
+	}
 	tensor.AddRowVecInto(out, out, d.B.Value.Data)
 	return out
 }
@@ -103,6 +111,9 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, Cache) {
 }
 
 func (d *Dense) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
+	if d.Q != nil {
+		panic("nn: Backward on a quantized Dense layer (quantized models are inference-only)")
+	}
 	x := cache.(*tensor.Tensor)
 	// dW += xᵀ grad ; db += column sums ; dx = grad Wᵀ
 	dW := tensor.New(d.In, d.Out)
@@ -118,7 +129,12 @@ func (d *Dense) Backward(cache Cache, grad *tensor.Tensor) *tensor.Tensor {
 	return dx
 }
 
-func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+func (d *Dense) Params() []*Param {
+	if d.Q != nil {
+		return []*Param{d.B} // W lives in Q; no trainable float64 weights
+	}
+	return []*Param{d.W, d.B}
+}
 
 // --- Activations ---------------------------------------------------------------
 

@@ -30,6 +30,10 @@ type Model struct {
 
 	// passes pools training workspaces; the zero value is ready to use.
 	passes sync.Pool
+
+	// quantized is set by Quantize once any layer holds int8 weights; the
+	// model is then inference-only (NewPass panics, Save errors).
+	quantized bool
 }
 
 // Infer runs the pure inference pass and returns logits of shape
@@ -52,8 +56,13 @@ type Pass struct {
 	caches []Cache
 }
 
-// NewPass returns a workspace drawn from the model's pool.
+// NewPass returns a workspace drawn from the model's pool. It panics on a
+// quantized model: int8 layers have no gradient path, so recording passes
+// are meaningless there.
 func (m *Model) NewPass() *Pass {
+	if m.quantized {
+		panic("nn: NewPass on a quantized model (quantized models are inference-only)")
+	}
 	if p, ok := m.passes.Get().(*Pass); ok {
 		p.m = m
 		return p
@@ -192,9 +201,11 @@ func (m *Model) ZeroGrad() {
 	}
 }
 
-// ParamCount returns the total number of trainable scalars.
+// ParamCount returns the total number of parameter scalars in the
+// architecture, independent of representation: weights held in int8 count
+// the same as their float64 originals.
 func (m *Model) ParamCount() int {
-	n := 0
+	n := m.quantWeightCount()
 	for _, p := range m.Params() {
 		n += p.Value.Len()
 	}

@@ -1,0 +1,137 @@
+package nn_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"bprom/internal/attack"
+	"bprom/internal/bprom"
+	"bprom/internal/data"
+	"bprom/internal/nn"
+	"bprom/internal/oracle"
+	"bprom/internal/rng"
+	"bprom/internal/trainer"
+	"bprom/internal/vp"
+)
+
+// End-to-end quantization parity on a miniature golden attack zoo: one
+// clean and one BadNets-backdoored model, each audited by the same tiny
+// BPROM detector in fp and in int8 form. The detector verdict — the number
+// the whole pipeline exists to produce — must be identical, and the
+// suspects' raw confidences must stay within the |Δconfidence| budget.
+// (package nn_test: these tests need trainer/bprom, which import nn.)
+
+// zooConfBudget mirrors quantConfBudget in the in-package battery.
+const zooConfBudget = 0.05
+
+func quantClone(t *testing.T, m *nn.Model) *nn.Model {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c, err := nn.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Quantize(-1) == 0 {
+		t.Fatal("Quantize(-1) converted no layers")
+	}
+	return c
+}
+
+func TestQuantizedZooVerdictAgreement(t *testing.T) {
+	ctx := context.Background()
+
+	// Tiny source task and detector, the audit-test scale: scheduling-sized
+	// budgets, deterministic seeds.
+	srcGen := data.NewGenerator(data.MustSpec(data.CIFAR10), 1)
+	srcTrain, srcTest := srcGen.GenerateSplit(12, 40, rng.New(2))
+	tgtGen := data.NewGenerator(data.MustSpec(data.STL10), 3)
+	tgtTrain, tgtTest := tgtGen.GenerateSplit(6, 4, rng.New(4))
+	det, err := bprom.Train(ctx, bprom.Config{
+		Reserved:      srcTest.Reserve(0.10, rng.New(5)),
+		ExternalTrain: tgtTrain,
+		ExternalTest:  tgtTest,
+		NumClean:      2,
+		NumBackdoor:   2,
+		ShadowArch:    nn.ArchConfig{Arch: nn.ArchConvLite, Hidden: 12},
+		ShadowTrain:   trainer.Config{Epochs: 3},
+		WhiteBox:      vp.WhiteBoxConfig{Epochs: 2},
+		BlackBox:      vp.BlackBoxConfig{Iterations: 3, BatchSize: 6},
+		QuerySamples:  6,
+		Seed:          42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trainSuspect := func(seed uint64, poison bool) *nn.Model {
+		ds := srcTrain
+		if poison {
+			poisoned, _, err := attack.Poison(ds, attack.Config{Kind: attack.BadNets, PoisonRate: 0.25}, rng.New(seed+100))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds = poisoned
+		}
+		m, err := nn.Build(nn.ArchConfig{
+			Arch: nn.ArchConvLite, C: ds.Shape.C, H: ds.Shape.H, W: ds.Shape.W,
+			NumClasses: ds.Classes, Hidden: 12,
+		}, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := trainer.Train(ctx, m, ds, trainer.Config{Epochs: 3}, rng.New(seed+1)); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	for name, tc := range map[string]struct {
+		seed   uint64
+		poison bool
+	}{
+		"clean":   {seed: 7, poison: false},
+		"badnets": {seed: 9, poison: true},
+	} {
+		t.Run(name, func(t *testing.T) {
+			fp := trainSuspect(tc.seed, tc.poison)
+			q := quantClone(t, fp)
+
+			// Raw-confidence budget on held-out source data.
+			x := srcTest.Tensor()
+			fpProbs := fp.Predict(x)
+			qProbs := q.Predict(x)
+			maxDelta := 0.0
+			for i := range fpProbs.Data {
+				if d := math.Abs(fpProbs.Data[i] - qProbs.Data[i]); d > maxDelta {
+					maxDelta = d
+				}
+			}
+			if maxDelta > zooConfBudget {
+				t.Fatalf("max |Δconfidence| = %g exceeds budget %g", maxDelta, zooConfBudget)
+			}
+
+			// Detector verdict: the fp and int8 servings of the same model
+			// must be judged identically.
+			vFP, err := det.Inspect(ctx, oracle.NewModelOracle(fp), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vQ, err := det.Inspect(ctx, oracle.NewModelOracle(q), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if vFP.Backdoored != vQ.Backdoored {
+				t.Fatalf("verdict disagreement: fp backdoored=%v (score %.4f), int8 backdoored=%v (score %.4f)",
+					vFP.Backdoored, vFP.Score, vQ.Backdoored, vQ.Score)
+			}
+			if d := math.Abs(vFP.Score - vQ.Score); d > 0.25 {
+				t.Fatalf("detector score moved %.4f (fp %.4f -> int8 %.4f)", d, vFP.Score, vQ.Score)
+			}
+		})
+	}
+}

@@ -35,8 +35,13 @@ const (
 	tagGlobalAvgPool
 )
 
-// Save writes the model to w.
+// Save writes the model to w. Quantized models cannot be saved: the int8
+// representation is derived state, re-created at load time from the full-
+// precision weights, and persisting it would silently lose precision.
 func (m *Model) Save(w io.Writer) error {
+	if m.quantized {
+		return fmt.Errorf("nn: cannot serialize a quantized model (quantization is derived at load, not persisted)")
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(formatMagic); err != nil {
 		return fmt.Errorf("nn: write magic: %w", err)

@@ -80,6 +80,65 @@ func FuzzMatMulInto(f *testing.F) {
 	})
 }
 
+// FuzzQMatMul steers arbitrary bit patterns through both quantized kernel
+// variants and demands bitwise agreement with the NaiveQ* references —
+// integer accumulation is exact, so unlike the float64 targets there is no
+// tolerance at all. Weight quantization happens inside the target, so the
+// fuzzer also exercises the per-channel range/zero-point derivation on
+// denormals, huge magnitudes and exact zeros.
+func FuzzQMatMul(f *testing.F) {
+	f.Add(uint8(2), uint8(3), uint8(4), uint64(1), []byte{})
+	f.Add(uint8(1), uint8(130), uint8(1), uint64(7), []byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(uint8(65), uint8(128), uint8(33), uint64(9), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(255), uint8(255), uint8(255), uint64(3), []byte{0xff, 0xff})
+	f.Fuzz(func(t *testing.T, rm, rk, rn uint8, seed uint64, raw []byte) {
+		m := int(rm)%66 + 1
+		k := int(rk)%140 + 1
+		n := int(rn)%66 + 1
+		x, w := New(m, k), New(k, n)
+		fillFromFuzz(x.Data, seed, raw)
+		half := len(raw) / 2
+		fillFromFuzz(w.Data, seed+1, raw[half:])
+
+		// Bitwise equality, NaN-tolerant: extreme fuzz magnitudes can
+		// overflow the scale product to Inf and a zero correction yields
+		// NaN on both sides identically.
+		same := func(a, b float64) bool {
+			return a == b || (math.IsNaN(a) && math.IsNaN(b))
+		}
+
+		q := QuantizePerCol(w)
+		got, want := New(m, n), New(m, n)
+		QMatMulInto(got, x, q)
+		NaiveQMatMulInto(want, x, q)
+		for i := range got.Data {
+			if !same(got.Data[i], want.Data[i]) {
+				t.Fatalf("QMatMulInto != naive at [%d,%d,%d] element %d: got %v, want %v",
+					m, k, n, i, got.Data[i], want.Data[i])
+			}
+		}
+
+		// Same weights viewed through the transposed layout: per-row
+		// channels quantize row j from the same values as column j above,
+		// so the two variants must agree with each other bitwise too.
+		wt := FromSlice(append([]float64(nil), w.Data...), k, n).Transpose() // [n,k]
+		qt := QuantizePerRow(wt)
+		gotT, wantT := New(m, n), New(m, n)
+		QMatMulTransBInto(gotT, x, qt)
+		NaiveQMatMulTransBInto(wantT, x, qt)
+		for i := range gotT.Data {
+			if !same(gotT.Data[i], wantT.Data[i]) {
+				t.Fatalf("QMatMulTransBInto != naive at [%d,%d,%d] element %d: got %v, want %v",
+					m, k, n, i, gotT.Data[i], wantT.Data[i])
+			}
+			if !same(gotT.Data[i], got.Data[i]) {
+				t.Fatalf("QMatMulTransBInto != QMatMulInto on transposed weights at [%d,%d,%d] element %d: %v vs %v",
+					m, k, n, i, gotT.Data[i], got.Data[i])
+			}
+		}
+	})
+}
+
 func FuzzIm2Col(f *testing.F) {
 	f.Add(uint8(1), uint8(4), uint8(4), uint8(3), uint8(3), uint8(1), uint8(1), uint64(1), []byte{})
 	f.Add(uint8(3), uint8(8), uint8(8), uint8(3), uint8(3), uint8(1), uint8(1), uint64(2), []byte{9, 9, 9, 9, 9, 9, 9, 9})

@@ -1,50 +1,118 @@
 #!/usr/bin/env bash
-# bench.sh — run the generation-batched CMA-ES evaluation hot-path
-# benchmarks (PR 5) and emit a machine-readable BENCH_5.json capturing the
-# serial-vs-batched before/after for the three oracle flavors: in-process,
-# loopback HTTP, and simulated-RTT remote.
+# bench.sh — run the repo's perf-trajectory benchmarks and emit a
+# machine-readable BENCH_<issue>.json snapshot.
 #
-# Usage: scripts/bench.sh [benchtime] [output]
-#   benchtime  go -benchtime value (default 10x; CI uses 1x as a smoke run)
-#   output     JSON path (default BENCH_5.json in the repo root)
+# The benchmark set, output path, and run length all come from flags (or the
+# matching environment variables), so CI smoke runs, the committed per-PR
+# records, and ad-hoc local measurements share one script:
+#
+#   scripts/bench.sh [-t benchtime] [-f filter] [-o output] [-i issue]
+#
+#     -t  go -benchtime value      (env BENCH_TIME,   default 10x)
+#     -f  go -bench regexp         (env BENCH_FILTER, default: the PR 5/6
+#                                   before/after pairs — fp-vs-int8 kernels,
+#                                   dense-stack predict, TrainBlackBox)
+#     -o  output JSON path         (env BENCH_OUT,    default BENCH_6.json)
+#     -i  issue number in the JSON (env BENCH_ISSUE,  default 6)
+#
+# Parsing is generic: every `Benchmark*` line in the output is captured with
+# all its value/unit pairs (ns/op, B/op, allocs/op, and custom ReportMetric
+# units like weight_bytes). Known before/after pairs additionally get a
+# derived ratio section when both sides appear in the run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHTIME="${1:-10x}"
-OUT="${2:-BENCH_5.json}"
+BENCHTIME="${BENCH_TIME:-10x}"
+FILTER="${BENCH_FILTER:-MatMulTiledSerial\$|MatMulTiledServing|MatMulTiledFleet|QMatMulInt8|ModelPredictDense|TrainBlackBox}"
+OUT="${BENCH_OUT:-BENCH_6.json}"
+ISSUE="${BENCH_ISSUE:-6}"
 
-raw=$(go test -run '^$' -bench 'BenchmarkTrainBlackBox' -benchtime="$BENCHTIME" -benchmem .)
+usage() { sed -n '2,21p' "$0" | sed 's/^# \{0,1\}//' >&2; exit 2; }
+while getopts ':t:f:o:i:h' opt; do
+    case "$opt" in
+        t) BENCHTIME="$OPTARG" ;;
+        f) FILTER="$OPTARG" ;;
+        o) OUT="$OPTARG" ;;
+        i) ISSUE="$OPTARG" ;;
+        h | *) usage ;;
+    esac
+done
+shift $((OPTIND - 1))
+[ $# -eq 0 ] || usage
+
+raw=$(go test -run '^$' -bench "$FILTER" -benchtime="$BENCHTIME" -benchmem .)
 echo "$raw"
 
-echo "$raw" | awk -v benchtime="$BENCHTIME" -v goversion="$(go version | awk '{print $3}')" '
+echo "$raw" | awk -v issue="$ISSUE" -v benchtime="$BENCHTIME" \
+    -v filter="$FILTER" -v goversion="$(go version | awk '{print $3}')" '
+function jsonkey(unit) {
+    # ns/op -> ns_per_op, B/op -> bytes_per_op, allocs/op -> allocs_per_op;
+    # custom units (weight_bytes, ...) pass through sanitized.
+    if (unit == "ns/op") return "ns_per_op"
+    if (unit == "B/op") return "bytes_per_op"
+    if (unit == "allocs/op") return "allocs_per_op"
+    gsub(/\//, "_per_", unit)
+    gsub(/[^A-Za-z0-9_]/, "_", unit)
+    return unit
+}
+function ratio(num, den,    a, b) {
+    a = metric[num ":ns_per_op"]; b = metric[den ":ns_per_op"]
+    if (a == "" || b == "" || b + 0 == 0) return ""
+    return sprintf("%.2f", a / b)
+}
+function addderived(key, val) {
+    if (val == "") return
+    dkey[dn] = key; dval[dn] = val; dn++
+}
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
     name = $1
     sub(/^Benchmark/, "", name)
     sub(/-[0-9]+$/, "", name)
-    ns[name] = $3
-    bytes[name] = $5
-    allocs[name] = $7
-    order[n++] = name
+    if (!(name in seen)) { seen[name] = 1; order[n++] = name }
+    line = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        key = jsonkey($(i + 1))
+        metric[name ":" key] = $i
+        line = line (line == "" ? "" : ", ") "\"" key "\": " $i
+    }
+    fields[name] = line
 }
 END {
     printf "{\n"
-    printf "  \"issue\": 5,\n"
+    printf "  \"issue\": %s,\n", issue
     printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"filter\": \"%s\",\n", filter
     printf "  \"go\": \"%s\",\n", goversion
     printf "  \"cpu\": \"%s\",\n", cpu
     printf "  \"benchmarks\": {\n"
     for (i = 0; i < n; i++) {
         name = order[i]
-        printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
-            name, ns[name], bytes[name], allocs[name], (i < n-1 ? "," : "")
+        printf "    \"%s\": {%s}%s\n", name, fields[name], (i < n - 1 ? "," : "")
     }
-    printf "  },\n"
-    printf "  \"speedup_batched_over_serial\": {\n"
-    printf "    \"in_process\": %.2f,\n", ns["TrainBlackBoxSerial"] / ns["TrainBlackBoxBatched"]
-    printf "    \"http\": %.2f,\n", ns["TrainBlackBoxSerialHTTP"] / ns["TrainBlackBoxBatchedHTTP"]
-    printf "    \"remote_rtt_3ms\": %.2f\n", ns["TrainBlackBoxSerialRemoteRTT"] / ns["TrainBlackBoxBatchedRemoteRTT"]
-    printf "  }\n"
+    printf "  }"
+
+    # Derived before/after ratios, emitted only when both sides ran.
+    dn = 0
+    addderived("speedup_int8_kernel_over_fp64_192", ratio("MatMulTiledSerial", "QMatMulInt8Serial"))
+    addderived("speedup_int8_kernel_over_fp64_serving", ratio("MatMulTiledServing", "QMatMulInt8Serving"))
+    addderived("speedup_int8_kernel_over_fp64_fleet", ratio("MatMulTiledFleet", "QMatMulInt8Fleet"))
+    addderived("speedup_int8_predict_over_fp64", ratio("ModelPredictDenseFP64", "ModelPredictDenseInt8"))
+    fpb = metric["ModelPredictDenseFP64:weight_bytes"]
+    qb = metric["ModelPredictDenseInt8:weight_bytes"]
+    if (fpb != "" && qb != "" && qb + 0 != 0)
+        addderived("weight_shrink_fp64_over_int8", sprintf("%.2f", fpb / qb))
+    addderived("speedup_batched_over_serial_in_process", ratio("TrainBlackBoxSerial", "TrainBlackBoxBatched"))
+    addderived("speedup_batched_over_serial_http", ratio("TrainBlackBoxSerialHTTP", "TrainBlackBoxBatchedHTTP"))
+    addderived("speedup_batched_over_serial_remote_rtt_3ms", ratio("TrainBlackBoxSerialRemoteRTT", "TrainBlackBoxBatchedRemoteRTT"))
+    if (dn > 0) {
+        printf ",\n  \"derived\": {\n"
+        for (i = 0; i < dn; i++)
+            printf "    \"%s\": %s%s\n", dkey[i], dval[i], (i < dn - 1 ? "," : "")
+        printf "  }\n"
+    } else {
+        printf "\n"
+    }
     printf "}\n"
 }' > "$OUT"
 
