@@ -544,6 +544,99 @@ func BenchmarkTrainBlackBoxBatchedRemoteRTT(b *testing.B) {
 	benchTrainBlackBox(b, &rttOracle{Oracle: oracle.NewModelOracle(m), rtt: 3 * time.Millisecond}, src, tgt, false)
 }
 
+// --- Inline screening serving overhead (PR 7) ---------------------------------
+//
+// Three-way decomposition of what inline screening costs the serving plane,
+// on the same HTTP stack, micro-batcher, and model as
+// BenchmarkServerPredictParallel:
+//
+//   - Unscreened: baseline server, no screener configured.
+//   - ScreenedOptOut: screener configured, but the traffic is plain Predict
+//     (which opts out on the wire). This is the enablement tax — the
+//     < 15% QPS acceptance target — and it should be ~zero: the engine
+//     appends no prompted rows for opted-out requests, and the responses
+//     stay bit-identical to the unscreened server's (parity-tested).
+//   - Screened: every request asks for verdicts via PredictScreened. Each
+//     row's prompted view is fused into the SAME batched Predict tick as
+//     the plain rows — one forward per tick, not a second request path —
+//     so the marginal cost is one extra model row per screened row (compare
+//     the delta against BenchmarkModelPredictSerial: the screening plumbing
+//     itself adds nothing measurable). On a multi-core server the extra
+//     rows ride idle kernel-pool workers; on a single-core runner they
+//     serialize and the delta is the raw forward cost.
+//
+// scripts/bench.sh records all three (and the derived ratios) in
+// BENCH_7.json. Reproduce locally with:
+//
+//	go test -bench 'ServerPredict(Screened|Unscreened)' -benchtime=2s .
+
+// benchScreener builds a screener on the benchModel canvas (3×12×12) with a
+// deterministic trained-looking border.
+func benchScreener(b *testing.B) *vp.Screener {
+	b.Helper()
+	p, err := vp.NewPrompt(data.Shape{C: 3, H: 12, W: 12}, data.Shape{C: 3, H: 24, W: 24}, 0.67)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng.New(77).Uniform(p.Theta, 0, 1)
+	sc, err := vp.NewScreener(p, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sc
+}
+
+func benchServerPredict(b *testing.B, screener *vp.Screener, verdicts bool) {
+	m := benchModel(b)
+	s := mlaas.NewServer(m, mlaas.ServerConfig{Name: "bench", MaxBatch: 256, Screener: screener})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c, err := mlaas.Dial(context.Background(), srv.URL, mlaas.ClientConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		x := benchBatch(m, 4)
+		for pb.Next() {
+			if !verdicts {
+				if _, err := c.Predict(ctx, x); err != nil {
+					b.Error(err)
+					return
+				}
+				continue
+			}
+			if _, scr, err := c.PredictScreened(ctx, x); err != nil || len(scr) != x.Dim(0) {
+				b.Errorf("screened predict: %d entries, err %v", len(scr), err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkServerPredictUnscreened is the serving baseline without a
+// screener configured.
+func BenchmarkServerPredictUnscreened(b *testing.B) {
+	benchServerPredict(b, nil, false)
+}
+
+// BenchmarkServerPredictScreenedOptOut serves plain Predict traffic through
+// a screening-enabled server: the enablement tax regular clients pay when
+// the operator turns -screen on (acceptance target < 15%, expected ~0).
+func BenchmarkServerPredictScreenedOptOut(b *testing.B) {
+	benchServerPredict(b, benchScreener(b), false)
+}
+
+// BenchmarkServerPredictScreened screens every request inline (annotate
+// policy); the delta vs the unscreened baseline is the fused prompted-view
+// rows plus the screening block on the wire.
+func BenchmarkServerPredictScreened(b *testing.B) {
+	benchServerPredict(b, benchScreener(b), true)
+}
+
 // Ablations and the limitation experiment (DESIGN.md extensions).
 func BenchmarkLimitationAllToAll(b *testing.B) { runExperiment(b, "limitation-alltoall", 1) }
 func BenchmarkAblationOptimizer(b *testing.B)  { runExperiment(b, "ablation-optimizer", 1) }

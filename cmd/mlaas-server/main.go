@@ -46,6 +46,7 @@ import (
 	"bprom/internal/rng"
 	"bprom/internal/tensor"
 	"bprom/internal/trainer"
+	"bprom/internal/vp"
 )
 
 func main() {
@@ -71,6 +72,9 @@ func run() error {
 		detectorPath  = flag.String("detector", "", "detector artifact (.bpd, from 'bprom train') enabling server-side audit jobs on /v1/audits")
 		auditWorkers  = flag.Int("audit-workers", 0, "concurrently running audit jobs (0: default 2)")
 		auditQueue    = flag.Int("audit-queue", 0, "queued audit jobs before submissions get 429 (0: default 64)")
+		screenPath    = flag.String("screen", "", "detector artifact (.bpd) enabling inline request screening: every predict row is scored with the learned prompt, fused into the same forward pass")
+		screenThresh  = flag.Float64("screen-threshold", 0, "screening flag threshold in (0,1] (0: default)")
+		screenPolicy  = flag.String("screen-policy", "annotate", "what to do with flagged inputs: 'annotate' (attach scores, serve anyway) or 'reject' (withhold their confidences)")
 	)
 	flag.Parse()
 	// Size the kernel pool before any training or serving touches it. The
@@ -90,6 +94,22 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Inline request screening: derive the serving-time screener from a
+	// trained detector artifact's shadow prompts.
+	var screener *vp.Screener
+	if *screenPath != "" {
+		if *screenPolicy != mlaas.ScreenAnnotate && *screenPolicy != mlaas.ScreenReject {
+			return fmt.Errorf("-screen-policy %q: want %q or %q", *screenPolicy, mlaas.ScreenAnnotate, mlaas.ScreenReject)
+		}
+		det, err := bprom.LoadFile(*screenPath)
+		if err != nil {
+			return err
+		}
+		if screener, err = det.Screener(*screenThresh); err != nil {
+			return err
+		}
+	}
+
 	var srv *mlaas.Server
 	var announce func(addr string)
 	if *modelsDir != "" {
@@ -99,6 +119,8 @@ func run() error {
 			MaxConcurrent: *maxConcurrent,
 			Default:       *defaultModel,
 			Quantize:      *quantize,
+			Screener:      screener,
+			ScreenPolicy:  *screenPolicy,
 		})
 		if err != nil {
 			return err
@@ -130,10 +152,15 @@ func run() error {
 		if *quantize {
 			model.Quantize(0)
 		}
+		if screener != nil && screener.InputDim() != model.InputDim {
+			return fmt.Errorf("-screen: screener canvas %d does not match model input %d", screener.InputDim(), model.InputDim)
+		}
 		srv = mlaas.NewServer(model, mlaas.ServerConfig{
 			Name:          "bprom-demo",
 			MaxBatch:      *maxBatch,
 			MaxConcurrent: *maxConcurrent,
+			Screener:      screener,
+			ScreenPolicy:  *screenPolicy,
 		})
 		announce = func(addr string) {
 			fmt.Printf("serving on http://%s (classes=%d dim=%d); Ctrl-C to stop\n",
@@ -154,6 +181,10 @@ func run() error {
 	ready := make(chan string, 1)
 	go func() {
 		announce(<-ready)
+		if screener != nil {
+			fmt.Printf("inline screening live (policy %s, threshold %.3f, detector %s)\n",
+				*screenPolicy, screener.Threshold(), *screenPath)
+		}
 		fmt.Println(auditNote)
 	}()
 	return srv.Serve(ctx, *addr, ready)

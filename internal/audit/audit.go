@@ -197,6 +197,26 @@ func (m *Manager) Submit(modelID string, sus oracle.Oracle, inspectID int) (Job,
 	return j.snapshot(), nil
 }
 
+// RetryAfter estimates how long a submitter rejected with ErrQueueFull
+// should wait before trying again: the current queue depth spread over the
+// worker pool, read as "queue positions a worker tick frees", clamped to
+// [1s, 60s]. It is a coarse backpressure hint — audits vary in duration —
+// but it scales with real backlog instead of leaving every rejected client
+// to guess (the HTTP layer emits it as the 429 Retry-After header).
+func (m *Manager) RetryAfter() time.Duration {
+	m.mu.Lock()
+	queued := len(m.pending)
+	m.mu.Unlock()
+	secs := (queued + m.cfg.Workers - 1) / m.cfg.Workers
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // Len reports how many jobs the manager holds (queued, running, and
 // retained terminal jobs) without snapshotting them.
 func (m *Manager) Len() int {

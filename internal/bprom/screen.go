@@ -1,0 +1,53 @@
+package bprom
+
+import (
+	"fmt"
+
+	"bprom/internal/vp"
+)
+
+// Screener derives an inline request screener from this detector: a
+// vp.Screener over the element-wise mean θ of the shadow prompts persisted
+// in the artifact. The shadows were prompted on the same canvas geometry
+// against the same external task, so their borders agree on where the
+// prompt must carry signal; averaging them gives one serving-time prompt
+// without re-querying anything. threshold is the flagging cutoff in (0,1];
+// non-positive means vp.DefaultScreenThreshold (the screening score is a
+// different observable than the detector's model-level meta-score, so the
+// artifact's OOB threshold does not transfer).
+//
+// This works on any loaded artifact — shadow MODELS are not persisted, but
+// shadow prompts are, and screening needs only the prompts.
+func (d *Detector) Screener(threshold float64) (*vp.Screener, error) {
+	var mean *vp.Prompt
+	count := 0
+	for i := range d.Shadows {
+		p := d.Shadows[i].Prompt
+		if p == nil {
+			continue
+		}
+		if mean == nil {
+			mean = p.Clone()
+			count = 1
+			continue
+		}
+		if p.Source != mean.Source || p.Inner != mean.Inner || p.Dim() != mean.Dim() {
+			return nil, fmt.Errorf("bprom: shadow %d prompt geometry %+v/%d differs from %+v/%d",
+				i, p.Source, p.Inner, mean.Source, mean.Inner)
+		}
+		for j, v := range p.Theta {
+			mean.Theta[j] += v
+		}
+		count++
+	}
+	if mean == nil {
+		return nil, fmt.Errorf("bprom: detector carries no shadow prompts to screen with")
+	}
+	if count > 1 {
+		inv := 1 / float64(count)
+		for j := range mean.Theta {
+			mean.Theta[j] *= inv
+		}
+	}
+	return vp.NewScreener(mean, threshold)
+}

@@ -1,0 +1,57 @@
+package bprom
+
+import (
+	"math"
+	"testing"
+
+	"bprom/internal/data"
+	"bprom/internal/rng"
+	"bprom/internal/vp"
+)
+
+func screenTestPrompt(t *testing.T, seed uint64) *vp.Prompt {
+	t.Helper()
+	p, err := vp.NewPrompt(data.Shape{C: 1, H: 6, W: 6}, data.Shape{C: 1, H: 8, W: 8}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng.New(seed).Uniform(p.Theta, 0, 1)
+	return p
+}
+
+// TestDetectorScreenerMeansShadowPrompts pins the derivation: the serving
+// screener's prompt is the element-wise mean θ of the persisted shadow
+// prompts, nil-prompt shadows skipped.
+func TestDetectorScreenerMeansShadowPrompts(t *testing.T) {
+	p1 := screenTestPrompt(t, 1)
+	p2 := screenTestPrompt(t, 2)
+	d := &Detector{Shadows: []Shadow{{Prompt: p1}, {}, {Prompt: p2}}}
+	s, err := d.Screener(0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Threshold() != 0.6 || s.InputDim() != 36 {
+		t.Fatalf("screener metadata: threshold %v dim %d", s.Threshold(), s.InputDim())
+	}
+	theta := s.Prompt().Theta
+	for i := range theta {
+		want := (p1.Theta[i] + p2.Theta[i]) / 2
+		if math.Abs(theta[i]-want) > 1e-15 {
+			t.Fatalf("mean theta[%d] = %v, want %v", i, theta[i], want)
+		}
+	}
+}
+
+func TestDetectorScreenerErrors(t *testing.T) {
+	if _, err := (&Detector{}).Screener(0); err == nil {
+		t.Fatal("detector without shadow prompts produced a screener")
+	}
+	odd, err := vp.NewPrompt(data.Shape{C: 1, H: 8, W: 8}, data.Shape{C: 1, H: 8, W: 8}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Detector{Shadows: []Shadow{{Prompt: screenTestPrompt(t, 3)}, {Prompt: odd}}}
+	if _, err := d.Screener(0); err == nil {
+		t.Fatal("mismatched shadow prompt geometries produced a screener")
+	}
+}

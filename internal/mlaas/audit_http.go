@@ -73,8 +73,16 @@ func (o *providerOracle) Predict(ctx context.Context, x *tensor.Tensor) (*tensor
 	}
 	n := x.Dim(0)
 	maxBatch := o.prov.MaxBatch()
+	// Audit traffic is never screened (screen=false): an inspection issues
+	// thousands of probe queries that only need raw confidences, and its
+	// verdict must stay bit-identical whether or not the hosted model also
+	// serves screened predict traffic. This also keeps quantized models
+	// auditable — screening and auditing alike are pure inference, and
+	// nothing on this path may reach the training-only APIs a quantized
+	// model panics on (nn.Model.NewPass / Dense.Backward).
 	if maxBatch <= 0 || n <= maxBatch {
-		return o.prov.Predict(ctx, o.id, x)
+		probs, _, err := o.prov.Predict(ctx, o.id, x, false)
+		return probs, err
 	}
 	out := tensor.New(n, o.classes)
 	for start := 0; start < n; start += maxBatch {
@@ -83,7 +91,7 @@ func (o *providerOracle) Predict(ctx context.Context, x *tensor.Tensor) (*tensor
 			end = n
 		}
 		chunk := tensor.FromSlice(x.Data[start*o.inputDim:end*o.inputDim], end-start, o.inputDim)
-		probs, err := o.prov.Predict(ctx, o.id, chunk)
+		probs, _, err := o.prov.Predict(ctx, o.id, chunk, false)
 		if err != nil {
 			return nil, err
 		}
@@ -121,13 +129,24 @@ type Health struct {
 	// present — 0 with audits enabled means "idle", which monitoring must
 	// be able to tell apart from "disabled").
 	AuditJobs int `json:"audit_jobs"`
+	// ScreenedModels counts hosted models covered by inline request
+	// screening (0 on servers without a screener).
+	ScreenedModels int `json:"screened_models,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	models := s.prov.Models()
+	screened := 0
+	for _, mi := range models {
+		if mi.Screened {
+			screened++
+		}
+	}
 	resp := Health{
-		Status:        "ok",
-		Models:        len(s.prov.Models()),
-		AuditsEnabled: s.audits != nil,
+		Status:         "ok",
+		Models:         len(models),
+		AuditsEnabled:  s.audits != nil,
+		ScreenedModels: screened,
 	}
 	if s.audits != nil {
 		resp.AuditJobs = s.audits.Len()

@@ -5,8 +5,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
 	"sync"
 	"time"
 
@@ -29,10 +31,12 @@ type ClientConfig struct {
 	// Timeout per request. Default 30s.
 	Timeout time.Duration
 	// Retries is the number of retry attempts after the first failure, for
-	// transient failures only (network errors and 5xx). Zero means "use the
-	// default" (2); pass NoRetries (or any negative value) to disable
-	// retries entirely. Retrying stops immediately once the caller's
-	// context is cancelled or past its deadline.
+	// transient failures only (network errors, 5xx, and 429 backpressure).
+	// Zero means "use the default" (2); pass NoRetries (or any negative
+	// value) to disable retries entirely. Retrying stops immediately once
+	// the caller's context is cancelled or past its deadline. Backoff is
+	// exponential from 100ms with a 5s ceiling and jitter, floored by the
+	// server's Retry-After hint when one is sent.
 	Retries int
 	// AuditPoll is the WaitAudit polling interval. Default 250ms.
 	AuditPoll time.Duration
@@ -63,14 +67,16 @@ func (c *ClientConfig) defaults() {
 // transparently. Dial binds it to the endpoint's default model, DialModel
 // to a specific one — a fleet audit holds one Client per hosted model.
 type Client struct {
-	base      string
-	modelID   string // "" = default model (legacy un-prefixed routes)
-	cfg       ClientConfig
-	name      string
-	classes   int
-	inputDim  int
-	maxBatch  int
-	precision string
+	base         string
+	modelID      string // "" = default model (legacy un-prefixed routes)
+	cfg          ClientConfig
+	name         string
+	classes      int
+	inputDim     int
+	maxBatch     int
+	precision    string
+	screened     bool
+	screenPolicy string
 }
 
 var (
@@ -108,6 +114,8 @@ func dial(ctx context.Context, baseURL, modelID string, cfg ClientConfig) (*Clie
 	c.inputDim = info.InputDim
 	c.maxBatch = info.MaxBatch   // 0 for endpoints that do not advertise one
 	c.precision = info.Precision // "" for endpoints that predate the field
+	c.screened = info.Screened
+	c.screenPolicy = info.ScreenPolicy
 	return c, nil
 }
 
@@ -194,21 +202,62 @@ func (c *Client) Precision() string { return c.precision }
 // chunked transparently.
 func (c *Client) MaxBatch() int { return c.maxBatch }
 
+// Screened reports whether the endpoint advertises inline request
+// screening for the bound model.
+func (c *Client) Screened() bool { return c.screened }
+
+// ScreenPolicy reports the endpoint's flagged-row policy ("annotate" or
+// "reject"; "" when the model is unscreened or the endpoint predates
+// screening).
+func (c *Client) ScreenPolicy() string { return c.screenPolicy }
+
 // Predict sends the batch to the endpoint, retrying transient failures.
 // Batches beyond the endpoint's max_batch are chunked into multiple
 // requests (at most maxInflightChunks in flight) and reassembled in order.
 // Generation-batched audits lean on exactly this: one fused CMA-ES
 // generation arrives here as a single λ×k-row call and leaves as parallel
 // full-width requests, instead of λ narrow sequential round-trips.
+//
+// Against a screened endpoint, Predict opts out of screening on the wire
+// ("screen": false): the annotations would be discarded here anyway, and
+// the opt-out keeps oracle traffic (audits, prompt training) at exactly one
+// forward pass per row. Use PredictScreened to get the screening verdicts.
+// Should the server reject a row regardless (reject policy), Predict
+// reports it as an error.
 func (c *Client) Predict(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	out, screening, err := c.predict(ctx, x, false)
+	if err != nil {
+		return nil, err
+	}
+	for i := range screening {
+		if screening[i].Rejected {
+			return nil, fmt.Errorf("mlaas: input row %d rejected by server-side screening (score %.3f >= threshold %.3f)",
+				i, screening[i].Score, screening[i].Threshold)
+		}
+	}
+	return out, nil
+}
+
+// PredictScreened is Predict with inline screening requested: it returns
+// the confidence rows plus one Screening entry per input row. On endpoints
+// (or individual models) without screening the slice is nil. Under the
+// server's reject policy, flagged rows come back with Rejected set and
+// zeroed confidences — callers must check before using those rows. Batches
+// beyond max_batch are chunked exactly like Predict.
+func (c *Client) PredictScreened(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, []Screening, error) {
+	return c.predict(ctx, x, true)
+}
+
+func (c *Client) predict(ctx context.Context, x *tensor.Tensor, screen bool) (*tensor.Tensor, []Screening, error) {
 	if x.Rank() != 2 || x.Dim(1) != c.inputDim {
-		return nil, fmt.Errorf("mlaas: input shape %v, want [N %d]", x.Shape(), c.inputDim)
+		return nil, nil, fmt.Errorf("mlaas: input shape %v, want [N %d]", x.Shape(), c.inputDim)
 	}
 	n := x.Dim(0)
 	if c.maxBatch <= 0 || n <= c.maxBatch {
-		return c.predictBatch(ctx, x)
+		return c.predictBatch(ctx, x, screen)
 	}
 	out := tensor.New(n, c.classes)
+	var screening []Screening
 	sem := make(chan struct{}, maxInflightChunks)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -230,7 +279,7 @@ func (c *Client) Predict(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor,
 				return
 			}
 			chunk := tensor.FromSlice(x.Data[start*c.inputDim:end*c.inputDim], end-start, c.inputDim)
-			probs, err := c.predictBatch(ctx, chunk)
+			probs, scr, err := c.predictBatch(ctx, chunk, screen)
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -240,13 +289,21 @@ func (c *Client) Predict(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor,
 				return
 			}
 			copy(out.Data[start*c.classes:end*c.classes], probs.Data)
+			if scr != nil {
+				mu.Lock()
+				if screening == nil {
+					screening = make([]Screening, n)
+				}
+				copy(screening[start:end], scr)
+				mu.Unlock()
+			}
 		}(start, end)
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, nil, firstErr
 	}
-	return out, nil
+	return out, screening, nil
 }
 
 // Encoding/decoding scratch for the predict hot path. Generation-batched
@@ -261,8 +318,51 @@ var (
 	respPool   = sync.Pool{New: func() any { return new(predictResponse) }}
 )
 
+// screenOptOut is the encoded "screen": false request field Predict sends
+// to screened endpoints (a shared target for the pooled request's pointer).
+var screenOptOut = false
+
+// Retry backoff bounds: exponential from retryBaseBackoff, never above
+// retryMaxBackoff. The old backoff was pure 1<<attempt * 100ms — uncapped
+// (attempt 10 slept 51s) and jitterless, so a fleet of clients bounced off
+// a busy endpoint in lockstep, re-colliding forever.
+const (
+	retryBaseBackoff = 100 * time.Millisecond
+	retryMaxBackoff  = 5 * time.Second
+)
+
+// retryBackoff computes the sleep before retry attempt (1-based): capped
+// exponential with the upper half jittered (d/2 + uniform[0, d/2]), so
+// concurrent clients decorrelate while the expected wait keeps its
+// exponential shape. A server Retry-After hint floors the result — the
+// server knows its backlog better than our schedule does.
+func retryBackoff(attempt int, hint time.Duration) time.Duration {
+	d := retryBaseBackoff
+	for i := 1; i < attempt && d < retryMaxBackoff; i++ {
+		d *= 2
+	}
+	if d > retryMaxBackoff {
+		d = retryMaxBackoff
+	}
+	d = d/2 + rand.N(d/2+1)
+	if hint > d {
+		d = hint
+	}
+	return d
+}
+
+// parseRetryAfter reads a Retry-After header in delay-seconds form (the
+// only form this server emits); anything else means "no hint".
+func parseRetryAfter(h string) time.Duration {
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // predictBatch sends one already-sized batch with the retry loop.
-func (c *Client) predictBatch(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+func (c *Client) predictBatch(ctx context.Context, x *tensor.Tensor, screen bool) (*tensor.Tensor, []Screening, error) {
 	n := x.Dim(0)
 	req := reqPool.Get().(*predictRequest)
 	if cap(req.Inputs) < n {
@@ -271,6 +371,12 @@ func (c *Client) predictBatch(ctx context.Context, x *tensor.Tensor) (*tensor.Te
 	req.Inputs = req.Inputs[:n]
 	for i := 0; i < n; i++ {
 		req.Inputs[i] = x.Row(i)
+	}
+	// Screening is server-default-on, so the only flag worth bytes is the
+	// opt-out — and only against endpoints that actually screen.
+	req.Screen = nil
+	if !screen && c.screened {
+		req.Screen = &screenOptOut
 	}
 	buf := encBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
@@ -281,26 +387,28 @@ func (c *Client) predictBatch(ctx context.Context, x *tensor.Tensor) (*tensor.Te
 	for i := range req.Inputs {
 		req.Inputs[i] = nil
 	}
+	req.Screen = nil
 	reqPool.Put(req)
 	if err != nil {
-		return nil, fmt.Errorf("mlaas: encode batch: %w", err)
+		return nil, nil, fmt.Errorf("mlaas: encode batch: %w", err)
 	}
 	payload := buf.Bytes()
 	var lastErr error
+	var hint time.Duration
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
-			backoff := time.Duration(1<<uint(attempt-1)) * 100 * time.Millisecond
 			select {
-			case <-time.After(backoff):
+			case <-time.After(retryBackoff(attempt, hint)):
 			case <-ctx.Done():
-				return nil, fmt.Errorf("mlaas: %w (last error: %v)", ctx.Err(), lastErr)
+				return nil, nil, fmt.Errorf("mlaas: %w (last error: %v)", ctx.Err(), lastErr)
 			}
 		}
-		out, retryable, err := c.predictOnce(ctx, payload, n)
+		out, scr, retryable, retryAfter, err := c.predictOnce(ctx, payload, n)
 		if err == nil {
-			return out, nil
+			return out, scr, nil
 		}
 		lastErr = err
+		hint = retryAfter
 		// A cancelled or expired caller context is never transient: a
 		// deleted audit job or an aborted fleet run must stop querying
 		// immediately instead of burning the retry budget. Per-request
@@ -309,7 +417,7 @@ func (c *Client) predictBatch(ctx context.Context, x *tensor.Tensor) (*tensor.Te
 			break
 		}
 	}
-	return nil, fmt.Errorf("mlaas: predict failed: %w", lastErr)
+	return nil, nil, fmt.Errorf("mlaas: predict failed: %w", lastErr)
 }
 
 // --- Audit-as-a-service helpers -----------------------------------------------------
@@ -449,44 +557,61 @@ func (c *Client) doJSON(req *http.Request, v any) error {
 	return nil
 }
 
-func (c *Client) predictOnce(ctx context.Context, payload []byte, n int) (_ *tensor.Tensor, retryable bool, _ error) {
+func (c *Client) predictOnce(ctx context.Context, payload []byte, n int) (_ *tensor.Tensor, _ []Screening, retryable bool, retryAfter time.Duration, _ error) {
 	reqCtx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, c.route("predict"), bytes.NewReader(payload))
 	if err != nil {
-		return nil, false, err
+		return nil, nil, false, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
-		return nil, true, err
+		return nil, nil, true, 0, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode >= 500 {
-		return nil, true, fmt.Errorf("server error: %s", resp.Status)
+	// 5xx and 429 are transient: the server is broken or pushing back, and
+	// either way it may name its own recovery horizon via Retry-After
+	// (which the backoff honors as a floor).
+	if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+		return nil, nil, true, parseRetryAfter(resp.Header.Get("Retry-After")), fmt.Errorf("server error: %s", resp.Status)
 	}
 	if resp.StatusCode != http.StatusOK {
 		var er errorResponse
 		_ = json.NewDecoder(resp.Body).Decode(&er)
-		return nil, false, fmt.Errorf("endpoint rejected request: %s (%s)", resp.Status, er.Error)
+		return nil, nil, false, 0, fmt.Errorf("endpoint rejected request: %s (%s)", resp.Status, er.Error)
 	}
 	// Decode into a pooled response: encoding/json reuses both the outer
 	// slice and the per-row []float64 backing arrays across calls, and the
 	// rows are copied into the caller's tensor before the scratch goes back.
+	// Screening is optional on the wire, so its pooled slice must be
+	// truncated first — a stale block from a previous screened response
+	// would otherwise survive an unscreened decode untouched.
 	pr := respPool.Get().(*predictResponse)
+	pr.Screening = pr.Screening[:0]
 	defer respPool.Put(pr)
 	if err := json.NewDecoder(resp.Body).Decode(pr); err != nil {
-		return nil, true, fmt.Errorf("decode response: %w", err)
+		return nil, nil, true, 0, fmt.Errorf("decode response: %w", err)
 	}
 	if len(pr.Confidences) != n {
-		return nil, false, fmt.Errorf("endpoint returned %d rows for %d inputs", len(pr.Confidences), n)
+		return nil, nil, false, 0, fmt.Errorf("endpoint returned %d rows for %d inputs", len(pr.Confidences), n)
+	}
+	var screening []Screening
+	if len(pr.Screening) > 0 {
+		if len(pr.Screening) != n {
+			return nil, nil, false, 0, fmt.Errorf("endpoint returned %d screening entries for %d inputs", len(pr.Screening), n)
+		}
+		screening = append([]Screening(nil), pr.Screening...)
 	}
 	out := tensor.New(n, c.classes)
 	for i, row := range pr.Confidences {
+		if len(row) == 0 && screening != nil && screening[i].Rejected {
+			continue // withheld by the reject policy: confidences stay zero
+		}
 		if len(row) != c.classes {
-			return nil, false, fmt.Errorf("row %d has %d classes, want %d", i, len(row), c.classes)
+			return nil, nil, false, 0, fmt.Errorf("row %d has %d classes, want %d", i, len(row), c.classes)
 		}
 		copy(out.Data[i*c.classes:(i+1)*c.classes], row)
 	}
-	return out, false, nil
+	return out, screening, false, 0, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"bprom/internal/nn"
 	"bprom/internal/tensor"
+	"bprom/internal/vp"
 )
 
 // errEngineClosed reports a predict attempted on a stopped worker group
@@ -15,8 +16,18 @@ var errEngineClosed = errors.New("mlaas: model engine closed")
 
 // predictJob is one decoded predict request waiting for a worker.
 type predictJob struct {
-	x   *tensor.Tensor // [n, InputDim]
-	out chan *tensor.Tensor
+	x *tensor.Tensor // [n, InputDim]
+	// screen requests inline screening for this job's rows (honored only
+	// when the engine carries a screener).
+	screen bool
+	out    chan predictResult
+}
+
+// predictResult is one job's outcome: the confidence rows, plus per-row
+// screening outcomes when the job asked for them on a screening engine.
+type predictResult struct {
+	probs     *tensor.Tensor
+	screening []vp.ScreenResult // nil when unscreened
 }
 
 // engine is the micro-batch worker group for one frozen model: a request
@@ -26,21 +37,31 @@ type predictJob struct {
 // passes themselves run on the process-wide shared tensor worker pool, so
 // engines for many models compose without oversubscribing CPUs.
 //
+// An engine built with a screener additionally scores screening-enabled
+// rows inline: the prompted view of every such row is appended to the SAME
+// fused tensor as the plain rows, so one forward pass per tick serves both.
+// Plain confidence rows occupy the exact positions (and therefore bits)
+// they would without screening — nn.Model.Predict outputs are row-
+// independent, so the appended view rows are invisible to them.
+//
 // A Server owns one engine in single-model mode; a Registry owns one per
 // hot model and closes it on eviction.
 type engine struct {
 	model    *nn.Model
+	screener *vp.Screener // nil: screening disabled for this model
 	maxBatch int
 	queue    chan *predictJob
 	done     chan struct{}
 	once     sync.Once
 }
 
-// newEngine starts maxConcurrent micro-batch workers over model. The model
-// must not be mutated afterwards; call close to stop the workers.
-func newEngine(model *nn.Model, maxBatch, maxConcurrent int) *engine {
+// newEngine starts maxConcurrent micro-batch workers over model. screener
+// may be nil (no screening). The model must not be mutated afterwards; call
+// close to stop the workers.
+func newEngine(model *nn.Model, screener *vp.Screener, maxBatch, maxConcurrent int) *engine {
 	e := &engine{
 		model:    model,
+		screener: screener,
 		maxBatch: maxBatch,
 		queue:    make(chan *predictJob, 4*maxConcurrent),
 		done:     make(chan struct{}),
@@ -57,31 +78,33 @@ func (e *engine) close() {
 	e.once.Do(func() { close(e.done) })
 }
 
-// predict enqueues one batch and waits for its confidence rows. The batch
-// must already respect maxBatch (the HTTP layer rejects larger requests).
-func (e *engine) predict(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+// predict enqueues one batch and waits for its confidence rows — plus
+// per-row screening outcomes when screen is set and the engine screens.
+// The batch must already respect maxBatch (the HTTP layer rejects larger
+// requests).
+func (e *engine) predict(ctx context.Context, x *tensor.Tensor, screen bool) (*tensor.Tensor, []vp.ScreenResult, error) {
 	// Check done first: select chooses randomly among ready cases, so
 	// without this a post-close predict could still win the enqueue race.
 	select {
 	case <-e.done:
-		return nil, errEngineClosed
+		return nil, nil, errEngineClosed
 	default:
 	}
-	job := &predictJob{x: x, out: make(chan *tensor.Tensor, 1)}
+	job := &predictJob{x: x, screen: screen && e.screener != nil, out: make(chan predictResult, 1)}
 	select {
 	case e.queue <- job:
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, nil, ctx.Err()
 	case <-e.done:
-		return nil, errEngineClosed
+		return nil, nil, errEngineClosed
 	}
 	select {
-	case probs := <-job.out:
-		return probs, nil
+	case res := <-job.out:
+		return res.probs, res.screening, nil
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, nil, ctx.Err()
 	case <-e.done:
-		return nil, errEngineClosed
+		return nil, nil, errEngineClosed
 	}
 }
 
@@ -117,28 +140,55 @@ func (e *engine) worker() {
 }
 
 // runBatch runs one forward pass for the coalesced jobs and distributes the
-// result rows. Parallelism is bounded by construction: only the engine's
+// result rows. Screening-enabled jobs get their rows' prompted views
+// appended AFTER all plain rows of the tick, so the plain block keeps the
+// exact layout of the unscreened engine and the whole tick still costs one
+// model.Predict. Parallelism is bounded by construction: only the engine's
 // workers call this.
 func (e *engine) runBatch(batch []*predictJob, rows int) {
-	if len(batch) == 1 {
+	screenRows := 0
+	for _, j := range batch {
+		if j.screen {
+			screenRows += j.x.Dim(0)
+		}
+	}
+	if screenRows == 0 && len(batch) == 1 {
 		// Common uncoalesced case: the job owns the whole result.
-		batch[0].out <- e.model.Predict(batch[0].x)
+		batch[0].out <- predictResult{probs: e.model.Predict(batch[0].x)}
 		return
 	}
-	x := tensor.New(rows, e.model.InputDim)
+	dim := e.model.InputDim
+	x := tensor.New(rows+screenRows, dim)
 	off := 0
 	for _, j := range batch {
 		copy(x.Data[off:off+j.x.Len()], j.x.Data)
 		off += j.x.Len()
 	}
+	view := rows
+	for _, j := range batch {
+		if j.screen {
+			e.screener.MaterializeInto(x, view, j.x)
+			view += j.x.Dim(0)
+		}
+	}
 	probs := e.model.Predict(x)
 	k := e.model.NumClasses
-	row := 0
+	row, view := 0, rows
 	for _, j := range batch {
 		n := j.x.Dim(0)
 		out := tensor.New(n, k)
 		copy(out.Data, probs.Data[row*k:(row+n)*k])
+		res := predictResult{probs: out}
+		if j.screen {
+			res.screening = make([]vp.ScreenResult, n)
+			for i := 0; i < n; i++ {
+				res.screening[i] = e.screener.Score(
+					probs.Data[(row+i)*k:(row+i+1)*k],
+					probs.Data[(view+i)*k:(view+i+1)*k])
+			}
+			view += n
+		}
 		row += n
-		j.out <- out // buffered; never blocks even if the caller is gone
+		j.out <- res // buffered; never blocks even if the caller is gone
 	}
 }

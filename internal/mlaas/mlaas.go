@@ -56,6 +56,7 @@ import (
 	"bprom/internal/audit"
 	"bprom/internal/nn"
 	"bprom/internal/tensor"
+	"bprom/internal/vp"
 )
 
 // ErrUnknownModel reports a model id the serving surface does not host.
@@ -88,6 +89,10 @@ type ModelInfo struct {
 	// sidecar override; quantization is derived at load, checkpoints stay
 	// full-precision on disk).
 	Precision string `json:"precision,omitempty"`
+	// Screened reports whether inline request screening covers this model:
+	// the server carries a screener, the model's input width matches its
+	// prompt canvas, and no sidecar opted the model out.
+	Screened bool `json:"screened,omitempty"`
 	// Loaded reports whether the model is resident in the LRU hot-set
 	// right now (single-model servers are always loaded).
 	Loaded bool `json:"loaded"`
@@ -109,10 +114,32 @@ type provider interface {
 	// MaxBatch is the per-request row limit shared by all hosted models.
 	MaxBatch() int
 	// Predict routes one batch to the model's engine, loading it first if
-	// necessary. id "" means the default model.
-	Predict(ctx context.Context, id string, x *tensor.Tensor) (*tensor.Tensor, error)
+	// necessary. id "" means the default model. screen requests inline
+	// screening: when the model is screened, the returned slice holds one
+	// outcome per input row (nil otherwise — unscreened models and
+	// screen=false cost nothing extra).
+	Predict(ctx context.Context, id string, x *tensor.Tensor, screen bool) (*tensor.Tensor, []vp.ScreenResult, error)
 	// Close stops every engine.
 	Close()
+}
+
+// Screening policies: what the server does with a flagged input row.
+const (
+	// ScreenAnnotate (the default) serves every row and attaches the
+	// screening block — confidences are bit-identical to an unscreened
+	// server.
+	ScreenAnnotate = "annotate"
+	// ScreenReject withholds flagged rows' confidences: the row's entry in
+	// the response is null and its screening block carries rejected=true
+	// plus an error message (a structured 403-style error row; the HTTP
+	// status stays 200 because other rows of the batch may be fine).
+	ScreenReject = "reject"
+)
+
+// validScreenPolicy reports whether p names a screening policy ("" means
+// ScreenAnnotate).
+func validScreenPolicy(p string) bool {
+	return p == "" || p == ScreenAnnotate || p == ScreenReject
 }
 
 // ServerConfig tunes the service.
@@ -136,6 +163,15 @@ type ServerConfig struct {
 	// their row-block chunks on the same pool workers. Pool shares, not
 	// pool-per-request.
 	MaxConcurrent int
+	// Screener enables inline request screening (typically derived from a
+	// detector artifact via bprom.Detector.Screener): every screened predict
+	// row gets a suspicion score from the learned prompt, fused into the
+	// same micro-batched forward pass as the row itself. Its InputDim must
+	// match the model's. Nil disables screening.
+	Screener *vp.Screener
+	// ScreenPolicy picks what happens to flagged rows: ScreenAnnotate
+	// (default) or ScreenReject. Ignored without a Screener.
+	ScreenPolicy string
 }
 
 func (c *ServerConfig) defaults() {
@@ -144,6 +180,9 @@ func (c *ServerConfig) defaults() {
 	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 4
+	}
+	if c.ScreenPolicy == "" {
+		c.ScreenPolicy = ScreenAnnotate
 	}
 }
 
@@ -165,11 +204,11 @@ func (p *singleProvider) Info(id string) (ModelInfo, error) {
 	return p.info, nil
 }
 
-func (p *singleProvider) Predict(ctx context.Context, id string, x *tensor.Tensor) (*tensor.Tensor, error) {
+func (p *singleProvider) Predict(ctx context.Context, id string, x *tensor.Tensor, screen bool) (*tensor.Tensor, []vp.ScreenResult, error) {
 	if id != "" && id != p.info.ID {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, id)
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownModel, id)
 	}
-	return p.eng.predict(ctx, x)
+	return p.eng.predict(ctx, x, screen)
 }
 
 // Server is the HTTP front of the service: request decoding, model routing,
@@ -177,37 +216,51 @@ func (p *singleProvider) Predict(ctx context.Context, id string, x *tensor.Tenso
 // the provider behind it; server-side audit jobs (EnableAudits) run in an
 // audit.Manager beside it.
 type Server struct {
-	prov   provider
-	audits *audit.Manager // nil until EnableAudits
-	once   sync.Once
+	prov         provider
+	screenPolicy string         // ScreenAnnotate or ScreenReject
+	audits       *audit.Manager // nil until EnableAudits
+	once         sync.Once
 }
 
 // NewServer wraps one frozen in-memory model and starts its micro-batch
 // workers. The model must not be mutated afterwards. Call Close to stop
 // the workers (Serve does so on shutdown). The model is hosted under
-// DefaultModelID, so multi-model clients work against it too.
+// DefaultModelID, so multi-model clients work against it too. A Screener
+// whose canvas does not match the model's input width, or an unknown
+// ScreenPolicy, is a programmer error and panics (registry mode reports
+// these as OpenRegistry errors instead).
 func NewServer(model *nn.Model, cfg ServerConfig) *Server {
+	if !validScreenPolicy(cfg.ScreenPolicy) {
+		panic(fmt.Sprintf("mlaas: unknown screen policy %q (want %q or %q)", cfg.ScreenPolicy, ScreenAnnotate, ScreenReject))
+	}
 	cfg.defaults()
-	return &Server{prov: &singleProvider{
-		info: ModelInfo{
-			ID:            DefaultModelID,
-			Name:          cfg.Name,
-			Arch:          string(model.Arch),
-			Classes:       model.NumClasses,
-			InputDim:      model.InputDim,
-			Params:        model.ParamCount(),
-			Precision:     model.Precision(),
-			Loaded:        true,
-			ResidentBytes: model.WeightBytes(),
+	if cfg.Screener != nil && cfg.Screener.InputDim() != model.InputDim {
+		panic(fmt.Sprintf("mlaas: screener canvas %d != model input %d", cfg.Screener.InputDim(), model.InputDim))
+	}
+	return &Server{
+		screenPolicy: cfg.ScreenPolicy,
+		prov: &singleProvider{
+			info: ModelInfo{
+				ID:            DefaultModelID,
+				Name:          cfg.Name,
+				Arch:          string(model.Arch),
+				Classes:       model.NumClasses,
+				InputDim:      model.InputDim,
+				Params:        model.ParamCount(),
+				Precision:     model.Precision(),
+				Screened:      cfg.Screener != nil,
+				Loaded:        true,
+				ResidentBytes: model.WeightBytes(),
+			},
+			eng: newEngine(model, cfg.Screener, cfg.MaxBatch, cfg.MaxConcurrent),
 		},
-		eng: newEngine(model, cfg.MaxBatch, cfg.MaxConcurrent),
-	}}
+	}
 }
 
 // NewRegistryServer serves every checkpoint hosted by reg. The server takes
 // ownership of the registry: Close (and Serve on shutdown) closes it.
 func NewRegistryServer(reg *Registry) *Server {
-	return &Server{prov: reg}
+	return &Server{prov: reg, screenPolicy: reg.cfg.ScreenPolicy}
 }
 
 // Close drains the audit manager (running jobs are cancelled via their
@@ -267,6 +320,12 @@ type infoResponse struct {
 	// clients know whether confidences come from the bit-exact float path
 	// or the quantized one. Omitted by servers that predate the field.
 	Precision string `json:"precision,omitempty"`
+	// Screened advertises inline request screening on this model's predict
+	// route. Omitted (false) by servers without a screener.
+	Screened bool `json:"screened,omitempty"`
+	// ScreenPolicy is the server's flagged-row policy ("annotate" or
+	// "reject"), present only when Screened is set.
+	ScreenPolicy string `json:"screen_policy,omitempty"`
 }
 
 // modelsResponse is the /v1/models payload.
@@ -277,10 +336,32 @@ type modelsResponse struct {
 
 type predictRequest struct {
 	Inputs [][]float64 `json:"inputs"`
+	// Screen opts a single request out of (or redundantly into) inline
+	// screening: absent means "screen when the model is screened". Clients
+	// that only want raw confidences send false and pay nothing extra.
+	Screen *bool `json:"screen,omitempty"`
+}
+
+// Screening is one row's wire-form screening outcome.
+type Screening struct {
+	// Score is the suspicion score in [0,1].
+	Score float64 `json:"score"`
+	// Flagged reports Score >= Threshold.
+	Flagged bool `json:"flagged"`
+	// Threshold is the server's flagging cutoff.
+	Threshold float64 `json:"threshold"`
+	// Rejected is set under the reject policy when the row's confidences
+	// were withheld (the row's confidences entry is null).
+	Rejected bool `json:"rejected,omitempty"`
+	// Error describes the rejection (set only with Rejected).
+	Error string `json:"error,omitempty"`
 }
 
 type predictResponse struct {
 	Confidences [][]float64 `json:"confidences"`
+	// Screening holds one entry per input row when the request was
+	// screened; absent otherwise.
+	Screening []Screening `json:"screening,omitempty"`
 }
 
 // errorResponse is the uniform error envelope: every non-2xx response
@@ -302,7 +383,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, id string) {
 		s.writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, infoResponse{
+	resp := infoResponse{
 		ID:        info.ID,
 		Name:      info.Name,
 		Arch:      info.Arch,
@@ -310,7 +391,12 @@ func (s *Server) handleInfo(w http.ResponseWriter, id string) {
 		InputDim:  info.InputDim,
 		MaxBatch:  s.prov.MaxBatch(),
 		Precision: info.Precision,
-	})
+		Screened:  info.Screened,
+	}
+	if info.Screened {
+		resp.ScreenPolicy = s.screenPolicy
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, id string) {
@@ -357,14 +443,33 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, id string
 		copy(x.Data[i*info.InputDim:(i+1)*info.InputDim], row)
 	}
 
-	probs, err := s.prov.Predict(r.Context(), id, x)
+	// Screening defaults ON for screened models; a request may opt out
+	// ("screen": false) and pay nothing. Unscreened models ignore the flag.
+	screen := req.Screen == nil || *req.Screen
+	probs, scores, err := s.prov.Predict(r.Context(), id, x, screen)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	resp := predictResponse{Confidences: make([][]float64, n)}
+	if scores != nil {
+		resp.Screening = make([]Screening, n)
+		for i, sc := range scores {
+			resp.Screening[i] = Screening{Score: sc.Score, Flagged: sc.Flagged, Threshold: sc.Threshold}
+		}
+	}
+	reject := scores != nil && s.screenPolicy == ScreenReject
 	k := info.Classes
 	for i := 0; i < n; i++ {
+		if reject && scores[i].Flagged {
+			// A structured 403-style error row: confidences withheld (null
+			// in the JSON), the screening block says why. The batch itself
+			// still succeeds — unflagged rows are served normally.
+			resp.Screening[i].Rejected = true
+			resp.Screening[i].Error = fmt.Sprintf("input flagged by backdoor screening (score %.3f >= threshold %.3f)",
+				scores[i].Score, scores[i].Threshold)
+			continue
+		}
 		resp.Confidences[i] = probs.Data[i*k : (i+1)*k]
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -381,6 +486,13 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrAuditsDisabled):
 		writeJSON(w, http.StatusNotImplemented, errorResponse{Error: err.Error()})
 	case errors.Is(err, audit.ErrQueueFull):
+		// 429 without a Retry-After header leaves fleet clients guessing
+		// (and, before the client-side jitter fix, retrying in lockstep).
+		// The hint is derived from current queue depth over worker count —
+		// see audit.Manager.RetryAfter.
+		if s.audits != nil {
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.audits.RetryAfter().Seconds())))
+		}
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
 	case errors.Is(err, errEngineClosed), errors.Is(err, audit.ErrClosed):
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server closed"})

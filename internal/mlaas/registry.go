@@ -11,6 +11,7 @@ import (
 
 	"bprom/internal/nn"
 	"bprom/internal/tensor"
+	"bprom/internal/vp"
 )
 
 // RegistryConfig tunes a checkpoint registry.
@@ -42,6 +43,16 @@ type RegistryConfig struct {
 	// model to the bit-exact float path (experiment reproducibility),
 	// "int8" quantizes one model on an otherwise full-precision registry.
 	Quantize bool
+	// Screener enables inline request screening (typically derived from a
+	// detector artifact via bprom.Detector.Screener) on every hosted model
+	// whose input width matches the screener's prompt canvas; incompatible
+	// models serve unscreened. A sidecar "screen" field overrides per model:
+	// "off" opts a compatible model out, "on" asserts screening (a scan
+	// error when the registry has no screener or the shapes mismatch).
+	Screener *vp.Screener
+	// ScreenPolicy picks what happens to flagged rows: ScreenAnnotate
+	// (default) or ScreenReject. Ignored without a Screener.
+	ScreenPolicy string
 }
 
 func (c *RegistryConfig) defaults() {
@@ -53,6 +64,9 @@ func (c *RegistryConfig) defaults() {
 	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 4
+	}
+	if c.ScreenPolicy == "" {
+		c.ScreenPolicy = ScreenAnnotate
 	}
 }
 
@@ -67,6 +81,9 @@ type regEntry struct {
 	// quantize is the precision resolved at scan time: the registry default,
 	// unless the sidecar's "precision" field overrode it for this model.
 	quantize bool
+	// screen is the screening coverage resolved at scan time: the registry
+	// carries a compatible screener and the sidecar did not opt out.
+	screen bool
 
 	loadMu  sync.Mutex
 	eng     *engine
@@ -111,6 +128,9 @@ var _ provider = (*Registry)(nil)
 // (*.bin.json) are optional and enrich listings with names, notes, and
 // parameter counts. At least one checkpoint is required.
 func OpenRegistry(dir string, cfg RegistryConfig) (*Registry, error) {
+	if !validScreenPolicy(cfg.ScreenPolicy) {
+		return nil, fmt.Errorf("mlaas: unknown screen policy %q (want %q or %q)", cfg.ScreenPolicy, ScreenAnnotate, ScreenReject)
+	}
 	cfg.defaults()
 	dirents, err := os.ReadDir(dir)
 	if err != nil {
@@ -154,10 +174,31 @@ func OpenRegistry(dir string, cfg RegistryConfig) (*Registry, error) {
 		if quantize {
 			precision = nn.PrecisionInt8
 		}
+		// Screening coverage: default on for every model the screener's
+		// prompt canvas fits, with a per-model sidecar override. "on" is an
+		// assertion, so a zoo that REQUIRES screening fails the scan loudly
+		// instead of serving a silently unscreened model.
+		screen := cfg.Screener != nil && cfg.Screener.InputDim() == h.InputDim
+		switch sc.Screen {
+		case "":
+		case "off":
+			screen = false
+		case "on":
+			if cfg.Screener == nil {
+				return nil, fmt.Errorf("mlaas: checkpoint %q: sidecar requires screening but the registry has no screener", id)
+			}
+			if cfg.Screener.InputDim() != h.InputDim {
+				return nil, fmt.Errorf("mlaas: checkpoint %q: sidecar requires screening but its input width %d != screener canvas %d",
+					id, h.InputDim, cfg.Screener.InputDim())
+			}
+		default:
+			return nil, fmt.Errorf("mlaas: checkpoint %q: sidecar screen %q (want \"on\" or \"off\")", id, sc.Screen)
+		}
 		r.entries[id] = &regEntry{
 			id:       id,
 			path:     path,
 			quantize: quantize,
+			screen:   screen,
 			info: ModelInfo{
 				ID:        id,
 				Name:      display,
@@ -167,6 +208,7 @@ func OpenRegistry(dir string, cfg RegistryConfig) (*Registry, error) {
 				InputDim:  h.InputDim,
 				Params:    sc.Params,
 				Precision: precision,
+				Screened:  screen,
 			},
 		}
 		r.ids = append(r.ids, id)
@@ -250,17 +292,19 @@ func (r *Registry) Info(id string) (ModelInfo, error) {
 }
 
 // Predict routes one batch to the model's engine, loading the checkpoint
-// first if it is cold. id "" means the default model.
-func (r *Registry) Predict(ctx context.Context, id string, x *tensor.Tensor) (*tensor.Tensor, error) {
+// first if it is cold. id "" means the default model. screen asks for
+// inline screening; models outside the screener's coverage return nil
+// screening outcomes.
+func (r *Registry) Predict(ctx context.Context, id string, x *tensor.Tensor, screen bool) (*tensor.Tensor, []vp.ScreenResult, error) {
 	if id == "" {
 		id = r.defaultID
 	}
 	e, eng, err := r.acquire(id)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer r.release(e)
-	return eng.predict(ctx, x)
+	return eng.predict(ctx, x, screen)
 }
 
 // acquire returns the model's running engine, loading the checkpoint if
@@ -308,7 +352,11 @@ func (r *Registry) acquire(id string) (*regEntry, *engine, error) {
 		// representation actually occupies.
 		m.Quantize(0)
 	}
-	eng = newEngine(m, r.cfg.MaxBatch, r.cfg.MaxConcurrent)
+	var screener *vp.Screener
+	if e.screen {
+		screener = r.cfg.Screener
+	}
+	eng = newEngine(m, screener, r.cfg.MaxBatch, r.cfg.MaxConcurrent)
 	r.mu.Lock()
 	if r.closed {
 		e.refs--

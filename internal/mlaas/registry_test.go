@@ -235,7 +235,7 @@ func TestRegistryLRUEviction(t *testing.T) {
 
 	touch := func(id string) {
 		t.Helper()
-		if _, err := reg.Predict(ctx, id, x.Clone()); err != nil {
+		if _, _, err := reg.Predict(ctx, id, x.Clone(), false); err != nil {
 			t.Fatalf("predict %s: %v", id, err)
 		}
 	}
@@ -303,7 +303,7 @@ func TestRegistryConcurrentLoadAndEvictionUnderLoad(t *testing.T) {
 				id := ids[(w+i)%len(ids)]
 				x := tensor.New(2, 16)
 				r.Uniform(x.Data, 0, 1)
-				got, err := reg.Predict(ctx, id, x)
+				got, _, err := reg.Predict(ctx, id, x, false)
 				if err != nil {
 					errs[w] = err
 					return
@@ -355,7 +355,7 @@ func TestRegistryQuantizeOnLoad(t *testing.T) {
 	ctx := context.Background()
 	x := tensor.New(4, 64)
 	rng.New(21).Uniform(x.Data, 0, 1)
-	got, err := reg.Predict(ctx, "big-a", x.Clone())
+	got, _, err := reg.Predict(ctx, "big-a", x.Clone(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -406,7 +406,7 @@ func TestRegistrySidecarPrecisionOverride(t *testing.T) {
 	if info.Precision != nn.PrecisionFP64 {
 		t.Fatalf("fp-pinned model advertises %q", info.Precision)
 	}
-	got, err := reg.Predict(ctx, "big-a", x.Clone())
+	got, _, err := reg.Predict(ctx, "big-a", x.Clone(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,7 +438,7 @@ func TestRegistrySidecarPrecisionOverride(t *testing.T) {
 	if info, _ := reg2.Info("big-b"); info.Precision != nn.PrecisionFP64 {
 		t.Fatalf("default model advertises %q, want fp64", info.Precision)
 	}
-	got2, err := reg2.Predict(ctx, "big-a", x.Clone())
+	got2, _, err := reg2.Predict(ctx, "big-a", x.Clone(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -482,7 +482,7 @@ func TestRegistryMixedPrecisionResidency(t *testing.T) {
 	rng.New(29).Uniform(x.Data, 0, 1)
 	touch := func(id string) {
 		t.Helper()
-		if _, err := reg.Predict(ctx, id, x.Clone()); err != nil {
+		if _, _, err := reg.Predict(ctx, id, x.Clone(), false); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -549,7 +549,7 @@ func TestRegistryPredictAfterClose(t *testing.T) {
 	}
 	reg.Close()
 	reg.Close() // idempotent
-	if _, err := reg.Predict(context.Background(), "", tensor.New(1, 16)); err == nil {
+	if _, _, err := reg.Predict(context.Background(), "", tensor.New(1, 16), false); err == nil {
 		t.Fatal("expected error after Close")
 	}
 }

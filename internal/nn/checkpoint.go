@@ -111,6 +111,13 @@ type Sidecar struct {
 	// float64 path even when the registry default is quantized. Empty means
 	// follow the registry default. The checkpoint itself is always float64.
 	Precision string `json:"precision,omitempty"`
+	// Screen optionally overrides a serving registry's inline request
+	// screening for this model: "off" opts a model out (e.g. a calibration
+	// model whose inputs are legitimately prompt-like), "on" asserts the
+	// model must be screened (the registry scan fails when it cannot be).
+	// Empty means follow the registry default — screen whenever a
+	// compatible screener is configured.
+	Screen string `json:"screen,omitempty"`
 	// Metrics holds free-form training/evaluation numbers (e.g. "acc",
 	// "asr" for the attack zoo's checkpoints).
 	Metrics map[string]float64 `json:"metrics,omitempty"`

@@ -1,0 +1,102 @@
+package vp
+
+import (
+	"math"
+	"testing"
+
+	"bprom/internal/data"
+	"bprom/internal/rng"
+	"bprom/internal/tensor"
+)
+
+func testScreenPrompt(t *testing.T) *Prompt {
+	t.Helper()
+	p, err := NewPrompt(data.Shape{C: 1, H: 6, W: 6}, data.Shape{C: 1, H: 8, W: 8}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng.New(11).Uniform(p.Theta, 0, 1)
+	return p
+}
+
+func TestNewScreenerValidation(t *testing.T) {
+	p := testScreenPrompt(t)
+	if _, err := NewScreener(nil, 0.5); err == nil {
+		t.Fatal("nil prompt accepted")
+	}
+	if _, err := NewScreener(p, 1.5); err == nil {
+		t.Fatal("threshold > 1 accepted")
+	}
+	s, err := NewScreener(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Threshold() != DefaultScreenThreshold {
+		t.Fatalf("non-positive threshold resolved to %v, want default %v", s.Threshold(), DefaultScreenThreshold)
+	}
+	if s.InputDim() != 36 {
+		t.Fatalf("InputDim %d, want 36", s.InputDim())
+	}
+	// The screener clones the prompt: mutating the original later must not
+	// move scores.
+	p.Theta[0] = 123
+	if got := s.Prompt().Theta[0]; got == 123 {
+		t.Fatal("screener shares the caller's Theta")
+	}
+}
+
+func TestScreenerScoreMath(t *testing.T) {
+	s, err := NewScreener(testScreenPrompt(t), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := []float64{0.2, 0.5, 0.3}
+	prompted := []float64{0.1, 0.8, 0.1}
+	h := -(0.1*math.Log(0.1) + 0.8*math.Log(0.8) + 0.1*math.Log(0.1))
+	want := 0.5*0.8 + 0.5*(1-h/math.Log(3))
+	got := s.Score(plain, prompted)
+	if math.Abs(got.Score-want) > 1e-12 {
+		t.Fatalf("score %v, want %v", got.Score, want)
+	}
+	if got.Threshold != 0.7 || got.Flagged != (want >= 0.7) {
+		t.Fatalf("result %+v inconsistent with threshold 0.7", got)
+	}
+	// A fully collapsed prompted distribution on the plain argmax is the
+	// canonical trigger signature: score 1, always flagged.
+	if r := s.Score([]float64{0, 1, 0}, []float64{0, 1, 0}); math.Abs(r.Score-1) > 1e-12 || !r.Flagged {
+		t.Fatalf("collapsed distribution scored %+v, want 1/flagged", r)
+	}
+}
+
+// TestScreenerMaterializeMatchesApply pins the fused-path building block:
+// MaterializeInto must write exactly the prompted view Prompt.Apply defines,
+// row by row, at the requested offset.
+func TestScreenerMaterializeMatchesApply(t *testing.T) {
+	p := testScreenPrompt(t)
+	s, err := NewScreener(p, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, off = 4, 3
+	src := tensor.New(n, 36)
+	rng.New(21).Uniform(src.Data, 0, 1)
+	x := tensor.New(off+n, 36)
+	s.MaterializeInto(x, off, src)
+
+	want := make([]float64, 36)
+	for i := 0; i < n; i++ {
+		p.Apply(want, src.Row(i), p.Source)
+		got := x.Data[(off+i)*36 : (off+i+1)*36]
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("row %d elem %d: materialized %v, Apply %v", i, j, got[j], want[j])
+			}
+		}
+	}
+	// Rows below the offset stay untouched.
+	for i := 0; i < off*36; i++ {
+		if x.Data[i] != 0 {
+			t.Fatalf("MaterializeInto wrote below row0 at %d", i)
+		}
+	}
+}

@@ -9,11 +9,12 @@
 #   scripts/bench.sh [-t benchtime] [-f filter] [-o output] [-i issue]
 #
 #     -t  go -benchtime value      (env BENCH_TIME,   default 10x)
-#     -f  go -bench regexp         (env BENCH_FILTER, default: the PR 5/6
+#     -f  go -bench regexp         (env BENCH_FILTER, default: the PR 5/6/7
 #                                   before/after pairs — fp-vs-int8 kernels,
-#                                   dense-stack predict, TrainBlackBox)
-#     -o  output JSON path         (env BENCH_OUT,    default BENCH_6.json)
-#     -i  issue number in the JSON (env BENCH_ISSUE,  default 6)
+#                                   dense-stack predict, TrainBlackBox, and
+#                                   the screened-vs-unscreened serving pair)
+#     -o  output JSON path         (env BENCH_OUT,    default BENCH_7.json)
+#     -i  issue number in the JSON (env BENCH_ISSUE,  default 7)
 #
 # Parsing is generic: every `Benchmark*` line in the output is captured with
 # all its value/unit pairs (ns/op, B/op, allocs/op, and custom ReportMetric
@@ -23,9 +24,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCH_TIME:-10x}"
-FILTER="${BENCH_FILTER:-MatMulTiledSerial\$|MatMulTiledServing|MatMulTiledFleet|QMatMulInt8|ModelPredictDense|TrainBlackBox}"
-OUT="${BENCH_OUT:-BENCH_6.json}"
-ISSUE="${BENCH_ISSUE:-6}"
+FILTER="${BENCH_FILTER:-MatMulTiledSerial\$|MatMulTiledServing|MatMulTiledFleet|QMatMulInt8|ModelPredictDense|TrainBlackBox|ServerPredictScreened|ServerPredictUnscreened}"
+OUT="${BENCH_OUT:-BENCH_7.json}"
+ISSUE="${BENCH_ISSUE:-7}"
 
 usage() { sed -n '2,21p' "$0" | sed 's/^# \{0,1\}//' >&2; exit 2; }
 while getopts ':t:f:o:i:h' opt; do
@@ -105,6 +106,15 @@ END {
     addderived("speedup_batched_over_serial_in_process", ratio("TrainBlackBoxSerial", "TrainBlackBoxBatched"))
     addderived("speedup_batched_over_serial_http", ratio("TrainBlackBoxSerialHTTP", "TrainBlackBoxBatchedHTTP"))
     addderived("speedup_batched_over_serial_remote_rtt_3ms", ratio("TrainBlackBoxSerialRemoteRTT", "TrainBlackBoxBatchedRemoteRTT"))
+    # Screened serving overhead (PR 7). The enablement tax — a screening-
+    # enabled server answering regular (opted-out) predict traffic over the
+    # unscreened baseline — is the acceptance metric: 1.00 means free,
+    # target < 1.15. The verdict ratio prices PredictScreened traffic: its
+    # delta is the one extra fused model row per screened row (raw forward
+    # cost; idle pool workers absorb it on multi-core servers), on top of
+    # which the screening plumbing adds nothing measurable.
+    addderived("screened_over_unscreened_overhead", ratio("ServerPredictScreenedOptOut", "ServerPredictUnscreened"))
+    addderived("screening_verdict_over_unscreened", ratio("ServerPredictScreened", "ServerPredictUnscreened"))
     if (dn > 0) {
         printf ",\n  \"derived\": {\n"
         for (i = 0; i < dn; i++)
