@@ -11,8 +11,11 @@ package bprom_test
 
 import (
 	"context"
+	"fmt"
 	"net/http/httptest"
+	"path/filepath"
 	"strconv"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -636,6 +639,99 @@ func BenchmarkServerPredictScreenedOptOut(b *testing.B) {
 func BenchmarkServerPredictScreened(b *testing.B) {
 	benchServerPredict(b, benchScreener(b), true)
 }
+
+// --- Multi-node gateway scaling (PR 8) ------------------------------------------
+//
+// Aggregate predict throughput through mlaas-gateway as the fleet grows:
+// the same 8-model zoo served by 1, 2, and 4 registry nodes behind one
+// gateway, hammered from all procs with requests spread round-robin across
+// the models. Placement shards the zoo across nodes (Replication 1), so
+// added nodes split the per-model load. All nodes live in this one test
+// process and share the kernel worker pool, so the scaling measured here
+// is the serving stack's (routing, HTTP, JSON, micro-batchers) — separate
+// processes would add kernel-level parallelism on top. scripts/bench.sh
+// records the 1/2/4-node series in BENCH_8.json. Reproduce locally with:
+//
+//	go test -bench 'GatewayPredict[0-9]' -benchtime=2s .
+
+const benchGatewayModels = 8
+
+// benchGatewayZoo saves benchGatewayModels random-weight checkpoints of the
+// benchModel shape into one registry directory shared by every node.
+func benchGatewayZoo(b *testing.B) string {
+	b.Helper()
+	dir := b.TempDir()
+	for i := 0; i < benchGatewayModels; i++ {
+		m, err := nn.Build(nn.ArchConfig{
+			Arch: nn.ArchResNetLite, C: 3, H: 12, W: 12, NumClasses: 10, Hidden: 32,
+		}, rng.New(uint64(20+i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.SaveFile(filepath.Join(dir, fmt.Sprintf("m%d.bin", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func benchGatewayPredict(b *testing.B, nodeCount int) {
+	zoo := benchGatewayZoo(b)
+	ctx := context.Background()
+	nodes := make([]string, nodeCount)
+	for i := range nodes {
+		reg, err := mlaas.OpenRegistry(zoo, mlaas.RegistryConfig{MaxLoaded: benchGatewayModels})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := mlaas.NewRegistryServer(reg)
+		b.Cleanup(s.Close)
+		srv := httptest.NewServer(s.Handler())
+		b.Cleanup(srv.Close)
+		nodes[i] = srv.URL
+	}
+	g, err := mlaas.NewGateway(ctx, mlaas.GatewayConfig{Nodes: nodes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gs := mlaas.NewGatewayServer(g)
+	b.Cleanup(gs.Close)
+	gwSrv := httptest.NewServer(gs.Handler())
+	b.Cleanup(gwSrv.Close)
+
+	clients := make([]*mlaas.Client, benchGatewayModels)
+	for i := range clients {
+		c, err := mlaas.DialModel(ctx, gwSrv.URL, fmt.Sprintf("m%d", i), mlaas.ClientConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients[i] = c
+	}
+	x := tensor.New(8, 3*12*12)
+	rng.New(30).Uniform(x.Data, 0, 1)
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c := clients[next.Add(1)%benchGatewayModels]
+			if _, err := c.Predict(ctx, x); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkGatewayPredict1Node is the single-node floor: every request pays
+// the gateway hop but lands on the same backend.
+func BenchmarkGatewayPredict1Node(b *testing.B) { benchGatewayPredict(b, 1) }
+
+// BenchmarkGatewayPredict2Node shards the zoo across two nodes.
+func BenchmarkGatewayPredict2Node(b *testing.B) { benchGatewayPredict(b, 2) }
+
+// BenchmarkGatewayPredict4Node shards the zoo across four nodes.
+func BenchmarkGatewayPredict4Node(b *testing.B) { benchGatewayPredict(b, 4) }
 
 // Ablations and the limitation experiment (DESIGN.md extensions).
 func BenchmarkLimitationAllToAll(b *testing.B) { runExperiment(b, "limitation-alltoall", 1) }

@@ -299,18 +299,24 @@ func auditFleet(ctx context.Context, url string) error {
 	wg.Wait()
 
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "model\tjob\tverdict\tscore\tprompted-acc\tqueries")
+	// The node column shows which gateway backend ran each job ("-"
+	// against a single server, where jobs have no routing to report).
+	fmt.Fprintln(w, "model\tjob\tnode\tverdict\tscore\tprompted-acc\tqueries")
 	flagged, audited, failed := 0, 0, 0
 	for _, res := range results {
+		node := res.job.Node
+		if node == "" {
+			node = "-"
+		}
 		switch {
 		case res.err != nil:
 			failed++
-			fmt.Fprintf(w, "%s\t-\tERROR\t-\t-\t-\n", res.info.ID)
+			fmt.Fprintf(w, "%s\t-\t-\tERROR\t-\t-\t-\n", res.info.ID)
 		case res.skipped != "":
-			fmt.Fprintf(w, "%s\t-\tSKIPPED\t-\t-\t-\n", res.info.ID)
+			fmt.Fprintf(w, "%s\t-\t-\tSKIPPED\t-\t-\t-\n", res.info.ID)
 		case res.job.State != audit.StateDone || res.job.Verdict == nil:
 			failed++
-			fmt.Fprintf(w, "%s\t%s\tFAILED\t-\t-\t-\n", res.info.ID, res.job.ID)
+			fmt.Fprintf(w, "%s\t%s\t%s\tFAILED\t-\t-\t-\n", res.info.ID, res.job.ID, node)
 		default:
 			audited++
 			v := res.job.Verdict
@@ -319,8 +325,8 @@ func auditFleet(ctx context.Context, url string) error {
 				verdict = "BACKDOORED"
 				flagged++
 			}
-			fmt.Fprintf(w, "%s\t%s\t%s\t%.3f\t%.3f\t%d\n",
-				res.info.ID, res.job.ID, verdict, v.Score, v.PromptedAcc, v.Queries)
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.3f\t%.3f\t%d\n",
+				res.info.ID, res.job.ID, node, verdict, v.Score, v.PromptedAcc, v.Queries)
 		}
 	}
 	if err := w.Flush(); err != nil {

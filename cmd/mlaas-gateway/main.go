@@ -1,0 +1,95 @@
+// Command mlaas-gateway fronts a fleet of mlaas-server nodes as one
+// endpoint speaking the exact single-node wire API: model listings,
+// predicts (with inline-screening fields), async audit jobs, and healthz
+// all route through it unchanged, so clients and `bprom -fleet` point at
+// the gateway instead of a node and nothing else moves.
+//
+// Models are placed on nodes by rendezvous hashing with optional
+// replication (-replication N serves every model from its top N hosting
+// nodes: predicts rotate across replicas and fail over within a request).
+// Membership is health-checked: periodic /v1/healthz probes with
+// mark-down/mark-up hysteresis (-down-after / -up-after) take flapping
+// nodes out of rotation, and failed proxied requests count against the
+// same streaks. A saturated node's 429 + Retry-After passes through after
+// the replicas are tried; a model whose hosts are all down yields a
+// structured 503 instead of a hang.
+//
+// Usage:
+//
+//	mlaas-gateway -addr :8100 -nodes http://10.0.0.7:8080,http://10.0.0.8:8080
+//	mlaas-gateway -addr :8100 -nodes ...,... -replication 2 -health-interval 1s
+//
+// Audit jobs routed through the gateway get namespaced ids ("n0.a3": node
+// n0's job a3), pollable and cancellable on the usual /v1/audits routes.
+// The gateway shuts down gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"bprom/internal/mlaas"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mlaas-gateway:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr           = flag.String("addr", "127.0.0.1:8100", "listen address")
+		nodes          = flag.String("nodes", "", "comma-separated mlaas-server base URLs (required); order fixes the node names n0, n1, ...")
+		replication    = flag.Int("replication", 0, "nodes serving each model, bounded by how many host it (0: default 1)")
+		healthInterval = flag.Duration("health-interval", 0, "membership probe period (0: default 2s)")
+		downAfter      = flag.Int("down-after", 0, "consecutive failures before a node is marked down (0: default 2)")
+		upAfter        = flag.Int("up-after", 0, "consecutive successful probes before a marked-down node returns (0: default 2)")
+		timeout        = flag.Duration("timeout", 0, "per-request timeout against nodes (0: default 30s)")
+	)
+	flag.Parse()
+	if *nodes == "" {
+		return fmt.Errorf("pass -nodes with at least one mlaas-server base URL")
+	}
+	var nodeURLs []string
+	for _, u := range strings.Split(*nodes, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			nodeURLs = append(nodeURLs, u)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	gw, err := mlaas.NewGateway(ctx, mlaas.GatewayConfig{
+		Nodes:          nodeURLs,
+		Replication:    *replication,
+		HealthInterval: *healthInterval,
+		MarkDownAfter:  *downAfter,
+		MarkUpAfter:    *upAfter,
+		Client:         mlaas.ClientConfig{Timeout: *timeout},
+	})
+	if err != nil {
+		return err
+	}
+	srv := mlaas.NewGatewayServer(gw)
+
+	ready := make(chan string, 1)
+	go func() {
+		bound := <-ready
+		fmt.Printf("gateway on http://%s over %d node(s), %d healthy; Ctrl-C to stop\n",
+			bound, gw.Nodes(), gw.HealthyNodes())
+		for i, u := range nodeURLs {
+			fmt.Printf("  n%d  %s\n", i, u)
+		}
+	}()
+	// Serve owns shutdown: ctx cancellation drains HTTP and closes the
+	// server, whose provider Close stops the gateway's membership loop.
+	return srv.Serve(ctx, *addr, ready)
+}

@@ -57,6 +57,11 @@ type Job struct {
 	Verdict *bprom.Verdict `json:"verdict,omitempty"`
 	// Error describes the failure once State is StateFailed.
 	Error string `json:"error,omitempty"`
+	// Node names the serving node running the job when the job was routed
+	// through a gateway ("" for jobs on the node itself). Gateway job ids
+	// are namespaced "{node}.{id}" so id collisions across nodes cannot
+	// alias; Node carries the same routing fact as a first-class field.
+	Node string `json:"node,omitempty"`
 	// Created, Started and Finished stamp the lifecycle transitions.
 	Created  time.Time `json:"created"`
 	Started  time.Time `json:"started,omitzero"`

@@ -47,6 +47,36 @@ func (s *Server) EnableAudits(det *bprom.Detector, cfg AuditConfig) {
 // In-process callers (examples, tests) can submit and poll without HTTP.
 func (s *Server) Audits() *audit.Manager { return s.audits }
 
+// auditRouter is an optional provider capability: a provider that routes
+// audit jobs to remote nodes instead of running them in a local manager.
+// When the server has no local manager but its provider routes (the
+// gateway's remoteProvider), the /v1/audits family proxies through it —
+// same wire contract, jobs namespaced "{node}.{id}".
+type auditRouter interface {
+	SubmitAudit(ctx context.Context, modelID string, inspectID int) (audit.Job, error)
+	GetAudit(ctx context.Context, jobID string) (audit.Job, error)
+	ListAudits(ctx context.Context) ([]audit.Job, error)
+	CancelAudit(ctx context.Context, jobID string) (audit.Job, error)
+}
+
+// auditRouter returns the provider's audit-routing capability, or nil. A
+// local audit manager always wins: routing only kicks in where there is no
+// in-process detector to run jobs with.
+func (s *Server) auditRouter() auditRouter {
+	if s.audits != nil {
+		return nil
+	}
+	rt, _ := s.prov.(auditRouter)
+	return rt
+}
+
+// healthAugmenter is an optional provider capability: a provider that adds
+// fields to the /v1/healthz payload (the gateway reports fleet membership
+// and aggregates the nodes' audit-service state).
+type healthAugmenter interface {
+	augmentHealth(h *Health)
+}
+
 // providerOracle adapts one hosted model to oracle.Oracle for server-side
 // audits: queries go straight to the provider's engines (no HTTP loopback),
 // chunked to the provider's per-request batch limit so audit traffic obeys
@@ -132,6 +162,12 @@ type Health struct {
 	// ScreenedModels counts hosted models covered by inline request
 	// screening (0 on servers without a screener).
 	ScreenedModels int `json:"screened_models,omitempty"`
+	// Nodes counts backend nodes behind a gateway (absent on single-node
+	// servers).
+	Nodes int `json:"nodes,omitempty"`
+	// HealthyNodes counts gateway backend nodes currently marked up
+	// (absent on single-node servers).
+	HealthyNodes int `json:"healthy_nodes,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -151,25 +187,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.audits != nil {
 		resp.AuditJobs = s.audits.Len()
 	}
+	if ha, ok := s.prov.(healthAugmenter); ok {
+		ha.augmentHealth(&resp)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleSubmitAudit serves POST /v1/models/{id}/audits (and the legacy
 // default-model alias POST /v1/audits, id ""). It validates the model and
 // its detector compatibility up front, so incompatible submissions fail
-// fast with 400 instead of producing a failed job.
+// fast with 400 instead of producing a failed job. On a gateway (no local
+// manager, routing provider) the submission is forwarded to the node
+// placed for the model; its validation errors pass through.
 func (s *Server) handleSubmitAudit(w http.ResponseWriter, r *http.Request, id string) {
-	if s.audits == nil {
+	rt := s.auditRouter()
+	if s.audits == nil && rt == nil {
 		s.writeError(w, ErrAuditsDisabled)
-		return
-	}
-	info, err := s.prov.Info(id)
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	if err := s.audits.Detector().Compatible(info.Classes, info.InputDim); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("model %q not auditable: %v", info.ID, err)})
 		return
 	}
 	var req auditSubmitRequest
@@ -188,6 +221,24 @@ func (s *Server) handleSubmitAudit(w http.ResponseWriter, r *http.Request, id st
 	if req.InspectID != nil {
 		inspectID = *req.InspectID
 	}
+	if rt != nil {
+		job, err := rt.SubmitAudit(r.Context(), id, inspectID)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job)
+		return
+	}
+	info, err := s.prov.Info(id)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := s.audits.Detector().Compatible(info.Classes, info.InputDim); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("model %q not auditable: %v", info.ID, err)})
+		return
+	}
 	sus := &providerOracle{prov: s.prov, id: info.ID, classes: info.Classes, inputDim: info.InputDim}
 	job, err := s.audits.Submit(info.ID, sus, inspectID)
 	if err != nil {
@@ -198,6 +249,18 @@ func (s *Server) handleSubmitAudit(w http.ResponseWriter, r *http.Request, id st
 }
 
 func (s *Server) handleListAudits(w http.ResponseWriter, r *http.Request) {
+	if rt := s.auditRouter(); rt != nil {
+		jobs, err := rt.ListAudits(r.Context())
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		if jobs == nil {
+			jobs = []audit.Job{}
+		}
+		writeJSON(w, http.StatusOK, auditListResponse{Jobs: jobs})
+		return
+	}
 	if s.audits == nil {
 		s.writeError(w, ErrAuditsDisabled)
 		return
@@ -210,6 +273,15 @@ func (s *Server) handleListAudits(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetAudit(w http.ResponseWriter, r *http.Request) {
+	if rt := s.auditRouter(); rt != nil {
+		job, err := rt.GetAudit(r.Context(), r.PathValue("id"))
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+		return
+	}
 	if s.audits == nil {
 		s.writeError(w, ErrAuditsDisabled)
 		return
@@ -223,6 +295,15 @@ func (s *Server) handleGetAudit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteAudit(w http.ResponseWriter, r *http.Request) {
+	if rt := s.auditRouter(); rt != nil {
+		job, err := rt.CancelAudit(r.Context(), r.PathValue("id"))
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+		return
+	}
 	if s.audits == nil {
 		s.writeError(w, ErrAuditsDisabled)
 		return

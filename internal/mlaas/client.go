@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"net/http"
@@ -152,7 +153,9 @@ func (c *Client) route(leaf string) string {
 // StatusError is a non-2xx endpoint response, carrying the HTTP status
 // code and the decoded error envelope. Callers that must distinguish
 // rejection classes (e.g. a fleet audit telling "model incompatible with
-// the detector" from "queue full") unwrap it with errors.As.
+// the detector" from "queue full", or the gateway classifying a replica's
+// failure) unwrap it with errors.As. Every client request path — metadata,
+// predict, audit routes — surfaces non-2xx responses this way.
 type StatusError struct {
 	// Code is the HTTP status code.
 	Code int
@@ -160,6 +163,10 @@ type StatusError struct {
 	URL string
 	// Msg is the error-envelope message (may be empty).
 	Msg string
+	// RetryAfter is the response's Retry-After hint in whole seconds
+	// (0 when the server sent none). The gateway propagates it across the
+	// routing hop so end clients back off on the saturated node's schedule.
+	RetryAfter int
 }
 
 func (e *StatusError) Error() string {
@@ -502,15 +509,23 @@ func (c *Client) CancelAudit(ctx context.Context, jobID string) (audit.Job, erro
 // StateFailed is returned with a nil error — the failure is the job's
 // Error field; WaitAudit's own error means the polling itself broke
 // (endpoint unreachable, job deleted, ctx cancelled).
+//
+// Transient poll failures — 429 backpressure and 5xx, the statuses a
+// gateway returns while the node holding the job flaps — do not abort the
+// wait: the job is still running somewhere, so the loop keeps polling on
+// its normal cadence. Permanent statuses (404 deleted job, 501 audits
+// disabled) and transport-level errors return immediately, and a cancelled
+// caller context always stops the loop on the spot, even mid-blip.
 func (c *Client) WaitAudit(ctx context.Context, jobID string) (audit.Job, error) {
 	ticker := time.NewTicker(c.cfg.AuditPoll)
 	defer ticker.Stop()
 	for {
 		job, err := c.GetAudit(ctx, jobID)
 		if err != nil {
-			return audit.Job{}, err
-		}
-		if job.State.Terminal() {
+			if !transientStatus(err) || ctx.Err() != nil {
+				return audit.Job{}, err
+			}
+		} else if job.State.Terminal() {
 			return job, nil
 		}
 		select {
@@ -519,6 +534,20 @@ func (c *Client) WaitAudit(ctx context.Context, jobID string) (audit.Job, error)
 		case <-ticker.C:
 		}
 	}
+}
+
+// transientStatus reports whether err is a *StatusError worth polling
+// through: 429 backpressure or a 5xx other than 501 (audits disabled —
+// that endpoint will never answer differently).
+func transientStatus(err error) bool {
+	var se *StatusError
+	if !errors.As(err, &se) {
+		return false
+	}
+	if se.Code == http.StatusTooManyRequests {
+		return true
+	}
+	return se.Code >= 500 && se.Code != http.StatusNotImplemented
 }
 
 // postJSON sends one JSON request body and decodes the JSON response (no
@@ -549,7 +578,12 @@ func (c *Client) doJSON(req *http.Request, v any) error {
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var er errorResponse
 		_ = json.NewDecoder(resp.Body).Decode(&er)
-		return &StatusError{Code: resp.StatusCode, URL: req.URL.String(), Msg: er.Error}
+		return &StatusError{
+			Code:       resp.StatusCode,
+			URL:        req.URL.String(),
+			Msg:        er.Error,
+			RetryAfter: int(parseRetryAfter(resp.Header.Get("Retry-After")).Seconds()),
+		}
 	}
 	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
 		return fmt.Errorf("mlaas: decode %s: %w", req.URL, err)
@@ -570,16 +604,25 @@ func (c *Client) predictOnce(ctx context.Context, payload []byte, n int) (_ *ten
 		return nil, nil, true, 0, err
 	}
 	defer resp.Body.Close()
-	// 5xx and 429 are transient: the server is broken or pushing back, and
-	// either way it may name its own recovery horizon via Retry-After
-	// (which the backoff honors as a floor).
-	if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
-		return nil, nil, true, parseRetryAfter(resp.Header.Get("Retry-After")), fmt.Errorf("server error: %s", resp.Status)
-	}
+	// Non-200 responses surface as *StatusError so callers that stack on
+	// top of the client — the gateway classifying a replica's failure, a
+	// fleet audit skipping incompatible models — see the status code and
+	// Retry-After hint instead of a flattened string. 5xx and 429 are
+	// transient: the server is broken or pushing back, and either way it may
+	// name its own recovery horizon via Retry-After (which the backoff
+	// honors as a floor).
 	if resp.StatusCode != http.StatusOK {
 		var er errorResponse
 		_ = json.NewDecoder(resp.Body).Decode(&er)
-		return nil, nil, false, 0, fmt.Errorf("endpoint rejected request: %s (%s)", resp.Status, er.Error)
+		hint := parseRetryAfter(resp.Header.Get("Retry-After"))
+		se := &StatusError{
+			Code:       resp.StatusCode,
+			URL:        req.URL.String(),
+			Msg:        er.Error,
+			RetryAfter: int(hint.Seconds()),
+		}
+		transient := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+		return nil, nil, transient, hint, se
 	}
 	// Decode into a pooled response: encoding/json reuses both the outer
 	// slice and the per-row []float64 backing arrays across calls, and the

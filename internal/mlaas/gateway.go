@@ -1,0 +1,848 @@
+package mlaas
+
+// Multi-node serving plane: the Gateway fronts N mlaas-server nodes as one
+// endpoint speaking the exact wire API of a single node. It is the
+// "millions of users" scale step — the single-process server is the node,
+// and horizontal capacity comes from placing the checkpoint zoo across a
+// fleet:
+//
+//	client ──▶ gateway ──▶ node n0 (mlaas-server, zoo shard)
+//	                  ├──▶ node n1
+//	                  └──▶ node n2
+//
+// Design:
+//
+//   - Placement is rendezvous (highest-random-weight) hashing of
+//     (node, model): every model has a stable, uniformly-spread preference
+//     order over the node set, and removing a node reassigns only the
+//     models it owned — no global reshuffle, no ring state to persist. The
+//     top Replication candidates that actually host the model form its
+//     replica set; predicts rotate across them and fail over within a
+//     request.
+//   - Membership is health-checked: a background loop probes every node's
+//     /v1/healthz (+ /v1/models, /v1/info) on HealthInterval, with
+//     mark-down after MarkDownAfter consecutive failures and mark-up after
+//     MarkUpAfter consecutive successes, so a flapping node neither serves
+//     traffic nor bounces in and out of the pool per probe. Failed proxied
+//     requests count against the same streak (passive detection), so a
+//     dead node is usually down before the next probe tick.
+//   - The wire API is proxied through remoteProvider, an implementation of
+//     the same provider seam the single-node server runs on — the HTTP
+//     layer (routes, envelopes, screening fields, error mapping) is reused
+//     unchanged, which is what keeps gateway responses bit-identical to a
+//     node's and testable as such.
+//   - Backpressure passes through: a node's 429 (audit queue full,
+//     Retry-After hint) is retried on a replica for idempotent predicts,
+//     and only when every replica sheds does the gateway return 429 with
+//     the node's own Retry-After. Non-idempotent audit submissions are
+//     never retried on another node.
+//
+// The gateway assumes a uniform fleet: nodes serve the same checkpoints
+// for the ids they share and agree on screening policy. Model listings are
+// sticky — a node's last-known zoo outlives its mark-down — so a model
+// whose only hosts are down yields a structured 503 (ErrNoHealthyReplica),
+// distinct from 404 (never hosted anywhere).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bprom/internal/audit"
+	"bprom/internal/tensor"
+	"bprom/internal/vp"
+)
+
+// ErrNoHealthyReplica reports a model whose hosting nodes are all marked
+// down (or shedding): the model exists in the fleet's last-known zoo but is
+// currently unservable. The HTTP layer maps it to 503 — clients should
+// retry; 404 stays reserved for ids no node has ever listed.
+var ErrNoHealthyReplica = errors.New("mlaas: no healthy replica")
+
+// nodeError is a backend node's non-2xx response carried across the
+// routing hop: the gateway's HTTP layer re-emits the originating status
+// code, message, and Retry-After hint so clients see the node's verdict
+// (400 incompatible model, 404 stale listing, 429 queue full, ...) rather
+// than a flattened gateway 500.
+type nodeError struct {
+	node       string
+	code       int
+	msg        string
+	retryAfter int // seconds, 0 = no hint
+}
+
+func (e *nodeError) Error() string {
+	msg := e.msg
+	if msg == "" {
+		msg = http.StatusText(e.code)
+	}
+	return fmt.Sprintf("node %s: %s", e.node, msg)
+}
+
+// GatewayConfig tunes the multi-node gateway.
+type GatewayConfig struct {
+	// Nodes lists the backend base URLs (e.g. "http://10.0.0.7:8100").
+	// Order fixes the node names n0, n1, ... used in logs, job ids, and
+	// placement hashing. At least one node must be healthy at NewGateway
+	// time.
+	Nodes []string
+	// Replication is how many nodes serve each model (bounded by the number
+	// of nodes actually hosting it). 1 (the default) shards the zoo with no
+	// redundancy; hot or critical models get >1 so predicts survive a node
+	// loss and spread across replicas. Default 1.
+	Replication int
+	// HealthInterval is the membership probe period. Default 2s.
+	HealthInterval time.Duration
+	// MarkDownAfter is how many consecutive failures (probes or proxied
+	// requests) mark a node down. Default 2.
+	MarkDownAfter int
+	// MarkUpAfter is how many consecutive successful probes bring a
+	// marked-down node back. Default 2. A node's very first successful
+	// probe marks it up immediately, so a fresh gateway does not idle
+	// through the hysteresis window.
+	MarkUpAfter int
+	// Client configures the per-node HTTP clients. Retries is forced to
+	// NoRetries: the gateway's failover across replicas replaces in-place
+	// retry — hammering a dead node with backoff would stall the caller,
+	// and end clients talking to the gateway bring their own retry loop.
+	Client ClientConfig
+}
+
+func (c *GatewayConfig) defaults() {
+	if c.Replication <= 0 {
+		c.Replication = 1
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.MarkDownAfter <= 0 {
+		c.MarkDownAfter = 2
+	}
+	if c.MarkUpAfter <= 0 {
+		c.MarkUpAfter = 2
+	}
+	c.Client.defaults()
+	// Re-pin AFTER normalization: ClientConfig.defaults turns the sentinel
+	// into 0, and 0 means "use the default (2)" to the next defaults() run
+	// inside DialModel — which would hand every node client a retry loop
+	// (and its Retry-After sleeps) right back.
+	c.Client.Retries = NoRetries
+}
+
+// gatewayNode is one backend in the membership table: its health streaks,
+// its last-known zoo listing (sticky across mark-down), and its cached
+// per-model clients.
+type gatewayNode struct {
+	name string // "n0", "n1", ... — placement-hash and job-namespace key
+	base string
+	cfg  ClientConfig
+	api  *Client // bare client for node-level routes (healthz, audits)
+
+	mu           sync.Mutex
+	healthy      bool
+	everUp       bool // first-ever success marks up without hysteresis
+	fails        int  // consecutive failures (probe or proxied)
+	oks          int  // consecutive successful probes
+	lastErr      error
+	health       Health // last successful healthz payload
+	listing      []ModelInfo
+	listDefault  string
+	maxBatch     int
+	screenPolicy string
+	clients      map[string]*Client // model id -> dialed predict client
+}
+
+// recordSuccess feeds one successful probe into the mark-up hysteresis and
+// refreshes the node's sticky snapshots.
+func (n *gatewayNode) recordSuccess(markUpAfter int, h Health, list ModelList, info infoResponse) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fails = 0
+	n.oks++
+	n.lastErr = nil
+	if !n.healthy && (n.oks >= markUpAfter || !n.everUp) {
+		n.healthy = true
+		n.everUp = true
+	}
+	n.health = h
+	n.listing = list.Models
+	n.listDefault = list.Default
+	n.maxBatch = info.MaxBatch
+	if info.Screened {
+		n.screenPolicy = info.ScreenPolicy
+	}
+}
+
+// recordFailure feeds one failure (probe or proxied request) into the
+// mark-down hysteresis.
+func (n *gatewayNode) recordFailure(markDownAfter int, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.oks = 0
+	n.fails++
+	n.lastErr = err
+	if n.healthy && n.fails >= markDownAfter {
+		n.healthy = false
+	}
+}
+
+func (n *gatewayNode) isHealthy() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.healthy
+}
+
+// predictClient returns the cached client bound to (node, model), dialing
+// on first use. Dials race benignly: the first cached client wins.
+func (n *gatewayNode) predictClient(ctx context.Context, modelID string) (*Client, error) {
+	n.mu.Lock()
+	c := n.clients[modelID]
+	n.mu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	c, err := DialModel(ctx, n.base, modelID, n.cfg)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if cached := n.clients[modelID]; cached != nil {
+		c = cached
+	} else {
+		n.clients[modelID] = c
+	}
+	n.mu.Unlock()
+	return c, nil
+}
+
+// Gateway routes the wire API across a fleet of mlaas-server nodes. Create
+// one with NewGateway, serve it with NewGatewayServer, stop it with Close.
+type Gateway struct {
+	cfg    GatewayConfig
+	nodes  []*gatewayNode
+	byName map[string]*gatewayNode
+
+	// Merged fleet view, rebuilt after every probe round.
+	mu           sync.Mutex
+	zoo          map[string]ModelInfo
+	hosts        map[string][]*gatewayNode // model id -> nodes listing it
+	defaultID    string
+	maxBatch     int
+	screenPolicy string
+
+	rr        atomic.Uint64 // round-robin cursor spreading hot models over replicas
+	closed    atomic.Bool
+	done      chan struct{}
+	loopStop  context.CancelFunc
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewGateway probes every configured node once (synchronously), builds the
+// merged zoo, and starts the background membership loop. It fails unless
+// at least one node is healthy and lists at least one model — a gateway
+// with nothing to serve is a misconfiguration, not a degraded state.
+func NewGateway(ctx context.Context, cfg GatewayConfig) (*Gateway, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("mlaas: gateway needs at least one node URL")
+	}
+	cfg.defaults()
+	g := &Gateway{
+		cfg:    cfg,
+		byName: make(map[string]*gatewayNode, len(cfg.Nodes)),
+		zoo:    make(map[string]ModelInfo),
+		hosts:  make(map[string][]*gatewayNode),
+		done:   make(chan struct{}),
+	}
+	for i, base := range cfg.Nodes {
+		n := &gatewayNode{
+			name:    fmt.Sprintf("n%d", i),
+			base:    strings.TrimRight(base, "/"),
+			cfg:     cfg.Client,
+			clients: make(map[string]*Client),
+		}
+		n.api = &Client{base: n.base, cfg: cfg.Client}
+		g.nodes = append(g.nodes, n)
+		g.byName[n.name] = n
+	}
+	g.probeAll(ctx)
+	if g.HealthyNodes() == 0 {
+		var reasons []string
+		for _, n := range g.nodes {
+			n.mu.Lock()
+			reasons = append(reasons, fmt.Sprintf("%s (%s): %v", n.name, n.base, n.lastErr))
+			n.mu.Unlock()
+		}
+		return nil, fmt.Errorf("mlaas: gateway bootstrap: no healthy node: %s", strings.Join(reasons, "; "))
+	}
+	g.mu.Lock()
+	empty := len(g.zoo) == 0
+	g.mu.Unlock()
+	if empty {
+		return nil, errors.New("mlaas: gateway bootstrap: healthy nodes list no models")
+	}
+	loopCtx, cancel := context.WithCancel(context.Background())
+	g.loopStop = cancel
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		ticker := time.NewTicker(g.cfg.HealthInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-g.done:
+				return
+			case <-ticker.C:
+				g.probeAll(loopCtx)
+			}
+		}
+	}()
+	return g, nil
+}
+
+// Close stops the membership loop. Safe to call more than once; the
+// remoteProvider's Close (Server shutdown) lands here.
+func (g *Gateway) Close() {
+	g.closeOnce.Do(func() {
+		g.closed.Store(true)
+		if g.loopStop != nil {
+			g.loopStop()
+		}
+		close(g.done)
+		g.wg.Wait()
+	})
+}
+
+// Nodes reports the configured fleet size.
+func (g *Gateway) Nodes() int { return len(g.nodes) }
+
+// HealthyNodes reports how many nodes are currently marked up.
+func (g *Gateway) HealthyNodes() int {
+	healthy := 0
+	for _, n := range g.nodes {
+		if n.isHealthy() {
+			healthy++
+		}
+	}
+	return healthy
+}
+
+// probeAll probes every node once (concurrently) and rebuilds the merged
+// fleet view. The bootstrap in NewGateway and the background loop both land
+// here; tests drive membership deterministically by calling it directly.
+func (g *Gateway) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, n := range g.nodes {
+		wg.Add(1)
+		go func(n *gatewayNode) {
+			defer wg.Done()
+			g.probeNode(ctx, n)
+		}(n)
+	}
+	wg.Wait()
+	g.refresh()
+}
+
+// probeNode runs one health check: liveness, zoo listing, and serving
+// limits in three requests. Any failure counts one strike.
+func (g *Gateway) probeNode(ctx context.Context, n *gatewayNode) {
+	var h Health
+	if err := n.api.getJSON(ctx, n.base+"/v1/healthz", &h); err != nil {
+		n.recordFailure(g.cfg.MarkDownAfter, err)
+		return
+	}
+	var list ModelList
+	if err := n.api.getJSON(ctx, n.base+"/v1/models", &list); err != nil {
+		n.recordFailure(g.cfg.MarkDownAfter, err)
+		return
+	}
+	var info infoResponse
+	if err := n.api.getJSON(ctx, n.base+"/v1/info", &info); err != nil {
+		n.recordFailure(g.cfg.MarkDownAfter, err)
+		return
+	}
+	n.recordSuccess(g.cfg.MarkUpAfter, h, list, info)
+}
+
+// refresh rebuilds the merged zoo from every node's last-known listing.
+// Healthy nodes' metadata wins; down nodes only contribute ids no healthy
+// node lists (sticky listings are what turn "every host down" into a 503
+// instead of a 404). The serving batch limit is the minimum across healthy
+// nodes so the gateway never forwards a batch a node would reject.
+func (g *Gateway) refresh() {
+	zoo := make(map[string]ModelInfo)
+	hosts := make(map[string][]*gatewayNode)
+	defaultID, screenPolicy := "", ""
+	maxBatch := 0
+	for pass := 0; pass < 2; pass++ {
+		for _, n := range g.nodes {
+			n.mu.Lock()
+			healthy, listing, listDefault := n.healthy, n.listing, n.listDefault
+			nodeMaxBatch, nodePolicy := n.maxBatch, n.screenPolicy
+			n.mu.Unlock()
+			if healthy != (pass == 0) {
+				continue
+			}
+			for _, mi := range listing {
+				if _, seen := zoo[mi.ID]; !seen {
+					zoo[mi.ID] = mi
+				}
+				hosts[mi.ID] = append(hosts[mi.ID], n)
+			}
+			if defaultID == "" {
+				defaultID = listDefault
+			}
+			if healthy {
+				if nodeMaxBatch > 0 && (maxBatch == 0 || nodeMaxBatch < maxBatch) {
+					maxBatch = nodeMaxBatch
+				}
+				if screenPolicy == "" {
+					screenPolicy = nodePolicy
+				}
+			}
+		}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.zoo = zoo
+	g.hosts = hosts
+	if defaultID != "" {
+		g.defaultID = defaultID
+	}
+	if maxBatch > 0 {
+		g.maxBatch = maxBatch
+	}
+	if screenPolicy != "" {
+		g.screenPolicy = screenPolicy
+	}
+}
+
+// --- Placement -----------------------------------------------------------------------
+
+// rendezvousScore is the highest-random-weight score of placing modelID on
+// node: an fnv64a hash of the pair (with a separator so (node="a", model=
+// "bc") and (node="ab", model="c") never collide by concatenation), pushed
+// through a 64-bit avalanche finalizer. The finalizer is load-bearing: raw
+// fnv64a diffuses low-to-high only, so model ids sharing a long prefix
+// leave the node-dependent high bits untouched and one node wins every
+// election. Full avalanche restores the uniform spread HRW depends on.
+func rendezvousScore(node, modelID string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(node))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(modelID))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// placementOrder sorts nodeNames by descending rendezvous score for
+// modelID (ties broken by name). The head of the order is the model's
+// primary; replicas extend down the list. The order is a pure function of
+// the inputs: adding or removing a node never reorders the survivors, so a
+// node loss reassigns exactly the models it owned.
+func placementOrder(modelID string, nodeNames []string) []string {
+	order := append([]string(nil), nodeNames...)
+	sort.Slice(order, func(i, j int) bool {
+		si, sj := rendezvousScore(order[i], modelID), rendezvousScore(order[j], modelID)
+		if si != sj {
+			return si > sj
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+// replicasFor resolves a model's current replica set: the nodes hosting it,
+// in rendezvous order, filtered to healthy, truncated to Replication. backup
+// is the desperation tier — every marked-down hosting node, in placement
+// order. Mark-down is a prediction, not a fact: a node that just recovered
+// stays invisible until the next probe, so when the healthy tier is
+// exhausted the router tries the marked-down hosts before giving up rather
+// than failing a request a live node could have served. known reports
+// whether any node (healthy or not) has ever listed the id.
+func (g *Gateway) replicasFor(modelID string) (replicas, backup []*gatewayNode, known bool) {
+	g.mu.Lock()
+	hosting := g.hosts[modelID]
+	g.mu.Unlock()
+	if len(hosting) == 0 {
+		return nil, nil, false
+	}
+	names := make([]string, len(hosting))
+	for i, n := range hosting {
+		names[i] = n.name
+	}
+	for _, name := range placementOrder(modelID, names) {
+		n := g.byName[name]
+		if !n.isHealthy() {
+			backup = append(backup, n)
+			continue
+		}
+		if len(replicas) < g.cfg.Replication {
+			replicas = append(replicas, n)
+		}
+	}
+	return replicas, backup, true
+}
+
+// --- Request routing -----------------------------------------------------------------
+
+// resolveID maps the empty (default-route) id to the fleet default.
+func (g *Gateway) resolveID(id string) string {
+	if id != "" {
+		return id
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.defaultID
+}
+
+// predict routes one batch to the model's replica set: rotate the starting
+// replica (spreading a hot model's load), fail over on transient errors —
+// dropping to the marked-down desperation tier once the healthy replicas
+// are exhausted — and shed with the node's own 429 only when every replica
+// sheds. Permanent node verdicts (4xx other than 429) pass through
+// immediately: a replica would answer the same.
+func (g *Gateway) predict(ctx context.Context, id string, x *tensor.Tensor, screen bool) (*tensor.Tensor, []vp.ScreenResult, error) {
+	if g.closed.Load() {
+		return nil, nil, errEngineClosed
+	}
+	id = g.resolveID(id)
+	replicas, backup, known := g.replicasFor(id)
+	if !known {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownModel, id)
+	}
+	// Rotation spreads load across the healthy tier only; the desperation
+	// tier keeps its placement order so a half-recovered fleet converges
+	// back onto primaries instead of scattering.
+	candidates := make([]*gatewayNode, 0, len(replicas)+len(backup))
+	if len(replicas) > 0 {
+		start := int(g.rr.Add(1) % uint64(len(replicas)))
+		for i := range replicas {
+			candidates = append(candidates, replicas[(start+i)%len(replicas)])
+		}
+	}
+	candidates = append(candidates, backup...)
+	if len(candidates) == 0 {
+		return nil, nil, fmt.Errorf("%w: model %q (all hosting nodes down)", ErrNoHealthyReplica, id)
+	}
+	var lastErr error
+	var shed *nodeError
+	for _, n := range candidates {
+		out, scr, err := g.predictOn(ctx, n, id, x, screen)
+		if err == nil {
+			return out, scr, nil
+		}
+		if ctx.Err() != nil {
+			return nil, nil, err // caller gone: stop fanning out
+		}
+		var se *StatusError
+		if errors.As(err, &se) {
+			switch {
+			case se.Code == http.StatusTooManyRequests:
+				// Shedding, not broken: no health strike. Try a replica;
+				// remember the hint in case they all shed.
+				shed = &nodeError{node: n.name, code: se.Code, msg: se.Msg, retryAfter: se.RetryAfter}
+			case se.Code >= 500:
+				n.recordFailure(g.cfg.MarkDownAfter, err)
+			default:
+				return nil, nil, &nodeError{node: n.name, code: se.Code, msg: se.Msg, retryAfter: se.RetryAfter}
+			}
+		} else {
+			n.recordFailure(g.cfg.MarkDownAfter, err)
+		}
+		lastErr = err
+	}
+	if shed != nil {
+		return nil, nil, shed
+	}
+	return nil, nil, fmt.Errorf("%w: model %q (%d replicas tried, last: %v)", ErrNoHealthyReplica, id, len(candidates), lastErr)
+}
+
+// predictOn sends the batch to one node. The node's wire Screening comes
+// back as provider-seam ScreenResults; the gateway's own HTTP layer
+// re-derives rejection from Flagged + policy, exactly as a node does, so
+// the response reaching the end client is bit-identical either way.
+func (g *Gateway) predictOn(ctx context.Context, n *gatewayNode, id string, x *tensor.Tensor, screen bool) (*tensor.Tensor, []vp.ScreenResult, error) {
+	c, err := n.predictClient(ctx, id)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, screening, err := c.predict(ctx, x, screen)
+	if err != nil {
+		return nil, nil, err
+	}
+	var scores []vp.ScreenResult
+	if screening != nil {
+		scores = make([]vp.ScreenResult, len(screening))
+		for i, sc := range screening {
+			scores[i] = vp.ScreenResult{Score: sc.Score, Flagged: sc.Flagged, Threshold: sc.Threshold}
+		}
+	}
+	return out, scores, nil
+}
+
+// nodeRouteErr classifies a failed node-level route (audit submit/poll):
+// a node's own non-2xx passes through as nodeError; transport-level
+// failures strike the node's health and become a structured 503.
+func (g *Gateway) nodeRouteErr(n *gatewayNode, err error) error {
+	var se *StatusError
+	if errors.As(err, &se) {
+		if se.Code >= 500 {
+			n.recordFailure(g.cfg.MarkDownAfter, err)
+		}
+		return &nodeError{node: n.name, code: se.Code, msg: se.Msg, retryAfter: se.RetryAfter}
+	}
+	n.recordFailure(g.cfg.MarkDownAfter, err)
+	return &nodeError{node: n.name, code: http.StatusServiceUnavailable, msg: "node unreachable: " + err.Error()}
+}
+
+// --- Audit-job routing ---------------------------------------------------------------
+
+// Gateway audit-job ids are namespaced "{node}.{id}" ("n0.a3"): node job
+// sequences are per-process, so two nodes both have an "a1" and the prefix
+// keeps poll and cancel routable. The dot survives Go 1.22 ServeMux {id}
+// segments (a "/" would not).
+
+// namespaceJob rewrites a node-local job snapshot into the gateway's
+// namespace.
+func namespaceJob(n *gatewayNode, j audit.Job) audit.Job {
+	j.ID = n.name + "." + j.ID
+	j.Node = n.name
+	return j
+}
+
+// splitJob resolves a namespaced job id to its node and local id.
+func (g *Gateway) splitJob(jobID string) (*gatewayNode, string, error) {
+	name, rest, ok := strings.Cut(jobID, ".")
+	if ok {
+		if n := g.byName[name]; n != nil && rest != "" {
+			return n, rest, nil
+		}
+	}
+	return nil, "", fmt.Errorf("%w: %q", audit.ErrUnknownJob, jobID)
+}
+
+// submitAudit routes an audit submission to the model's primary healthy
+// replica (rendezvous order, no rotation: job placement stays stable), or
+// to the first marked-down host when no healthy one exists — one attempt,
+// since a probe-lagged node may well still answer. Submissions are not
+// idempotent, so unlike predicts they are never retried on another
+// replica: a node that might have accepted the job must not be shadowed
+// by a duplicate.
+func (g *Gateway) submitAudit(ctx context.Context, modelID string, inspectID int) (audit.Job, error) {
+	modelID = g.resolveID(modelID)
+	replicas, backup, known := g.replicasFor(modelID)
+	if !known {
+		return audit.Job{}, fmt.Errorf("%w: %q", ErrUnknownModel, modelID)
+	}
+	replicas = append(replicas, backup...)
+	if len(replicas) == 0 {
+		return audit.Job{}, fmt.Errorf("%w: model %q (all hosting nodes down)", ErrNoHealthyReplica, modelID)
+	}
+	n := replicas[0]
+	c, err := n.predictClient(ctx, modelID)
+	if err != nil {
+		return audit.Job{}, g.nodeRouteErr(n, err)
+	}
+	job, err := c.AuditModel(ctx, inspectID)
+	if err != nil {
+		return audit.Job{}, g.nodeRouteErr(n, err)
+	}
+	return namespaceJob(n, job), nil
+}
+
+// getAudit polls one namespaced job on its node. The node is tried even
+// when marked down — a probe-lagged node may well still answer, and if it
+// does not the caller gets a structured 503 rather than a stale snapshot.
+func (g *Gateway) getAudit(ctx context.Context, jobID string) (audit.Job, error) {
+	n, local, err := g.splitJob(jobID)
+	if err != nil {
+		return audit.Job{}, err
+	}
+	job, err := n.api.GetAudit(ctx, local)
+	if err != nil {
+		return audit.Job{}, g.nodeRouteErr(n, err)
+	}
+	return namespaceJob(n, job), nil
+}
+
+// cancelAudit cancels one namespaced job on its node.
+func (g *Gateway) cancelAudit(ctx context.Context, jobID string) (audit.Job, error) {
+	n, local, err := g.splitJob(jobID)
+	if err != nil {
+		return audit.Job{}, err
+	}
+	job, err := n.api.CancelAudit(ctx, local)
+	if err != nil {
+		return audit.Job{}, g.nodeRouteErr(n, err)
+	}
+	return namespaceJob(n, job), nil
+}
+
+// listAudits merges every healthy node's job list (best-effort: a node
+// failing mid-list is skipped and takes a health strike), ordered by
+// submission time then id.
+func (g *Gateway) listAudits(ctx context.Context) ([]audit.Job, error) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var jobs []audit.Job
+	for _, n := range g.nodes {
+		if !n.isHealthy() {
+			continue
+		}
+		wg.Add(1)
+		go func(n *gatewayNode) {
+			defer wg.Done()
+			nodeJobs, err := n.api.ListAudits(ctx)
+			if err != nil {
+				g.nodeRouteErr(n, err) // strike bookkeeping only
+				return
+			}
+			mu.Lock()
+			for _, j := range nodeJobs {
+				jobs = append(jobs, namespaceJob(n, j))
+			}
+			mu.Unlock()
+		}(n)
+	}
+	wg.Wait()
+	sort.Slice(jobs, func(i, j int) bool {
+		if !jobs[i].Created.Equal(jobs[j].Created) {
+			return jobs[i].Created.Before(jobs[j].Created)
+		}
+		return jobs[i].ID < jobs[j].ID
+	})
+	return jobs, nil
+}
+
+// augmentHealth adds the fleet view to /v1/healthz: membership counts,
+// degraded status, and the nodes' aggregated audit-service state (enabled
+// iff every healthy node carries a detector — a fleet audit preflight must
+// not pass if some shard cannot audit).
+func (g *Gateway) augmentHealth(h *Health) {
+	h.Nodes = len(g.nodes)
+	h.HealthyNodes = 0
+	auditsEnabled := false
+	auditJobs := 0
+	for _, n := range g.nodes {
+		n.mu.Lock()
+		if n.healthy {
+			h.HealthyNodes++
+			if h.HealthyNodes == 1 {
+				auditsEnabled = true
+			}
+			auditsEnabled = auditsEnabled && n.health.AuditsEnabled
+			auditJobs += n.health.AuditJobs
+		}
+		n.mu.Unlock()
+	}
+	h.AuditsEnabled = auditsEnabled
+	h.AuditJobs = auditJobs
+	if h.HealthyNodes < h.Nodes {
+		h.Status = "degraded"
+	}
+}
+
+// --- Provider seam -------------------------------------------------------------------
+
+// remoteProvider adapts the Gateway to the provider seam the single-node
+// server runs on: the same Server (routes, envelopes, screening fields,
+// error mapping) serves a fleet instead of an engine. It additionally
+// implements the auditRouter and healthAugmenter capabilities, so the
+// audit-job routes and /v1/healthz reflect the fleet.
+type remoteProvider struct {
+	g *Gateway
+}
+
+var (
+	_ provider        = (*remoteProvider)(nil)
+	_ auditRouter     = (*remoteProvider)(nil)
+	_ healthAugmenter = (*remoteProvider)(nil)
+)
+
+func (p *remoteProvider) Models() []ModelInfo {
+	p.g.mu.Lock()
+	defer p.g.mu.Unlock()
+	models := make([]ModelInfo, 0, len(p.g.zoo))
+	for _, mi := range p.g.zoo {
+		models = append(models, mi)
+	}
+	sort.Slice(models, func(i, j int) bool { return models[i].ID < models[j].ID })
+	return models
+}
+
+func (p *remoteProvider) DefaultID() string {
+	p.g.mu.Lock()
+	defer p.g.mu.Unlock()
+	return p.g.defaultID
+}
+
+func (p *remoteProvider) Info(id string) (ModelInfo, error) {
+	id = p.g.resolveID(id)
+	p.g.mu.Lock()
+	mi, ok := p.g.zoo[id]
+	p.g.mu.Unlock()
+	if !ok {
+		return ModelInfo{}, fmt.Errorf("%w: %q", ErrUnknownModel, id)
+	}
+	return mi, nil
+}
+
+func (p *remoteProvider) MaxBatch() int {
+	p.g.mu.Lock()
+	defer p.g.mu.Unlock()
+	return p.g.maxBatch
+}
+
+func (p *remoteProvider) Predict(ctx context.Context, id string, x *tensor.Tensor, screen bool) (*tensor.Tensor, []vp.ScreenResult, error) {
+	return p.g.predict(ctx, id, x, screen)
+}
+
+func (p *remoteProvider) Close() { p.g.Close() }
+
+func (p *remoteProvider) SubmitAudit(ctx context.Context, modelID string, inspectID int) (audit.Job, error) {
+	return p.g.submitAudit(ctx, modelID, inspectID)
+}
+
+func (p *remoteProvider) GetAudit(ctx context.Context, jobID string) (audit.Job, error) {
+	return p.g.getAudit(ctx, jobID)
+}
+
+func (p *remoteProvider) ListAudits(ctx context.Context) ([]audit.Job, error) {
+	return p.g.listAudits(ctx)
+}
+
+func (p *remoteProvider) CancelAudit(ctx context.Context, jobID string) (audit.Job, error) {
+	return p.g.cancelAudit(ctx, jobID)
+}
+
+// augmentHealth implements healthAugmenter.
+func (p *remoteProvider) augmentHealth(h *Health) { p.g.augmentHealth(h) }
+
+// NewGatewayServer wraps the gateway in the standard HTTP Server: the full
+// wire API — listings, predicts with screening fields, audit jobs, healthz
+// — served with the exact envelopes of a single node. The server takes
+// ownership of the gateway: Close (and Serve on shutdown) closes it. The
+// screening policy advertised and enforced at the gateway is the one the
+// fleet's nodes advertise (uniform-fleet assumption).
+func NewGatewayServer(g *Gateway) *Server {
+	g.mu.Lock()
+	policy := g.screenPolicy
+	g.mu.Unlock()
+	if policy == "" {
+		policy = ScreenAnnotate
+	}
+	return &Server{prov: &remoteProvider{g: g}, screenPolicy: policy}
+}

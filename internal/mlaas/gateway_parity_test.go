@@ -1,0 +1,248 @@
+package mlaas
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bprom/internal/bprom"
+	"bprom/internal/nn"
+	"bprom/internal/rng"
+	"bprom/internal/tensor"
+)
+
+// Gateway-vs-single-node bit-parity suite: the routing layer must be
+// behaviorally invisible. Confidences, screening scores, and audit
+// verdicts through a gateway over N nodes are asserted bit-identical to
+// one in-process node serving the same zoo — for fp64 AND int8 models —
+// extending the PR 3/4 parity chain (in-process == wire == artifact
+// round-trip) across one more boundary. Anything less is drift an
+// adaptive attacker can exploit to tell audit traffic from the real
+// serving path.
+
+// gatewayParityZoo copies the shared audit zoo's trained checkpoints and
+// adds int8-pinned twins ("-i8" sidecar precision override), so every
+// parity assertion runs once per serving precision.
+func gatewayParityZoo(t *testing.T) string {
+	t.Helper()
+	env := sharedAuditEnv(t)
+	dir := t.TempDir()
+	for _, id := range []string{"clean", "badnets"} {
+		raw, err := os.ReadFile(filepath.Join(env.zoo, id+".bin"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, variant := range []struct {
+			id        string
+			precision string
+		}{{id, ""}, {id + "-i8", nn.PrecisionInt8}} {
+			path := filepath.Join(dir, variant.id+".bin")
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if variant.precision != "" {
+				if err := (nn.Sidecar{Precision: variant.precision}).WriteFile(path); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return dir
+}
+
+// startParityNode serves zoo with audits + screening from the shared
+// artifact — the exact single-node configuration the gateway's nodes run.
+func startParityNode(t *testing.T, zoo string) *httptest.Server {
+	t.Helper()
+	env := sharedAuditEnv(t)
+	det, err := bprom.LoadFile(env.artPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	screener, err := det.Screener(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := OpenRegistry(zoo, RegistryConfig{MaxLoaded: 4, Screener: screener})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewRegistryServer(reg)
+	s.EnableAudits(det, AuditConfig{Workers: 2})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// startParityGateway fronts nodeCount parity nodes with a gateway and
+// returns its HTTP endpoint.
+func startParityGateway(t *testing.T, zoo string, nodeCount int) (*httptest.Server, *Gateway) {
+	t.Helper()
+	nodes := make([]string, nodeCount)
+	for i := range nodes {
+		nodes[i] = startParityNode(t, zoo).URL
+	}
+	g, err := NewGateway(context.Background(), GatewayConfig{
+		Nodes:          nodes,
+		HealthInterval: time.Hour, // membership driven manually in tests
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := NewGatewayServer(g)
+	t.Cleanup(gs.Close)
+	srv := httptest.NewServer(gs.Handler())
+	t.Cleanup(srv.Close)
+	return srv, g
+}
+
+func parityModelIDs() []string {
+	return []string{"clean", "badnets", "clean-i8", "badnets-i8"}
+}
+
+// TestGatewayPredictParity asserts confidences AND screening outcomes
+// through the gateway are bit-identical to a single node, per model and
+// per serving precision.
+func TestGatewayPredictParity(t *testing.T) {
+	zoo := gatewayParityZoo(t)
+	single := startParityNode(t, zoo)
+	gateway, _ := startParityGateway(t, zoo, 2)
+	ctx := context.Background()
+
+	for _, id := range parityModelIDs() {
+		ref, err := DialModel(ctx, single.URL, id, ClientConfig{Retries: NoRetries})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gw, err := DialModel(ctx, gateway.URL, id, ClientConfig{Retries: NoRetries})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gw.NumClasses() != ref.NumClasses() || gw.InputDim() != ref.InputDim() ||
+			gw.Precision() != ref.Precision() || gw.Screened() != ref.Screened() ||
+			gw.ScreenPolicy() != ref.ScreenPolicy() {
+			t.Fatalf("%s: gateway metadata diverges from node: %+v vs %+v", id, gw, ref)
+		}
+		x := tensor.New(6, ref.InputDim())
+		rng.New(99).Uniform(x.Data, 0, 1)
+		wantProbs, wantScr, err := ref.PredictScreened(ctx, x.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotProbs, gotScr, err := gw.PredictScreened(ctx, x.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantProbs.Data {
+			if gotProbs.Data[i] != wantProbs.Data[i] {
+				t.Fatalf("%s: confidence %d differs through gateway: %v vs %v",
+					id, i, gotProbs.Data[i], wantProbs.Data[i])
+			}
+		}
+		if len(gotScr) != len(wantScr) {
+			t.Fatalf("%s: screening length %d vs %d", id, len(gotScr), len(wantScr))
+		}
+		for i := range wantScr {
+			if gotScr[i] != wantScr[i] {
+				t.Fatalf("%s: screening %d differs through gateway: %+v vs %+v",
+					id, i, gotScr[i], wantScr[i])
+			}
+		}
+		if !ref.Screened() {
+			t.Fatalf("%s: parity fixture should serve screened models", id)
+		}
+	}
+}
+
+// TestGatewayAuditVerdictParity is the fleet-audit acceptance check:
+// submitting the same (model, inspect id) audit through the gateway and
+// against a single node must yield bit-identical verdicts for every model
+// in the golden zoo, fp64 and int8 alike. Jobs routed by the gateway carry
+// their namespaced id and node tag.
+func TestGatewayAuditVerdictParity(t *testing.T) {
+	zoo := gatewayParityZoo(t)
+	single := startParityNode(t, zoo)
+	gateway, _ := startParityGateway(t, zoo, 2)
+	ctx := context.Background()
+
+	for i, id := range parityModelIDs() {
+		ref, err := DialModel(ctx, single.URL, id, ClientConfig{AuditPoll: 20 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gw, err := DialModel(ctx, gateway.URL, id, ClientConfig{AuditPoll: 20 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inspectID := 300 + i
+		refJob, err := ref.AuditModel(ctx, inspectID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gwJob, err := gw.AuditModel(ctx, inspectID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gwJob.Node == "" || !strings.HasPrefix(gwJob.ID, gwJob.Node+".") {
+			t.Fatalf("%s: gateway job not namespaced: %+v", id, gwJob)
+		}
+		refFinal, err := ref.WaitAudit(ctx, refJob.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gwFinal, err := gw.WaitAudit(ctx, gwJob.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if refFinal.State != "done" || refFinal.Verdict == nil {
+			t.Fatalf("%s: single-node audit did not finish: %+v", id, refFinal)
+		}
+		if gwFinal.State != "done" || gwFinal.Verdict == nil {
+			t.Fatalf("%s: gateway audit did not finish: %+v", id, gwFinal)
+		}
+		if *gwFinal.Verdict != *refFinal.Verdict {
+			t.Fatalf("%s: gateway verdict %+v != single-node %+v", id, *gwFinal.Verdict, *refFinal.Verdict)
+		}
+		if gwFinal.Node != gwJob.Node {
+			t.Fatalf("%s: job node changed across poll: %q vs %q", id, gwFinal.Node, gwJob.Node)
+		}
+	}
+}
+
+// TestGatewayListingMatchesNode pins the merged-zoo view: same ids, same
+// metadata, same default as the nodes it fronts.
+func TestGatewayListingMatchesNode(t *testing.T) {
+	zoo := gatewayParityZoo(t)
+	single := startParityNode(t, zoo)
+	gateway, _ := startParityGateway(t, zoo, 2)
+	ctx := context.Background()
+
+	want, err := ListModels(ctx, single.URL, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ListModels(ctx, gateway.URL, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Default != want.Default {
+		t.Fatalf("gateway default %q != node default %q", got.Default, want.Default)
+	}
+	if len(got.Models) != len(want.Models) {
+		t.Fatalf("gateway lists %d models, node %d", len(got.Models), len(want.Models))
+	}
+	for i := range want.Models {
+		g, w := got.Models[i], want.Models[i]
+		// Loaded/ResidentBytes are node-local hot-set state and may differ.
+		g.Loaded, w.Loaded = false, false
+		g.ResidentBytes, w.ResidentBytes = 0, 0
+		if g != w {
+			t.Fatalf("model %d diverges through gateway: %+v vs %+v", i, g, w)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package mlaas
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bprom/internal/rng"
+	"bprom/internal/tensor"
+)
+
+// Membership and placement: the routing brain of the gateway, exercised
+// without real inference where possible (placement is a pure function) and
+// under -race with flapping membership where it matters. CI runs this file
+// with -race -count=2.
+
+func placementTestNodes() []string {
+	return []string{"n0", "n1", "n2", "n3", "n4"}
+}
+
+// TestPlacementOrderStableAndSpread: placement is deterministic (two calls
+// agree), covers every node, and spreads primaries across the fleet
+// instead of piling onto one node.
+func TestPlacementOrderStableAndSpread(t *testing.T) {
+	nodes := placementTestNodes()
+	primaries := make(map[string]int)
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("model-%03d", i)
+		order := placementOrder(id, nodes)
+		again := placementOrder(id, nodes)
+		if len(order) != len(nodes) {
+			t.Fatalf("%s: order dropped nodes: %v", id, order)
+		}
+		for j := range order {
+			if order[j] != again[j] {
+				t.Fatalf("%s: placement not deterministic: %v vs %v", id, order, again)
+			}
+		}
+		seen := make(map[string]bool, len(order))
+		for _, n := range order {
+			seen[n] = true
+		}
+		if len(seen) != len(nodes) {
+			t.Fatalf("%s: order is not a permutation: %v", id, order)
+		}
+		primaries[order[0]]++
+	}
+	// 200 ids over 5 nodes: a uniform hash puts ~40 on each. The exact
+	// split is deterministic; the assertion guards against a placement bug
+	// collapsing the spread, not against hash variance.
+	for _, n := range nodes {
+		if primaries[n] < 10 {
+			t.Fatalf("node %s is primary for only %d/200 models: %v", n, primaries[n], primaries)
+		}
+	}
+}
+
+// TestPlacementMinimalReshuffle pins the rendezvous invariant: removing
+// one node reassigns exactly the models it owned — every other model's
+// preference order is unchanged with the dead node deleted in place.
+func TestPlacementMinimalReshuffle(t *testing.T) {
+	nodes := placementTestNodes()
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("model-%03d", i)
+		full := placementOrder(id, nodes)
+		for _, removed := range nodes {
+			var survivors []string
+			for _, n := range nodes {
+				if n != removed {
+					survivors = append(survivors, n)
+				}
+			}
+			got := placementOrder(id, survivors)
+			var want []string
+			for _, n := range full {
+				if n != removed {
+					want = append(want, n)
+				}
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("%s without %s: order %v, want %v (full %v)", id, removed, got, want, full)
+				}
+			}
+		}
+	}
+}
+
+// TestGatewayBootstrapRequiresHealthyNode: a gateway over nothing but dead
+// nodes is a configuration error, reported with the per-node reasons.
+func TestGatewayBootstrapRequiresHealthyNode(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	dead.Close()
+	_, err := NewGateway(context.Background(), GatewayConfig{Nodes: []string{dead.URL}})
+	if err == nil || !strings.Contains(err.Error(), "no healthy node") {
+		t.Fatalf("bootstrap over a dead node: %v", err)
+	}
+	if _, err := NewGateway(context.Background(), GatewayConfig{}); err == nil {
+		t.Fatal("bootstrap with no nodes should fail")
+	}
+}
+
+// TestGatewayMembershipHysteresis drives probes manually: one bad probe
+// must not mark a node down (MarkDownAfter 2), one good probe must not
+// bring it back (MarkUpAfter 2) — and the first-ever success bypasses the
+// mark-up delay so a fresh gateway starts serving immediately.
+func TestGatewayMembershipHysteresis(t *testing.T) {
+	var failing atomic.Bool
+	s := NewServer(testModel(t), ServerConfig{})
+	t.Cleanup(s.Close)
+	inner := s.Handler()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+
+	cfg := GatewayConfig{
+		Nodes:          []string{srv.URL},
+		HealthInterval: time.Hour,
+		MarkDownAfter:  2,
+		MarkUpAfter:    2,
+	}
+	ctx := context.Background()
+	g, err := NewGateway(ctx, cfg) // first-ever success marks up instantly
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	if g.HealthyNodes() != 1 {
+		t.Fatal("bootstrap should mark the node up on its first success")
+	}
+
+	failing.Store(true)
+	g.probeAll(ctx)
+	if g.HealthyNodes() != 1 {
+		t.Fatal("one failed probe must not mark down (hysteresis)")
+	}
+	g.probeAll(ctx)
+	if g.HealthyNodes() != 0 {
+		t.Fatal("two consecutive failed probes must mark down")
+	}
+
+	failing.Store(false)
+	g.probeAll(ctx)
+	if g.HealthyNodes() != 0 {
+		t.Fatal("one good probe must not mark a downed node up (hysteresis)")
+	}
+	g.probeAll(ctx)
+	if g.HealthyNodes() != 1 {
+		t.Fatal("two consecutive good probes must mark up")
+	}
+}
+
+// TestGatewayMembershipFlapStress hammers predicts through a gateway over
+// 4 nodes while membership flaps (nodes toggled into 503 one at a time,
+// with the real probe loop running hot). Every predict must succeed via
+// failover and return bit-identical confidences. Run under -race, this is
+// the routing/membership data-race net.
+func TestGatewayMembershipFlapStress(t *testing.T) {
+	m := testModel(t)
+	const nodeCount = 4
+	var flags [nodeCount]atomic.Bool
+	var nodeURLs []string
+	for i := 0; i < nodeCount; i++ {
+		s := NewServer(m, ServerConfig{})
+		t.Cleanup(s.Close)
+		inner := s.Handler()
+		flag := &flags[i]
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if flag.Load() {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				return
+			}
+			inner.ServeHTTP(w, r)
+		}))
+		t.Cleanup(srv.Close)
+		nodeURLs = append(nodeURLs, srv.URL)
+	}
+
+	cfg := GatewayConfig{
+		Nodes:          nodeURLs,
+		Replication:    nodeCount, // every node replicates the model: failover always has a target
+		HealthInterval: 5 * time.Millisecond,
+		MarkDownAfter:  1,
+		MarkUpAfter:    1,
+		Client:         ClientConfig{Timeout: 5 * time.Second},
+	}
+	ctx := context.Background()
+	g, err := NewGateway(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := NewGatewayServer(g)
+	t.Cleanup(gs.Close)
+	gwSrv := httptest.NewServer(gs.Handler())
+	t.Cleanup(gwSrv.Close)
+
+	c, err := Dial(ctx, gwSrv.URL, ClientConfig{Retries: NoRetries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(2, 16)
+	rng.New(11).Uniform(x.Data, 0, 1)
+	want := m.Predict(x.Clone())
+
+	// Flapper: one node at a time dips for a few milliseconds — never two
+	// at once, so a correct gateway can always serve.
+	stopFlap := make(chan struct{})
+	var flapWG sync.WaitGroup
+	flapWG.Add(1)
+	go func() {
+		defer flapWG.Done()
+		i := 0
+		for {
+			select {
+			case <-stopFlap:
+				return
+			default:
+			}
+			flag := &flags[i%nodeCount]
+			flag.Store(true)
+			time.Sleep(8 * time.Millisecond)
+			flag.Store(false)
+			time.Sleep(4 * time.Millisecond)
+			i++
+		}
+	}()
+
+	const workers, perWorker = 8, 25
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				got, err := c.Predict(ctx, x.Clone())
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for j := range want.Data {
+					if got.Data[j] != want.Data[j] {
+						errCh <- fmt.Errorf("confidence %d drifted under flapping membership", j)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopFlap)
+	flapWG.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// Let every node recover and the probe loop converge.
+	g.probeAll(ctx)
+	if got := g.HealthyNodes(); got != nodeCount {
+		t.Fatalf("fleet did not converge after flapping stopped: %d/%d healthy", got, nodeCount)
+	}
+}

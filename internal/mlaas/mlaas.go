@@ -478,9 +478,21 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, id string
 // writeError maps provider and audit errors onto the wire error envelope:
 // unknown model or audit job -> 404, audits not enabled -> 501, audit queue
 // full -> 429, closed/cancelled -> 503, anything else (e.g. a checkpoint
-// that fails to load) -> 500.
+// that fails to load) -> 500. Gateway errors carry their own mapping: a
+// *nodeError passes the originating node's status (and Retry-After hint)
+// through unchanged, and ErrNoHealthyReplica is a 503 — the routing layer's
+// structured "this model is currently unservable", distinct from 404 (never
+// hosted) and from a hang.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
+	var ne *nodeError
 	switch {
+	case errors.As(err, &ne):
+		if ne.retryAfter > 0 {
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", ne.retryAfter))
+		}
+		writeJSON(w, ne.code, errorResponse{Error: ne.Error()})
+	case errors.Is(err, ErrNoHealthyReplica):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 	case errors.Is(err, ErrUnknownModel), errors.Is(err, audit.ErrUnknownJob):
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
 	case errors.Is(err, ErrAuditsDisabled):

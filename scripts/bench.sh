@@ -11,10 +11,11 @@
 #     -t  go -benchtime value      (env BENCH_TIME,   default 10x)
 #     -f  go -bench regexp         (env BENCH_FILTER, default: the PR 5/6/7
 #                                   before/after pairs — fp-vs-int8 kernels,
-#                                   dense-stack predict, TrainBlackBox, and
-#                                   the screened-vs-unscreened serving pair)
-#     -o  output JSON path         (env BENCH_OUT,    default BENCH_7.json)
-#     -i  issue number in the JSON (env BENCH_ISSUE,  default 7)
+#                                   dense-stack predict, TrainBlackBox, the
+#                                   screened-vs-unscreened serving pair — and
+#                                   the PR 8 gateway node-count series)
+#     -o  output JSON path         (env BENCH_OUT,    default BENCH_8.json)
+#     -i  issue number in the JSON (env BENCH_ISSUE,  default 8)
 #
 # Parsing is generic: every `Benchmark*` line in the output is captured with
 # all its value/unit pairs (ns/op, B/op, allocs/op, and custom ReportMetric
@@ -24,9 +25,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCH_TIME:-10x}"
-FILTER="${BENCH_FILTER:-MatMulTiledSerial\$|MatMulTiledServing|MatMulTiledFleet|QMatMulInt8|ModelPredictDense|TrainBlackBox|ServerPredictScreened|ServerPredictUnscreened}"
-OUT="${BENCH_OUT:-BENCH_7.json}"
-ISSUE="${BENCH_ISSUE:-7}"
+FILTER="${BENCH_FILTER:-MatMulTiledSerial\$|MatMulTiledServing|MatMulTiledFleet|QMatMulInt8|ModelPredictDense|TrainBlackBox|ServerPredictScreened|ServerPredictUnscreened|GatewayPredict[0-9]}"
+OUT="${BENCH_OUT:-BENCH_8.json}"
+ISSUE="${BENCH_ISSUE:-8}"
 
 usage() { sed -n '2,21p' "$0" | sed 's/^# \{0,1\}//' >&2; exit 2; }
 while getopts ':t:f:o:i:h' opt; do
@@ -115,6 +116,12 @@ END {
     # which the screening plumbing adds nothing measurable.
     addderived("screened_over_unscreened_overhead", ratio("ServerPredictScreenedOptOut", "ServerPredictUnscreened"))
     addderived("screening_verdict_over_unscreened", ratio("ServerPredictScreened", "ServerPredictUnscreened"))
+    # Gateway node-count scaling (PR 8): aggregate QPS gain from sharding the
+    # same 8-model zoo across 2 and 4 nodes behind one gateway, relative to
+    # the 1-node floor. All nodes share this process and its kernel pool, so
+    # these measure serving-stack scaling, not added compute.
+    addderived("gateway_qps_2node_over_1node", ratio("GatewayPredict1Node", "GatewayPredict2Node"))
+    addderived("gateway_qps_4node_over_1node", ratio("GatewayPredict1Node", "GatewayPredict4Node"))
     if (dn > 0) {
         printf ",\n  \"derived\": {\n"
         for (i = 0; i < dn; i++)
