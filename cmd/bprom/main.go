@@ -136,6 +136,7 @@ func runAudit(args []string) error {
 		modelPath = fs.String("model", "", "suspicious model checkpoint file")
 		url       = fs.String("url", "", "suspicious MLaaS endpoint base URL")
 		fleet     = fs.Bool("fleet", false, "submit server-side audit jobs for every model the endpoint hosts (requires -url)")
+		key       = fs.String("key", "", "API key sent as Authorization: Bearer to the endpoint (required when the server runs with -keys)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -148,7 +149,7 @@ func runAudit(args []string) error {
 		if *detPath != "" {
 			return fmt.Errorf("audit: -fleet audits with the SERVER's detector (mlaas-server -detector); drop -detector")
 		}
-		return auditFleet(ctx, *url)
+		return auditFleet(ctx, *url, *key)
 	}
 	if (*modelPath == "") == (*url == "") {
 		return fmt.Errorf("audit: pass exactly one of -model or -url")
@@ -171,7 +172,7 @@ func runAudit(args []string) error {
 		sus = oracle.NewModelOracle(m)
 		target = *modelPath
 	} else {
-		c, err := mlaas.Dial(ctx, *url, mlaas.ClientConfig{})
+		c, err := mlaas.Dial(ctx, *url, mlaas.ClientConfig{APIKey: *key})
 		if err != nil {
 			return err
 		}
@@ -243,15 +244,16 @@ type fleetResult struct {
 // server-side audit job per model — the train-once / audit-many workload:
 // the server runs the inspections in-process on its bounded audit worker
 // pool, and the CLI only polls job state and renders the verdict table.
-func auditFleet(ctx context.Context, url string) error {
-	h, err := mlaas.Healthz(ctx, url, mlaas.ClientConfig{})
+func auditFleet(ctx context.Context, url, key string) error {
+	cfg := mlaas.ClientConfig{APIKey: key}
+	h, err := mlaas.Healthz(ctx, url, cfg)
 	if err != nil {
 		return fmt.Errorf("endpoint health check: %w", err)
 	}
 	if !h.AuditsEnabled {
 		return fmt.Errorf("endpoint does not run the audit service; start it with mlaas-server -detector <artifact.bpd>")
 	}
-	list, err := mlaas.ListModels(ctx, url, mlaas.ClientConfig{})
+	list, err := mlaas.ListModels(ctx, url, cfg)
 	if err != nil {
 		return err
 	}
@@ -268,7 +270,7 @@ func auditFleet(ctx context.Context, url string) error {
 		go func(i int, mi mlaas.ModelInfo) {
 			defer wg.Done()
 			results[i].info = mi
-			c, err := mlaas.DialModel(ctx, url, mi.ID, mlaas.ClientConfig{})
+			c, err := mlaas.DialModel(ctx, url, mi.ID, cfg)
 			if err != nil {
 				results[i].err = err
 				return
@@ -299,24 +301,35 @@ func auditFleet(ctx context.Context, url string) error {
 	wg.Wait()
 
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
-	// The node column shows which gateway backend ran each job ("-"
-	// against a single server, where jobs have no routing to report).
-	fmt.Fprintln(w, "model\tjob\tnode\tverdict\tscore\tprompted-acc\tqueries")
+	// The node column shows which gateway backend ran each job, the tenant
+	// column which API-key tenant the server billed it to ("-" against a
+	// single server or an un-tenanted endpoint). Queries is the oracle spend
+	// the tenant's ledger was charged — reported even for FAILED jobs, where
+	// a quota-exhausted audit still spent its partial budget.
+	fmt.Fprintln(w, "model\tjob\tnode\ttenant\tverdict\tscore\tprompted-acc\tqueries")
 	flagged, audited, failed := 0, 0, 0
 	for _, res := range results {
-		node := res.job.Node
+		node, tenant := res.job.Node, res.job.Tenant
 		if node == "" {
 			node = "-"
+		}
+		if tenant == "" {
+			tenant = "-"
 		}
 		switch {
 		case res.err != nil:
 			failed++
-			fmt.Fprintf(w, "%s\t-\t-\tERROR\t-\t-\t-\n", res.info.ID)
+			fmt.Fprintf(w, "%s\t-\t-\t-\tERROR\t-\t-\t-\n", res.info.ID)
 		case res.skipped != "":
-			fmt.Fprintf(w, "%s\t-\t-\tSKIPPED\t-\t-\t-\n", res.info.ID)
+			fmt.Fprintf(w, "%s\t-\t-\t-\tSKIPPED\t-\t-\t-\n", res.info.ID)
 		case res.job.State != audit.StateDone || res.job.Verdict == nil:
 			failed++
-			fmt.Fprintf(w, "%s\t%s\t%s\tFAILED\t-\t-\t-\n", res.info.ID, res.job.ID, node)
+			verdict := "FAILED"
+			if res.job.ErrorCode != "" {
+				verdict = "FAILED:" + res.job.ErrorCode
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t-\t-\t%d\n",
+				res.info.ID, res.job.ID, node, tenant, verdict, res.job.Progress.Queries)
 		default:
 			audited++
 			v := res.job.Verdict
@@ -325,8 +338,8 @@ func auditFleet(ctx context.Context, url string) error {
 				verdict = "BACKDOORED"
 				flagged++
 			}
-			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.3f\t%.3f\t%d\n",
-				res.info.ID, res.job.ID, node, verdict, v.Score, v.PromptedAcc, v.Queries)
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%.3f\t%.3f\t%d\n",
+				res.info.ID, res.job.ID, node, tenant, verdict, v.Score, v.PromptedAcc, v.Queries)
 		}
 	}
 	if err := w.Flush(); err != nil {

@@ -33,6 +33,7 @@ import (
 	"strings"
 	"syscall"
 
+	"bprom/internal/jobstore"
 	"bprom/internal/mlaas"
 )
 
@@ -52,6 +53,7 @@ func run() error {
 		downAfter      = flag.Int("down-after", 0, "consecutive failures before a node is marked down (0: default 2)")
 		upAfter        = flag.Int("up-after", 0, "consecutive successful probes before a marked-down node returns (0: default 2)")
 		timeout        = flag.Duration("timeout", 0, "per-request timeout against nodes (0: default 30s)")
+		keysPath       = flag.String("keys", "", "API-key file (tenant:key[:quota[:rps]] per line) enforcing auth and rate limits at the gateway edge; callers' keys are forwarded to nodes either way")
 	)
 	flag.Parse()
 	if *nodes == "" {
@@ -79,12 +81,26 @@ func run() error {
 		return err
 	}
 	srv := mlaas.NewGatewayServer(gw)
+	tenancyNote := ""
+	if *keysPath != "" {
+		tenants, err := jobstore.ParseKeyFile(*keysPath)
+		if err != nil {
+			return err
+		}
+		// Edge auth only: the gateway rejects bad keys and rate-limits
+		// before the routing hop, while quota ledgers stay on the nodes
+		// (their journals are the ledgers of record — /v1/tenants/{id}/usage
+		// fans out and sums them).
+		srv.EnableTenancy(jobstore.NewTenancy(tenants, nil))
+		tenancyNote = fmt.Sprintf("edge tenancy live: %d tenants from %s\n", len(tenants), *keysPath)
+	}
 
 	ready := make(chan string, 1)
 	go func() {
 		bound := <-ready
 		fmt.Printf("gateway on http://%s over %d node(s), %d healthy; Ctrl-C to stop\n",
 			bound, gw.Nodes(), gw.HealthyNodes())
+		fmt.Print(tenancyNote)
 		for i, u := range nodeURLs {
 			fmt.Printf("  n%d  %s\n", i, u)
 		}

@@ -41,6 +41,7 @@ import (
 	"bprom/internal/attack"
 	"bprom/internal/bprom"
 	"bprom/internal/data"
+	"bprom/internal/jobstore"
 	"bprom/internal/mlaas"
 	"bprom/internal/nn"
 	"bprom/internal/rng"
@@ -72,6 +73,9 @@ func run() error {
 		detectorPath  = flag.String("detector", "", "detector artifact (.bpd, from 'bprom train') enabling server-side audit jobs on /v1/audits")
 		auditWorkers  = flag.Int("audit-workers", 0, "concurrently running audit jobs (0: default 2)")
 		auditQueue    = flag.Int("audit-queue", 0, "queued audit jobs before submissions get 429 (0: default 64)")
+		jobsDir       = flag.String("jobs-dir", "", "durable audit-job directory: jobs journal here and resume bit-exactly after a restart (requires -detector)")
+		keysPath      = flag.String("keys", "", "API-key file (tenant:key[:quota[:rps]] per line) enabling auth, per-tenant rate limits, and oracle-query quotas")
+		reauditEvery  = flag.Duration("reaudit-every", 0, "re-audit every hosted model on this cadence (e.g. 12h; requires -detector; jobs attributed to tenant \"reaudit\")")
 		screenPath    = flag.String("screen", "", "detector artifact (.bpd) enabling inline request screening: every predict row is scored with the learned prompt, fused into the same forward pass")
 		screenThresh  = flag.Float64("screen-threshold", 0, "screening flag threshold in (0,1] (0: default)")
 		screenPolicy  = flag.String("screen-policy", "annotate", "what to do with flagged inputs: 'annotate' (attach scores, serve anyway) or 'reject' (withhold their confidences)")
@@ -168,14 +172,64 @@ func run() error {
 		}
 	}
 
+	if *detectorPath == "" {
+		if *jobsDir != "" {
+			return fmt.Errorf("-jobs-dir requires -detector (durable jobs need the audit service)")
+		}
+		if *reauditEvery > 0 {
+			return fmt.Errorf("-reaudit-every requires -detector (re-audits need the audit service)")
+		}
+	}
+
+	// The job store outlives the server: it is replayed before the audit
+	// manager starts and closed only after Serve returns, so the shutdown
+	// checkpoint flush always lands in the journal.
+	var store *jobstore.Store
+	if *jobsDir != "" {
+		s, err := jobstore.Open(*jobsDir)
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		store = s
+	}
+
+	// Tenancy before audits: EnableAudits quota-wraps resumed jobs' oracles
+	// through the tenancy, so the key file (with its journal-seeded spend
+	// ledgers) must be live before the journal replays.
+	var notes []string
+	if *keysPath != "" {
+		tenants, err := jobstore.ParseKeyFile(*keysPath)
+		if err != nil {
+			return err
+		}
+		var seed map[string]int64
+		if store != nil {
+			seed = store.TenantSpend()
+		}
+		srv.EnableTenancy(jobstore.NewTenancy(tenants, seed))
+		notes = append(notes, fmt.Sprintf("tenancy live: %d tenants from %s (mutating routes require Authorization: Bearer <key>)", len(tenants), *keysPath))
+	}
+
 	auditNote := "audits disabled (pass -detector to enable /v1/audits)"
 	if *detectorPath != "" {
 		det, err := bprom.LoadFile(*detectorPath)
 		if err != nil {
 			return err
 		}
-		srv.EnableAudits(det, mlaas.AuditConfig{Workers: *auditWorkers, MaxQueued: *auditQueue})
+		if err := srv.EnableAudits(det, mlaas.AuditConfig{Workers: *auditWorkers, MaxQueued: *auditQueue, Store: store}); err != nil {
+			return err
+		}
 		auditNote = fmt.Sprintf("audit-as-a-service live on /v1/audits (detector %s)", *detectorPath)
+		if store != nil {
+			auditNote += fmt.Sprintf("; durable jobs in %s (%d resumed)", *jobsDir, srv.Audits().Resumed())
+		}
+		if *reauditEvery > 0 {
+			if err := srv.EnableReaudit(*reauditEvery, "reaudit"); err != nil {
+				return err
+			}
+			notes = append(notes, fmt.Sprintf("re-audit scheduler live: full zoo sweep every %s", *reauditEvery))
+		}
 	}
 
 	ready := make(chan string, 1)
@@ -186,6 +240,9 @@ func run() error {
 				*screenPolicy, screener.Threshold(), *screenPath)
 		}
 		fmt.Println(auditNote)
+		for _, n := range notes {
+			fmt.Println(n)
+		}
 	}()
 	return srv.Serve(ctx, *addr, ready)
 }

@@ -139,7 +139,9 @@ func run() error {
 		return err
 	}
 	server := mlaas.NewRegistryServer(reg)
-	server.EnableAudits(loaded, mlaas.AuditConfig{Workers: 2})
+	if err := server.EnableAudits(loaded, mlaas.AuditConfig{Workers: 2}); err != nil {
+		return err
+	}
 	ready := make(chan string, 1)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- server.Serve(ctx, "127.0.0.1:0", ready) }()

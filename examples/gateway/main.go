@@ -141,7 +141,9 @@ func run() error {
 			return err
 		}
 		server := mlaas.NewRegistryServer(reg)
-		server.EnableAudits(loaded, mlaas.AuditConfig{Workers: 2})
+		if err := server.EnableAudits(loaded, mlaas.AuditConfig{Workers: 2}); err != nil {
+			return err
+		}
 		nodeCtx, nodeCancel := context.WithCancel(ctx)
 		cancels[i] = nodeCancel
 		ready := make(chan string, 1)

@@ -17,10 +17,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"bprom/internal/bprom"
+	"bprom/internal/jobstore"
 	"bprom/internal/oracle"
 )
 
@@ -57,6 +59,12 @@ type Job struct {
 	Verdict *bprom.Verdict `json:"verdict,omitempty"`
 	// Error describes the failure once State is StateFailed.
 	Error string `json:"error,omitempty"`
+	// ErrorCode is a machine-readable failure class ("quota_exhausted" when
+	// the tenant's oracle-query budget ran out mid-job; empty otherwise).
+	ErrorCode string `json:"error_code,omitempty"`
+	// Tenant attributes the job to the API-key tenant that submitted it
+	// ("" when the server runs without tenancy).
+	Tenant string `json:"tenant,omitempty"`
 	// Node names the serving node running the job when the job was routed
 	// through a gateway ("" for jobs on the node itself). Gateway job ids
 	// are namespaced "{node}.{id}" so id collisions across nodes cannot
@@ -77,6 +85,22 @@ type Config struct {
 	// MaxQueued bounds jobs waiting for a worker; Submit fails with
 	// ErrQueueFull beyond it. Default 64.
 	MaxQueued int
+	// Store, when non-nil, makes jobs durable: every lifecycle transition is
+	// journaled, running jobs checkpoint their search state at generation
+	// boundaries, and NewManager re-enqueues the journal's non-terminal jobs
+	// so they resume bit-exactly after a restart. The caller owns the store
+	// and must close it only after Close returns.
+	Store *jobstore.Store
+	// OracleFor rebuilds the black-box oracle for a journaled job at resume
+	// time (submission-time oracles do not survive the process). Required
+	// when Store is set; a resumed job whose oracle cannot be rebuilt fails
+	// with the returned error.
+	OracleFor func(modelID, tenant string) (oracle.Oracle, error)
+	// CheckpointEvery journals every Nth generation checkpoint (default 1:
+	// every completed generation). Larger values trade restart granularity
+	// for journal traffic; the latest snapshot is still flushed on graceful
+	// Close regardless.
+	CheckpointEvery int
 }
 
 func (c *Config) defaults() {
@@ -85,6 +109,9 @@ func (c *Config) defaults() {
 	}
 	if c.MaxQueued <= 0 {
 		c.MaxQueued = 64
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
 	}
 }
 
@@ -99,13 +126,24 @@ var ErrClosed = errors.New("audit: manager closed")
 // maps it to 404.
 var ErrUnknownJob = errors.New("audit: unknown job")
 
-// job is the mutable behind-the-scenes record; snap is guarded by mu.
+// job is the mutable behind-the-scenes record; snap and the checkpoint
+// fields are guarded by mu.
 type job struct {
 	mu     sync.Mutex
 	snap   Job
 	sus    oracle.Oracle
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// num is the journal's numeric job ID (snap.ID is "a<num>").
+	num uint64
+	// resume is the journal checkpoint a rebooted job restarts from.
+	resume *bprom.Checkpoint
+	// ckpt is the latest in-memory checkpoint; journaledGen tracks the
+	// newest generation already written to the journal, so the graceful
+	// Close flush and the periodic journaling never double-write.
+	ckpt         *bprom.Checkpoint
+	journaledGen int
 }
 
 func (j *job) snapshot() Job {
@@ -130,13 +168,20 @@ type Manager struct {
 	order   []string // submission order, for stable listings
 	pending []*job   // queued jobs, FIFO; deleting removes immediately
 	seq     int
+	resumed int
 	closed  bool
 }
 
 // NewManager starts a Manager with cfg.Workers worker goroutines over det.
-// Call Close to stop them.
-func NewManager(det *bprom.Detector, cfg Config) *Manager {
+// With a Store configured it first replays the journal: terminal jobs are
+// restored to the listing, non-terminal ones are re-enqueued (resuming from
+// their last checkpoint when they have one), and the ID sequence continues
+// past every journaled ID. Call Close to stop the workers.
+func NewManager(det *bprom.Detector, cfg Config) (*Manager, error) {
 	cfg.defaults()
+	if cfg.Store != nil && cfg.OracleFor == nil {
+		return nil, fmt.Errorf("audit: Config.Store requires Config.OracleFor to rebuild oracles on resume")
+	}
 	root, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		det:    det,
@@ -147,12 +192,108 @@ func NewManager(det *bprom.Detector, cfg Config) *Manager {
 		now:    time.Now,
 		jobs:   make(map[string]*job),
 	}
+	if cfg.Store != nil {
+		if err := m.replay(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
-	return m
+	return m, nil
 }
+
+// replay rebuilds the job table from the journal. Cancelled jobs were
+// removed from the listing by Delete and stay gone; done/failed jobs return
+// as retained terminal snapshots; queued/running jobs are re-enqueued.
+func (m *Manager) replay() error {
+	for _, rec := range m.cfg.Store.Jobs() {
+		if rec.State == jobstore.StateCancelled {
+			continue
+		}
+		ctx, cancel := context.WithCancel(m.root)
+		j := &job{
+			num: rec.ID,
+			snap: Job{
+				ID:        "a" + strconv.FormatUint(rec.ID, 10),
+				ModelID:   rec.ModelID,
+				InspectID: rec.InspectID,
+				Tenant:    rec.Tenant,
+				State:     StateQueued,
+				Created:   rec.Created,
+			},
+			ctx:          ctx,
+			cancel:       cancel,
+			journaledGen: rec.Generation,
+		}
+		switch rec.State {
+		case jobstore.StateDone:
+			j.snap.State = StateDone
+			j.snap.Finished = rec.Finished
+			v := bprom.Verdict{
+				Score:       rec.Verdict.Score,
+				Threshold:   rec.Verdict.Threshold,
+				Backdoored:  rec.Verdict.Backdoored,
+				PromptedAcc: rec.Verdict.PromptedAcc,
+				Queries:     rec.Verdict.Queries,
+			}
+			j.snap.Verdict = &v
+			j.snap.Progress = bprom.Progress{Queries: v.Queries}
+			cancel()
+		case jobstore.StateFailed:
+			j.snap.State = StateFailed
+			j.snap.Finished = rec.Finished
+			j.snap.Error = rec.Error
+			j.snap.ErrorCode = rec.ErrorCode
+			j.snap.Progress = bprom.Progress{Generation: rec.Generation, Queries: rec.Queries}
+			cancel()
+		default: // queued or running: re-enqueue
+			j.snap.Progress = bprom.Progress{Generation: rec.Generation, Queries: rec.Queries}
+			if len(rec.Checkpoint) > 0 {
+				c, err := bprom.DecodeCheckpoint(rec.Checkpoint)
+				if err != nil {
+					// A checkpoint that does not decode is real corruption
+					// below the CRC layer; fail the job rather than silently
+					// re-running it from scratch (which would double-spend
+					// the tenant's journaled queries).
+					m.failResumed(j, fmt.Sprintf("resume checkpoint corrupt: %v", err))
+					continue
+				}
+				j.resume = c
+				j.ckpt = c
+			}
+			sus, err := m.cfg.OracleFor(rec.ModelID, rec.Tenant)
+			if err != nil {
+				m.failResumed(j, fmt.Sprintf("rebuilding oracle for resume: %v", err))
+				continue
+			}
+			j.sus = sus
+			m.pending = append(m.pending, j)
+		}
+		m.jobs[j.snap.ID] = j
+		m.order = append(m.order, j.snap.ID)
+	}
+	m.seq = int(m.cfg.Store.NextSeq()) - 1
+	m.resumed = len(m.pending)
+	return nil
+}
+
+// failResumed marks a journal job failed during replay (bad checkpoint,
+// unbuildable oracle) both in memory and in the journal.
+func (m *Manager) failResumed(j *job, msg string) {
+	j.cancel()
+	j.snap.State = StateFailed
+	j.snap.Error = msg
+	j.snap.Finished = m.now()
+	_ = m.cfg.Store.Fail(j.num, msg, "", j.snap.Progress.Queries, j.snap.Finished)
+	m.jobs[j.snap.ID] = j
+	m.order = append(m.order, j.snap.ID)
+}
+
+// Resumed reports how many journal jobs were re-enqueued at construction.
+func (m *Manager) Resumed() int { return m.resumed }
 
 // Detector exposes the managed detector (serving layers use it for
 // compatibility checks at submission time).
@@ -162,7 +303,10 @@ func (m *Manager) Detector() *bprom.Detector { return m.det }
 // returns the queued job snapshot. inspectID selects the inspection RNG
 // stream; pass a negative value to use the job's submission sequence
 // number, which keeps distinct jobs on distinct streams automatically.
-func (m *Manager) Submit(modelID string, sus oracle.Oracle, inspectID int) (Job, error) {
+// tenant attributes the job for quota accounting and usage reporting (""
+// without tenancy). With a Store configured the job is journaled before
+// Submit returns: an acknowledged submission survives a crash.
+func (m *Manager) Submit(modelID, tenant string, sus oracle.Oracle, inspectID int) (Job, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -178,16 +322,26 @@ func (m *Manager) Submit(modelID string, sus oracle.Oracle, inspectID int) (Job,
 	}
 	ctx, cancel := context.WithCancel(m.root)
 	j := &job{
+		num: uint64(m.seq),
 		snap: Job{
 			ID:        fmt.Sprintf("a%d", m.seq),
 			ModelID:   modelID,
 			InspectID: inspectID,
+			Tenant:    tenant,
 			State:     StateQueued,
 			Created:   m.now(),
 		},
 		sus:    sus,
 		ctx:    ctx,
 		cancel: cancel,
+	}
+	if m.cfg.Store != nil {
+		if err := m.cfg.Store.Create(j.num, modelID, tenant, inspectID, j.snap.Created); err != nil {
+			m.seq--
+			m.mu.Unlock()
+			cancel()
+			return Job{}, fmt.Errorf("audit: journaling submission: %w", err)
+		}
 	}
 	m.pending = append(m.pending, j)
 	m.jobs[j.snap.ID] = j
@@ -284,6 +438,12 @@ func (m *Manager) Delete(id string) (Job, error) {
 		return Job{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
 	}
 	j.cancel()
+	// A deleted job is journaled cancelled: it stays out of the listing on
+	// the next boot (unlike shutdown, which deliberately leaves no terminal
+	// record so the job resumes).
+	if m.cfg.Store != nil {
+		_ = m.cfg.Store.Cancel(j.num, m.now())
+	}
 	return j.snapshot(), nil
 }
 
@@ -291,6 +451,13 @@ func (m *Manager) Delete(id string) (Job, error) {
 // and waits for the workers to drain. In-flight inspections abort at their
 // next context check and finish as StateFailed; Close returns once every
 // worker has exited. Safe to call more than once.
+//
+// With a Store configured, Close first persists each running job's latest
+// in-memory checkpoint (before the context-cancel, so graceful shutdown
+// never loses more than the in-flight generation even when CheckpointEvery
+// skips journal writes), and deliberately writes no terminal records: the
+// journal keeps shutdown-interrupted jobs queued/running so the next boot
+// resumes them.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -299,9 +466,45 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
+	var flush []*job
+	if m.cfg.Store != nil {
+		for _, id := range m.order {
+			flush = append(flush, m.jobs[id])
+		}
+	}
 	m.mu.Unlock()
+	for _, j := range flush {
+		j.mu.Lock()
+		c := j.ckpt
+		terminal := j.snap.State.Terminal()
+		j.mu.Unlock()
+		if c != nil && !terminal {
+			m.journalCheckpoint(j, c)
+		}
+	}
 	m.cancel()
 	m.wg.Wait()
+}
+
+// journalCheckpoint writes c to the journal unless an equal-or-newer
+// generation is already there. Races between the periodic journaling and the
+// Close flush are benign: the generation guard makes the second write a
+// no-op.
+func (m *Manager) journalCheckpoint(j *job, c *bprom.Checkpoint) {
+	j.mu.Lock()
+	if c.Generation <= j.journaledGen {
+		j.mu.Unlock()
+		return
+	}
+	j.journaledGen = c.Generation
+	j.mu.Unlock()
+	blob, err := c.Encode()
+	if err != nil {
+		return
+	}
+	// A failed journal append is not fatal to the job: the next checkpoint
+	// (or the Close flush) retries with a newer generation.
+	_ = m.cfg.Store.Checkpoint(j.num, c.Generation, c.Queries, blob)
 }
 
 func (m *Manager) worker() {
@@ -355,8 +558,11 @@ func (m *Manager) failQueued() {
 
 func (m *Manager) run(j *job) {
 	defer j.cancel() // the job is terminal after run; release its context
+	store := m.cfg.Store
 	if err := j.ctx.Err(); err != nil {
-		// Deleted (or manager closed) while queued.
+		// Deleted (journaled cancelled by Delete) or manager closed (no
+		// terminal record on purpose: the job resumes next boot) while
+		// queued.
 		j.mu.Lock()
 		j.snap.State = StateFailed
 		j.snap.Error = "audit cancelled before it ran"
@@ -368,26 +574,82 @@ func (m *Manager) run(j *job) {
 	j.snap.State = StateRunning
 	j.snap.Started = m.now()
 	inspectID := j.snap.InspectID
+	resume := j.resume
 	j.mu.Unlock()
+	if store != nil {
+		_ = store.Start(j.num)
+	}
 
-	v, err := m.det.InspectProgress(j.ctx, j.sus, inspectID, func(p bprom.Progress) {
+	var onCheckpoint func(*bprom.Checkpoint)
+	if store != nil {
+		onCheckpoint = func(c *bprom.Checkpoint) {
+			j.mu.Lock()
+			j.ckpt = c
+			j.mu.Unlock()
+			if c.Generation%m.cfg.CheckpointEvery == 0 {
+				m.journalCheckpoint(j, c)
+			}
+		}
+	}
+	v, err := m.det.InspectResumable(j.ctx, j.sus, inspectID, func(p bprom.Progress) {
 		j.mu.Lock()
 		j.snap.Progress = p
 		j.mu.Unlock()
-	})
+	}, onCheckpoint, resume)
 
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.snap.Finished = m.now()
+	finished := m.now()
 	if err != nil {
+		shutdown := m.root.Err() != nil
+		cancelled := j.ctx.Err() != nil
+		var qe *jobstore.QuotaError
+		quota := errors.As(err, &qe)
+		j.mu.Lock()
+		j.snap.Finished = finished
 		j.snap.State = StateFailed
-		if j.ctx.Err() != nil {
+		switch {
+		case cancelled:
 			j.snap.Error = fmt.Sprintf("audit cancelled: %v", err)
-		} else {
+		case quota:
+			j.snap.Error = fmt.Sprintf("tenant oracle-query quota exhausted after %d job queries: %v", v.Queries, err)
+			j.snap.ErrorCode = "quota_exhausted"
+		default:
 			j.snap.Error = err.Error()
+		}
+		j.snap.Progress.Queries = v.Queries
+		msg, code, queries := j.snap.Error, j.snap.ErrorCode, v.Queries
+		ckpt := j.ckpt
+		j.mu.Unlock()
+		if store == nil {
+			return
+		}
+		switch {
+		case shutdown:
+			// Graceful drain: flush the newest checkpoint, write no
+			// terminal record — the journal keeps the job running, and the
+			// next boot resumes it from exactly here.
+			if ckpt != nil {
+				m.journalCheckpoint(j, ckpt)
+			}
+		case cancelled:
+			// Deleted mid-run; Delete wrote the cancelled record.
+		default:
+			_ = store.Fail(j.num, msg, code, queries, finished)
 		}
 		return
 	}
+
+	j.mu.Lock()
+	j.snap.Finished = finished
 	j.snap.State = StateDone
 	j.snap.Verdict = &v
+	j.mu.Unlock()
+	if store != nil {
+		_ = store.Done(j.num, jobstore.VerdictRecord{
+			Score:       v.Score,
+			Threshold:   v.Threshold,
+			Backdoored:  v.Backdoored,
+			PromptedAcc: v.PromptedAcc,
+			Queries:     v.Queries,
+		}, finished)
+	}
 }

@@ -101,12 +101,22 @@ func waitState(t *testing.T, m *Manager, id string, want func(Job) bool) Job {
 	return Job{}
 }
 
+// mustManager constructs a Manager or fails the test.
+func mustManager(t *testing.T, det *bprom.Detector, cfg Config) *Manager {
+	t.Helper()
+	m, err := NewManager(det, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func TestJobLifecycleAndVerdictParity(t *testing.T) {
 	det, sus := sharedDetector(t)
-	m := NewManager(det, Config{Workers: 2})
+	m := mustManager(t, det, Config{Workers: 2})
 	t.Cleanup(m.Close)
 
-	j, err := m.Submit("m0", oracle.NewModelOracle(sus), 7)
+	j, err := m.Submit("m0", "", oracle.NewModelOracle(sus), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,13 +155,13 @@ func TestJobLifecycleAndVerdictParity(t *testing.T) {
 
 func TestSequentialInspectIDs(t *testing.T) {
 	det, sus := sharedDetector(t)
-	m := NewManager(det, Config{Workers: 1})
+	m := mustManager(t, det, Config{Workers: 1})
 	t.Cleanup(m.Close)
-	a, err := m.Submit("m0", oracle.NewModelOracle(sus), -1)
+	a, err := m.Submit("m0", "", oracle.NewModelOracle(sus), -1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := m.Submit("m1", oracle.NewModelOracle(sus), -1)
+	b, err := m.Submit("m1", "", oracle.NewModelOracle(sus), -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,11 +192,11 @@ func newBlockingOracle(det *bprom.Detector) *blockingOracle {
 
 func TestDeleteCancelsRunningJob(t *testing.T) {
 	det, sus := sharedDetector(t)
-	m := NewManager(det, Config{Workers: 1})
+	m := mustManager(t, det, Config{Workers: 1})
 	t.Cleanup(m.Close)
 
 	blocker := newBlockingOracle(det)
-	j, err := m.Submit("slow", blocker, -1)
+	j, err := m.Submit("slow", "", blocker, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +209,7 @@ func TestDeleteCancelsRunningJob(t *testing.T) {
 	}
 
 	// The single worker must be free again: a real job completes.
-	k, err := m.Submit("m0", oracle.NewModelOracle(sus), 1)
+	k, err := m.Submit("m0", "", oracle.NewModelOracle(sus), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,17 +221,17 @@ func TestDeleteCancelsRunningJob(t *testing.T) {
 
 func TestDeleteQueuedJobNeverRuns(t *testing.T) {
 	det, _ := sharedDetector(t)
-	m := NewManager(det, Config{Workers: 1})
+	m := mustManager(t, det, Config{Workers: 1})
 	t.Cleanup(m.Close)
 
 	blocker := newBlockingOracle(det)
-	running, err := m.Submit("slow", blocker, -1)
+	running, err := m.Submit("slow", "", blocker, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-blocker.started
 	tracked := &trackingOracle{inner: newBlockingOracle(det)}
-	queued, err := m.Submit("queued", tracked, -1)
+	queued, err := m.Submit("queued", "", tracked, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,37 +253,37 @@ func TestDeleteQueuedJobNeverRuns(t *testing.T) {
 
 func TestQueueBound(t *testing.T) {
 	det, _ := sharedDetector(t)
-	m := NewManager(det, Config{Workers: 1, MaxQueued: 1})
+	m := mustManager(t, det, Config{Workers: 1, MaxQueued: 1})
 	t.Cleanup(m.Close)
 
 	blocker := newBlockingOracle(det)
-	if _, err := m.Submit("slow", blocker, -1); err != nil {
+	if _, err := m.Submit("slow", "", blocker, -1); err != nil {
 		t.Fatal(err)
 	}
 	<-blocker.started // worker occupied; queue empty
-	if _, err := m.Submit("q1", newBlockingOracle(det), -1); err != nil {
+	if _, err := m.Submit("q1", "", newBlockingOracle(det), -1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Submit("q2", newBlockingOracle(det), -1); !errors.Is(err, ErrQueueFull) {
+	if _, err := m.Submit("q2", "", newBlockingOracle(det), -1); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("expected ErrQueueFull, got %v", err)
 	}
 }
 
 func TestDeleteFreesQueueSlot(t *testing.T) {
 	det, _ := sharedDetector(t)
-	m := NewManager(det, Config{Workers: 1, MaxQueued: 1})
+	m := mustManager(t, det, Config{Workers: 1, MaxQueued: 1})
 	t.Cleanup(m.Close)
 
 	blocker := newBlockingOracle(det)
-	if _, err := m.Submit("slow", blocker, -1); err != nil {
+	if _, err := m.Submit("slow", "", blocker, -1); err != nil {
 		t.Fatal(err)
 	}
 	<-blocker.started
-	q1, err := m.Submit("q1", newBlockingOracle(det), -1)
+	q1, err := m.Submit("q1", "", newBlockingOracle(det), -1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Submit("q2", newBlockingOracle(det), -1); !errors.Is(err, ErrQueueFull) {
+	if _, err := m.Submit("q2", "", newBlockingOracle(det), -1); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("expected ErrQueueFull, got %v", err)
 	}
 	// Deleting the queued job must release its slot immediately, even
@@ -281,22 +291,22 @@ func TestDeleteFreesQueueSlot(t *testing.T) {
 	if _, err := m.Delete(q1.ID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Submit("q3", newBlockingOracle(det), -1); err != nil {
+	if _, err := m.Submit("q3", "", newBlockingOracle(det), -1); err != nil {
 		t.Fatalf("queue slot not released after delete: %v", err)
 	}
 }
 
 func TestCloseDrainsRunningJobs(t *testing.T) {
 	det, _ := sharedDetector(t)
-	m := NewManager(det, Config{Workers: 2})
+	m := mustManager(t, det, Config{Workers: 2})
 
 	blocker := newBlockingOracle(det)
-	j, err := m.Submit("slow", blocker, -1)
+	j, err := m.Submit("slow", "", blocker, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-blocker.started
-	queued, err := m.Submit("queued", newBlockingOracle(det), -1)
+	queued, err := m.Submit("queued", "", newBlockingOracle(det), -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +327,7 @@ func TestCloseDrainsRunningJobs(t *testing.T) {
 			t.Fatalf("job %s after Close: %+v", id, got)
 		}
 	}
-	if _, err := m.Submit("late", blocker, -1); !errors.Is(err, ErrClosed) {
+	if _, err := m.Submit("late", "", blocker, -1); !errors.Is(err, ErrClosed) {
 		t.Fatalf("expected ErrClosed, got %v", err)
 	}
 }

@@ -392,51 +392,7 @@ func (d *Detector) Inspect(ctx context.Context, sus oracle.Oracle, inspectID int
 // query the oracle. Progress reporting does not perturb the RNG streams or
 // the query sequence, so verdicts are bit-identical with or without a hook.
 func (d *Detector) InspectProgress(ctx context.Context, sus oracle.Oracle, inspectID int, onProgress func(Progress)) (Verdict, error) {
-	counter := oracle.NewCounter(sus)
-	r := rng.New(d.seed).Split("inspect", inspectID)
-	prompt, err := vp.NewPrompt(d.prompt.source, d.extTrain.Shape, d.prompt.frac)
-	if err != nil {
-		return Verdict{}, err
-	}
-	bb := d.blackBox
-	var reported int64
-	if onProgress != nil {
-		gens := bb.Generations()
-		bb.OnGeneration = func(gen int) {
-			q := counter.Queries()
-			onProgress(Progress{Generation: gen, Generations: gens, Queries: q, QueriesDelta: q - reported})
-			reported = q
-		}
-		onProgress(Progress{Generations: gens})
-	}
-	if err := vp.TrainBlackBox(ctx, counter, prompt, d.extTrain, bb, r); err != nil {
-		return Verdict{}, fmt.Errorf("bprom: black-box prompting: %w", err)
-	}
-	pm := &vp.Prompted{Oracle: counter, Prompt: prompt}
-	acc, err := pm.Accuracy(ctx, d.external)
-	if err != nil {
-		return Verdict{}, err
-	}
-	feats, err := confidenceFeatures(ctx, counter, prompt, d.external, d.queryIdx)
-	if err != nil {
-		return Verdict{}, err
-	}
-	score, err := d.forest.Score(feats)
-	if err != nil {
-		return Verdict{}, err
-	}
-	if onProgress != nil {
-		gens := bb.Generations()
-		q := counter.Queries()
-		onProgress(Progress{Generation: gens, Generations: gens, Queries: q, QueriesDelta: q - reported})
-	}
-	return Verdict{
-		Score:       score,
-		Threshold:   d.threshold,
-		Backdoored:  score >= d.threshold,
-		PromptedAcc: acc,
-		Queries:     counter.Queries(),
-	}, nil
+	return d.InspectResumable(ctx, sus, inspectID, onProgress, nil, nil)
 }
 
 // ScoreModel adapts Inspect to the defense.ModelLevel convention (higher =

@@ -1,0 +1,109 @@
+package bprom
+
+import (
+	"context"
+	"testing"
+
+	"bprom/internal/attack"
+	"bprom/internal/oracle"
+)
+
+// TestInspectResumableBitExact interrupts an inspection at a mid-run
+// checkpoint (by replaying the captured snapshot through a fresh call) and
+// asserts the resumed verdict — score, prompted accuracy, and total query
+// count — is bit-identical to the uninterrupted run, across a round-trip
+// through the binary checkpoint encoding.
+func TestInspectResumableBitExact(t *testing.T) {
+	e := sharedEnv(t)
+	ctx := context.Background()
+	sus := trainSus(t, e, &attack.Config{Kind: attack.BadNets, PoisonRate: 0.20}, 7)
+
+	var checkpoints []*Checkpoint
+	ref, err := e.det.InspectResumable(ctx, oracle.NewModelOracle(sus), 3, nil,
+		func(c *Checkpoint) { checkpoints = append(checkpoints, c) }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checkpoints) == 0 {
+		t.Fatal("no checkpoints captured")
+	}
+	plain, err := e.det.Inspect(ctx, oracle.NewModelOracle(sus), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref != plain {
+		t.Fatalf("checkpoint hooks perturbed the verdict: %+v vs %+v", ref, plain)
+	}
+
+	for _, pick := range []int{0, len(checkpoints) / 2, len(checkpoints) - 1} {
+		blob, err := checkpoints[pick].Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := DecodeCheckpoint(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if restored.Generation != checkpoints[pick].Generation || restored.Queries != checkpoints[pick].Queries {
+			t.Fatalf("checkpoint round-trip drifted: %d/%d vs %d/%d",
+				restored.Generation, restored.Queries, checkpoints[pick].Generation, checkpoints[pick].Queries)
+		}
+		got, err := e.det.InspectResumable(ctx, oracle.NewModelOracle(sus), 3, nil, nil, restored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Fatalf("resume from generation %d diverged: %+v vs %+v", restored.Generation, got, ref)
+		}
+	}
+}
+
+// TestInspectResumableProgressAfterResume checks the progress stream of a
+// resumed run starts at the checkpointed generation and query spend.
+func TestInspectResumableProgressAfterResume(t *testing.T) {
+	e := sharedEnv(t)
+	ctx := context.Background()
+	sus := trainSus(t, e, nil, 9)
+
+	var mid *Checkpoint
+	if _, err := e.det.InspectResumable(ctx, oracle.NewModelOracle(sus), 4, nil,
+		func(c *Checkpoint) {
+			if mid == nil {
+				mid = c
+			}
+		}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var first *Progress
+	var progress []Progress
+	if _, err := e.det.InspectResumable(ctx, oracle.NewModelOracle(sus), 4, func(p Progress) {
+		if first == nil {
+			cp := p
+			first = &cp
+		}
+		progress = append(progress, p)
+	}, nil, mid); err != nil {
+		t.Fatal(err)
+	}
+	if first == nil || first.Generation != mid.Generation || first.Queries != mid.Queries {
+		t.Fatalf("resumed progress started at %+v, want generation %d queries %d", first, mid.Generation, mid.Queries)
+	}
+	// Deltas after resume must account only for freshly spent queries.
+	total := mid.Queries
+	for _, p := range progress[1:] {
+		total += p.QueriesDelta
+		if p.Queries != total {
+			t.Fatalf("query delta stream inconsistent at %+v (running total %d)", p, total)
+		}
+	}
+}
+
+// TestDecodeCheckpointRejectsGarbage pins the magic/version guard.
+func TestDecodeCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := DecodeCheckpoint([]byte("not a checkpoint blob, definitely")); err == nil {
+		t.Fatal("expected error for garbage blob")
+	}
+	if _, err := DecodeCheckpoint(nil); err == nil {
+		t.Fatal("expected error for empty blob")
+	}
+}

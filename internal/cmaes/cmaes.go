@@ -51,6 +51,20 @@ type Options struct {
 	// mutate optimizer state, and it does not fire for a generation cut
 	// short by MaxEvals.
 	OnIter func(iter int)
+	// OnState, when non-nil, is invoked after every completed generation
+	// with a snapshot of the full optimizer state (it fires alongside
+	// OnIter, and like OnIter it does not fire for a generation cut short
+	// by MaxEvals or for the generation that trips TolFun). Passing the
+	// snapshot back via Resume continues the run bit-exactly, which is how
+	// server-side audit jobs survive restarts. The snapshot is deep-copied;
+	// the callback owns it.
+	OnState func(st *SepState)
+	// Resume, when non-nil, restores a MinimizeSep run from an OnState
+	// snapshot instead of starting at x0. The caller must supply the same
+	// dimension, population size, and strategy options as the original run;
+	// only the loop state (mean, paths, RNG, budget accounting) comes from
+	// the snapshot.
+	Resume *SepState
 	// Evaluate, when non-nil, replaces the per-candidate Objective calls
 	// with one fused BatchObjective call per generation. The call receives
 	// the λ clipped candidates in sample order (fewer when MaxEvals
@@ -75,6 +89,40 @@ func (o *Options) defaults(n int) {
 	if o.MaxIters <= 0 {
 		o.MaxIters = 100
 	}
+}
+
+// SepState is the complete loop state of a MinimizeSep run at a generation
+// boundary: distribution parameters, evolution paths, best-so-far tracking,
+// stagnation counters, and the sampling RNG. A run resumed from a SepState
+// produces the same remaining sample sequence — and therefore the same
+// result — as the uninterrupted run, provided the objective itself is
+// deterministic or checkpoints its own randomness alongside (vp.SearchState
+// carries the mini-batch RNG for exactly that reason).
+type SepState struct {
+	Iter      int // completed generations; the resumed loop starts here
+	Evals     int
+	Sigma     float64
+	Mean      []float64
+	Diag      []float64
+	Ps        []float64
+	Pc        []float64
+	Best      []float64
+	BestValue float64
+	PrevBest  float64
+	Stale     int
+	RNG       [6]uint64
+}
+
+// clone deep-copies the snapshot so the optimizer's live buffers are never
+// shared with the checkpoint consumer.
+func (st *SepState) clone() *SepState {
+	c := *st
+	c.Mean = append([]float64(nil), st.Mean...)
+	c.Diag = append([]float64(nil), st.Diag...)
+	c.Ps = append([]float64(nil), st.Ps...)
+	c.Pc = append([]float64(nil), st.Pc...)
+	c.Best = append([]float64(nil), st.Best...)
+	return &c
 }
 
 // Result reports the best point found.
@@ -191,7 +239,26 @@ func MinimizeSep(obj Objective, x0 []float64, opt Options, r *rng.RNG) (Result, 
 	res := Result{Best: append([]float64(nil), x0...), BestValue: math.Inf(1)}
 	prevBest := math.Inf(1)
 	stale := 0
-	for iter := 0; iter < opt.MaxIters; iter++ {
+	startIter := 0
+	if st := opt.Resume; st != nil {
+		if len(st.Mean) != n || len(st.Diag) != n || len(st.Ps) != n || len(st.Pc) != n || len(st.Best) != n {
+			return res, fmt.Errorf("cmaes: resume state dimension mismatch (want %d)", n)
+		}
+		copy(mean, st.Mean)
+		copy(diag, st.Diag)
+		copy(ps, st.Ps)
+		copy(pc, st.Pc)
+		copy(res.Best, st.Best)
+		sigma = st.Sigma
+		res.BestValue = st.BestValue
+		res.Evals = st.Evals
+		res.Iters = st.Iter
+		prevBest = st.PrevBest
+		stale = st.Stale
+		startIter = st.Iter
+		r = rng.FromState(st.RNG)
+	}
+	for iter := startIter; iter < opt.MaxIters; iter++ {
 		// Sample the whole generation first (RNG draw order is identical to
 		// drawing per candidate: the objective never touches r), then score
 		// it — one fused call when Evaluate is set.
@@ -287,6 +354,23 @@ func MinimizeSep(obj Objective, x0 []float64, opt Options, r *rng.RNG) (Result, 
 				stale = 0
 			}
 			prevBest = res.BestValue
+		}
+		if opt.OnState != nil {
+			st := SepState{
+				Iter:      iter + 1,
+				Evals:     res.Evals,
+				Sigma:     sigma,
+				Mean:      mean,
+				Diag:      diag,
+				Ps:        ps,
+				Pc:        pc,
+				Best:      res.Best,
+				BestValue: res.BestValue,
+				PrevBest:  prevBest,
+				Stale:     stale,
+				RNG:       r.State(),
+			}
+			opt.OnState(st.clone())
 		}
 	}
 	return res, nil

@@ -1,0 +1,143 @@
+// Package jobstore is the durable half of the audit platform: a crash-safe
+// journaled job store that lets server-side audit jobs survive restarts, plus
+// the tenancy plane built on top of it (API keys, per-tenant rate limits and
+// oracle-query quotas, and a re-audit scheduler).
+//
+// Jobs append state transitions (create/start/checkpoint/done/failed/
+// cancelled) to an append-only journal of CRC-framed binio records. On boot
+// the journal is replayed: a partial final frame is a crash artifact and is
+// silently truncated away, while a CRC mismatch anywhere else is real
+// corruption and fails loudly with the offending offset. Checkpoint records
+// carry opaque detector search state (internal/bprom.Checkpoint), so a
+// rebooted server resumes every interrupted audit from its last completed
+// CMA-ES generation — bit-exactly, queries and verdict alike.
+package jobstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Frame layout: u32 payload length, u32 CRC-32 (IEEE) of the payload, then
+// the payload bytes. Both header words are little-endian, matching
+// internal/binio. A frame is the atomicity unit: a crash can only ever leave
+// a partial frame at the tail, never a torn earlier record, because frames
+// are written with a single Write call and the file is append-only.
+
+const (
+	frameHeaderSize = 8
+	// maxFramePayload bounds a single record; checkpoints for even very
+	// high-dimensional prompts are far below this.
+	maxFramePayload = 1 << 26
+)
+
+// ErrCorrupt reports a journal record whose CRC does not match its payload —
+// real corruption, as opposed to a truncated crash tail. Errors carry the
+// byte offset of the bad frame; match with errors.Is.
+var ErrCorrupt = errors.New("jobstore: journal corrupt")
+
+// appendFrame writes one CRC-framed record to w as a single Write call.
+func appendFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("jobstore: record of %d bytes exceeds frame limit", len(payload))
+	}
+	buf := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[frameHeaderSize:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// scanResult is what replaying a journal stream yields: the decoded payloads,
+// and the byte offset of the first incomplete frame (the "good length" of the
+// file — everything past it is a crash artifact to truncate away).
+type scanResult struct {
+	payloads [][]byte
+	goodLen  int64
+}
+
+// scanFrames reads frames until EOF. A clean EOF at a frame boundary or a
+// partial frame at the tail both terminate the scan normally (the tail is
+// reported via goodLen, not an error); a CRC mismatch returns ErrCorrupt with
+// the frame's offset.
+func scanFrames(r io.Reader) (scanResult, error) {
+	res := scanResult{}
+	var offset int64
+	hdr := make([]byte, frameHeaderSize)
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				// EOF at a boundary is a clean end; a partial header is a
+				// crash artifact. Either way the good prefix ends here.
+				res.goodLen = offset
+				return res, nil
+			}
+			return res, fmt.Errorf("jobstore: reading journal at offset %d: %w", offset, err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxFramePayload {
+			// An absurd length word means the header bytes themselves are
+			// damaged — not distinguishable from a torn tail by framing
+			// alone, but a length this large cannot have been written by
+			// appendFrame, so treat it as corruption.
+			return res, fmt.Errorf("%w: frame at offset %d claims %d-byte payload", ErrCorrupt, offset, length)
+		}
+		payload := make([]byte, int(length))
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				// Partial payload: crash artifact.
+				res.goodLen = offset
+				return res, nil
+			}
+			return res, fmt.Errorf("jobstore: reading journal at offset %d: %w", offset, err)
+		}
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			return res, fmt.Errorf("%w: frame at offset %d has CRC %#08x, payload hashes to %#08x", ErrCorrupt, offset, sum, got)
+		}
+		res.payloads = append(res.payloads, payload)
+		offset += frameHeaderSize + int64(length)
+	}
+}
+
+// replayFile scans path, truncating a crash-damaged tail in place. Missing
+// files yield an empty result: a fresh store boots clean.
+func replayFile(path string) (scanResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return scanResult{}, nil
+		}
+		return scanResult{}, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return scanResult{}, err
+	}
+	res, err := scanFrames(f)
+	if err != nil {
+		return res, err
+	}
+	if res.goodLen < fi.Size() {
+		// Drop the partial tail so the next append starts at a frame
+		// boundary. This is the normal post-crash path, not an error.
+		if err := os.Truncate(path, res.goodLen); err != nil {
+			return res, fmt.Errorf("jobstore: truncating crash tail: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// decodeAll is a convenience for tests and fuzzing: replay a journal image
+// from memory without touching the filesystem.
+func decodeAll(image []byte) ([][]byte, int64, error) {
+	res, err := scanFrames(bytes.NewReader(image))
+	return res.payloads, res.goodLen, err
+}

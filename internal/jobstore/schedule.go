@@ -1,0 +1,66 @@
+package jobstore
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Scheduler fires a callback on a fixed interval — the cron-like re-audit
+// loop that keeps a model zoo continuously monitored instead of scanned
+// once. It is deliberately tiny: the interesting state (which jobs exist,
+// what they found) lives in the Store; the scheduler only triggers
+// re-submission.
+type Scheduler struct {
+	interval time.Duration
+	fire     func(ctx context.Context)
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	fired int
+}
+
+// NewScheduler starts a scheduler invoking fire every interval. The context
+// passed to fire is cancelled by Close, so a re-audit sweep in flight during
+// shutdown aborts promptly. Fire runs on the scheduler goroutine; overlapping
+// sweeps cannot happen (a slow sweep delays the next tick).
+func NewScheduler(interval time.Duration, fire func(ctx context.Context)) *Scheduler {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{interval: interval, fire: fire, ctx: ctx, cancel: cancel}
+	s.wg.Add(1)
+	go s.run()
+	return s
+}
+
+func (s *Scheduler) run() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			s.fire(s.ctx)
+			s.mu.Lock()
+			s.fired++
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Fired reports completed sweeps (for health reporting and tests).
+func (s *Scheduler) Fired() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fired
+}
+
+// Close stops the ticker and waits for an in-flight sweep to return.
+func (s *Scheduler) Close() {
+	s.cancel()
+	s.wg.Wait()
+}

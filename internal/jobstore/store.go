@@ -1,0 +1,552 @@
+package jobstore
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"bprom/internal/binio"
+)
+
+// Record kinds, one per job state transition. The numeric values are part of
+// the on-disk format; append only.
+const (
+	recCreate     = uint32(1)
+	recStart      = uint32(2)
+	recCheckpoint = uint32(3)
+	recDone       = uint32(4)
+	recFailed     = uint32(5)
+	recCancelled  = uint32(6)
+)
+
+// journalName is the journal file inside the jobs directory.
+const journalName = "jobs.journal"
+
+// State is a job's replayed lifecycle state.
+type State string
+
+// Job lifecycle states as persisted in the journal.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// VerdictRecord is the persisted subset of a bprom verdict.
+type VerdictRecord struct {
+	Score       float64
+	Threshold   float64
+	Backdoored  bool
+	PromptedAcc float64
+	Queries     int64
+}
+
+// JobRecord is the replayed state of one job. All fields are value types or
+// owned copies; callers may retain returned records.
+type JobRecord struct {
+	ID        uint64
+	ModelID   string
+	Tenant    string
+	InspectID int
+	State     State
+	Created   time.Time
+	Finished  time.Time
+
+	// Generation/Queries track the latest checkpoint (or the terminal
+	// record's spend for finished jobs).
+	Generation int
+	Queries    int64
+	// Checkpoint is the latest opaque search-state blob (nil when the job
+	// never checkpointed).
+	Checkpoint []byte
+
+	Verdict   *VerdictRecord
+	Error     string
+	ErrorCode string
+}
+
+// clone deep-copies a record so Store internals never alias caller memory.
+func (j *JobRecord) clone() *JobRecord {
+	c := *j
+	c.Checkpoint = append([]byte(nil), j.Checkpoint...)
+	if j.Verdict != nil {
+		v := *j.Verdict
+		c.Verdict = &v
+	}
+	return &c
+}
+
+// Stats is the job_store section of /v1/healthz.
+type Stats struct {
+	// JournalBytes is the current size of the journal file.
+	JournalBytes int64 `json:"journal_bytes"`
+	// JobsResumed counts jobs that were replayed in a non-terminal state at
+	// the last Open — the jobs the audit manager re-enqueued on boot.
+	JobsResumed int `json:"jobs_resumed"`
+	// LastCompaction is when the journal was last rewritten to its live
+	// prefix (RFC 3339; zero before the first compaction).
+	LastCompaction time.Time `json:"last_compaction"`
+}
+
+// Store is a journal-backed job store. All methods are safe for concurrent
+// use. Appends are synchronous: when a transition method returns, the record
+// is in the journal (and fsynced), so an acknowledged transition survives a
+// crash.
+type Store struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	jobs    map[uint64]*JobRecord
+	order   []uint64 // creation order, for stable listings
+	bytes   int64
+	resumed int
+	compact time.Time
+}
+
+// Open replays (and compacts) the journal in dir, creating it if needed. A
+// missing or empty journal boots clean; a crash-truncated tail is dropped
+// silently; a CRC mismatch fails with ErrCorrupt.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	path := filepath.Join(dir, journalName)
+	res, err := replayFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{path: path, jobs: make(map[uint64]*JobRecord)}
+	for i, payload := range res.payloads {
+		if err := s.apply(payload); err != nil {
+			return nil, fmt.Errorf("jobstore: journal record %d: %w", i, err)
+		}
+	}
+	for _, id := range s.order {
+		if !s.jobs[id].State.Terminal() {
+			s.resumed++
+		}
+	}
+	// Compact: rewrite the journal to the minimal record set that replays
+	// to the same live state, then append from there. Compacting on every
+	// boot keeps the journal proportional to job history, not to checkpoint
+	// churn (each job contributes at most one checkpoint record after
+	// compaction).
+	if err := s.compactLocked(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	s.f = f
+	if fi, err := f.Stat(); err == nil {
+		s.bytes = fi.Size()
+	}
+	return s, nil
+}
+
+// Close closes the journal file. The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// Path returns the journal file path (for diagnostics and tests).
+func (s *Store) Path() string { return s.path }
+
+// Stats returns the current job_store health section.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{JournalBytes: s.bytes, JobsResumed: s.resumed, LastCompaction: s.compact}
+}
+
+// NextSeq returns the smallest job ID larger than every journaled ID, so a
+// rebooted manager continues the ID sequence instead of colliding.
+func (s *Store) NextSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var max uint64
+	for id := range s.jobs {
+		if id > max {
+			max = id
+		}
+	}
+	return max + 1
+}
+
+// Jobs returns all replayed jobs in creation order (deep copies).
+func (s *Store) Jobs() []*JobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*JobRecord, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].clone())
+	}
+	return out
+}
+
+// TenantSpend sums journaled oracle-query spend per tenant: each job
+// contributes its terminal spend, or its latest checkpointed spend while
+// still in flight. This seeds the tenancy ledger on boot, so quota
+// accounting survives restarts along with the jobs themselves.
+func (s *Store) TenantSpend() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	spend := make(map[string]int64)
+	for _, j := range s.jobs {
+		if j.Tenant == "" {
+			continue
+		}
+		spend[j.Tenant] += j.Queries
+	}
+	return spend
+}
+
+// --- transitions ----------------------------------------------------------------------
+
+// Create journals a new job in StateQueued.
+func (s *Store) Create(id uint64, modelID, tenant string, inspectID int, created time.Time) error {
+	var buf bytes.Buffer
+	must(binio.WriteU32(&buf, recCreate))
+	must(binio.WriteU64(&buf, id))
+	must(binio.WriteString(&buf, modelID))
+	must(binio.WriteString(&buf, tenant))
+	must(binio.WriteU64(&buf, uint64(int64(inspectID))))
+	must(binio.WriteU64(&buf, uint64(created.UnixNano())))
+	return s.append(buf.Bytes())
+}
+
+// Start journals the queued→running transition.
+func (s *Store) Start(id uint64) error {
+	var buf bytes.Buffer
+	must(binio.WriteU32(&buf, recStart))
+	must(binio.WriteU64(&buf, id))
+	return s.append(buf.Bytes())
+}
+
+// Checkpoint journals a completed-generation snapshot: the generation count,
+// the oracle spend so far, and an opaque resumable search-state blob.
+func (s *Store) Checkpoint(id uint64, generation int, queries int64, blob []byte) error {
+	var buf bytes.Buffer
+	must(binio.WriteU32(&buf, recCheckpoint))
+	must(binio.WriteU64(&buf, id))
+	must(binio.WriteU64(&buf, uint64(generation)))
+	must(binio.WriteU64(&buf, uint64(queries)))
+	must(binio.WriteU32(&buf, uint32(len(blob))))
+	buf.Write(blob)
+	return s.append(buf.Bytes())
+}
+
+// Done journals successful completion with the verdict.
+func (s *Store) Done(id uint64, v VerdictRecord, finished time.Time) error {
+	var buf bytes.Buffer
+	must(binio.WriteU32(&buf, recDone))
+	must(binio.WriteU64(&buf, id))
+	must(binio.WriteF64(&buf, v.Score))
+	must(binio.WriteF64(&buf, v.Threshold))
+	must(binio.WriteBool(&buf, v.Backdoored))
+	must(binio.WriteF64(&buf, v.PromptedAcc))
+	must(binio.WriteU64(&buf, uint64(v.Queries)))
+	must(binio.WriteU64(&buf, uint64(finished.UnixNano())))
+	return s.append(buf.Bytes())
+}
+
+// Fail journals failure with a message, a machine-readable code (may be
+// empty), and the queries spent before failing.
+func (s *Store) Fail(id uint64, msg, code string, queries int64, finished time.Time) error {
+	var buf bytes.Buffer
+	must(binio.WriteU32(&buf, recFailed))
+	must(binio.WriteU64(&buf, id))
+	must(binio.WriteString(&buf, msg))
+	must(binio.WriteString(&buf, code))
+	must(binio.WriteU64(&buf, uint64(queries)))
+	must(binio.WriteU64(&buf, uint64(finished.UnixNano())))
+	return s.append(buf.Bytes())
+}
+
+// Cancel journals user cancellation.
+func (s *Store) Cancel(id uint64, finished time.Time) error {
+	var buf bytes.Buffer
+	must(binio.WriteU32(&buf, recCancelled))
+	must(binio.WriteU64(&buf, id))
+	must(binio.WriteU64(&buf, uint64(finished.UnixNano())))
+	return s.append(buf.Bytes())
+}
+
+// must panics on a bytes.Buffer write error, which cannot happen short of
+// OOM; it keeps the encoders readable.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// append applies the record to the in-memory state and appends it to the
+// journal, fsyncing before returning.
+func (s *Store) append(payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("jobstore: store is closed")
+	}
+	if err := s.apply(payload); err != nil {
+		return err
+	}
+	if err := appendFrame(s.f, payload); err != nil {
+		return fmt.Errorf("jobstore: appending journal record: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("jobstore: syncing journal: %w", err)
+	}
+	s.bytes += frameHeaderSize + int64(len(payload))
+	return nil
+}
+
+// apply folds one decoded record payload into the in-memory state. It is
+// used both on replay and on live append, so replay(journal) == live state
+// by construction.
+func (s *Store) apply(payload []byte) error {
+	r := bytes.NewReader(payload)
+	kind, err := binio.ReadU32(r)
+	if err != nil {
+		return err
+	}
+	if kind == recCreate {
+		id, err := binio.ReadU64(r)
+		if err != nil {
+			return err
+		}
+		modelID, err := binio.ReadString(r)
+		if err != nil {
+			return err
+		}
+		tenant, err := binio.ReadString(r)
+		if err != nil {
+			return err
+		}
+		inspectID, err := binio.ReadU64(r)
+		if err != nil {
+			return err
+		}
+		created, err := binio.ReadU64(r)
+		if err != nil {
+			return err
+		}
+		if _, exists := s.jobs[id]; exists {
+			return fmt.Errorf("duplicate create for job %d", id)
+		}
+		s.jobs[id] = &JobRecord{
+			ID: id, ModelID: modelID, Tenant: tenant,
+			InspectID: int(int64(inspectID)), State: StateQueued,
+			Created: time.Unix(0, int64(created)),
+		}
+		s.order = append(s.order, id)
+		return nil
+	}
+	id, err := binio.ReadU64(r)
+	if err != nil {
+		return err
+	}
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("transition %d for unknown job %d", kind, id)
+	}
+	switch kind {
+	case recStart:
+		j.State = StateRunning
+	case recCheckpoint:
+		gen, err := binio.ReadU64(r)
+		if err != nil {
+			return err
+		}
+		queries, err := binio.ReadU64(r)
+		if err != nil {
+			return err
+		}
+		blobLen, err := binio.ReadU32(r)
+		if err != nil {
+			return err
+		}
+		blob := make([]byte, int(blobLen))
+		if _, err := io.ReadFull(r, blob); err != nil {
+			return err
+		}
+		j.Generation = int(gen)
+		j.Queries = int64(queries)
+		j.Checkpoint = blob
+	case recDone:
+		v := VerdictRecord{}
+		if v.Score, err = binio.ReadF64(r); err != nil {
+			return err
+		}
+		if v.Threshold, err = binio.ReadF64(r); err != nil {
+			return err
+		}
+		if v.Backdoored, err = binio.ReadBool(r); err != nil {
+			return err
+		}
+		if v.PromptedAcc, err = binio.ReadF64(r); err != nil {
+			return err
+		}
+		q, err := binio.ReadU64(r)
+		if err != nil {
+			return err
+		}
+		fin, err := binio.ReadU64(r)
+		if err != nil {
+			return err
+		}
+		v.Queries = int64(q)
+		j.Verdict = &v
+		j.Queries = v.Queries
+		j.State = StateDone
+		j.Finished = time.Unix(0, int64(fin))
+		j.Checkpoint = nil
+	case recFailed:
+		msg, err := binio.ReadString(r)
+		if err != nil {
+			return err
+		}
+		code, err := binio.ReadString(r)
+		if err != nil {
+			return err
+		}
+		q, err := binio.ReadU64(r)
+		if err != nil {
+			return err
+		}
+		fin, err := binio.ReadU64(r)
+		if err != nil {
+			return err
+		}
+		j.Error = msg
+		j.ErrorCode = code
+		j.Queries = int64(q)
+		j.State = StateFailed
+		j.Finished = time.Unix(0, int64(fin))
+		j.Checkpoint = nil
+	case recCancelled:
+		fin, err := binio.ReadU64(r)
+		if err != nil {
+			return err
+		}
+		j.State = StateCancelled
+		j.Finished = time.Unix(0, int64(fin))
+		j.Checkpoint = nil
+	default:
+		return fmt.Errorf("unknown record kind %d", kind)
+	}
+	return nil
+}
+
+// compactLocked rewrites the journal to the minimal record sequence that
+// replays to the current state: create (+start +latest checkpoint) for live
+// jobs, create + terminal for finished ones. Atomic via tmp + rename.
+func (s *Store) compactLocked() error {
+	tmp := s.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: compacting: %w", err)
+	}
+	write := func(encode func(*bytes.Buffer)) error {
+		var buf bytes.Buffer
+		encode(&buf)
+		return appendFrame(f, buf.Bytes())
+	}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		err := write(func(buf *bytes.Buffer) {
+			must(binio.WriteU32(buf, recCreate))
+			must(binio.WriteU64(buf, j.ID))
+			must(binio.WriteString(buf, j.ModelID))
+			must(binio.WriteString(buf, j.Tenant))
+			must(binio.WriteU64(buf, uint64(int64(j.InspectID))))
+			must(binio.WriteU64(buf, uint64(j.Created.UnixNano())))
+		})
+		if err == nil && j.State == StateRunning {
+			err = write(func(buf *bytes.Buffer) {
+				must(binio.WriteU32(buf, recStart))
+				must(binio.WriteU64(buf, j.ID))
+			})
+		}
+		if err == nil && !j.State.Terminal() && j.Checkpoint != nil {
+			err = write(func(buf *bytes.Buffer) {
+				must(binio.WriteU32(buf, recCheckpoint))
+				must(binio.WriteU64(buf, j.ID))
+				must(binio.WriteU64(buf, uint64(j.Generation)))
+				must(binio.WriteU64(buf, uint64(j.Queries)))
+				must(binio.WriteU32(buf, uint32(len(j.Checkpoint))))
+				buf.Write(j.Checkpoint)
+			})
+		}
+		if err == nil {
+			switch j.State {
+			case StateDone:
+				err = write(func(buf *bytes.Buffer) {
+					v := j.Verdict
+					must(binio.WriteU32(buf, recDone))
+					must(binio.WriteU64(buf, j.ID))
+					must(binio.WriteF64(buf, v.Score))
+					must(binio.WriteF64(buf, v.Threshold))
+					must(binio.WriteBool(buf, v.Backdoored))
+					must(binio.WriteF64(buf, v.PromptedAcc))
+					must(binio.WriteU64(buf, uint64(v.Queries)))
+					must(binio.WriteU64(buf, uint64(j.Finished.UnixNano())))
+				})
+			case StateFailed:
+				err = write(func(buf *bytes.Buffer) {
+					must(binio.WriteU32(buf, recFailed))
+					must(binio.WriteU64(buf, j.ID))
+					must(binio.WriteString(buf, j.Error))
+					must(binio.WriteString(buf, j.ErrorCode))
+					must(binio.WriteU64(buf, uint64(j.Queries)))
+					must(binio.WriteU64(buf, uint64(j.Finished.UnixNano())))
+				})
+			case StateCancelled:
+				err = write(func(buf *bytes.Buffer) {
+					must(binio.WriteU32(buf, recCancelled))
+					must(binio.WriteU64(buf, j.ID))
+					must(binio.WriteU64(buf, uint64(j.Finished.UnixNano())))
+				})
+			}
+		}
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("jobstore: compacting: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("jobstore: compacting: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobstore: compacting: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobstore: compacting: %w", err)
+	}
+	s.compact = time.Now()
+	return nil
+}

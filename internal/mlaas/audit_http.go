@@ -10,6 +10,7 @@ import (
 
 	"bprom/internal/audit"
 	"bprom/internal/bprom"
+	"bprom/internal/jobstore"
 	"bprom/internal/oracle"
 	"bprom/internal/tensor"
 )
@@ -32,15 +33,51 @@ type AuditConfig struct {
 	// MaxQueued bounds jobs waiting for a worker (submissions beyond it
 	// get 429). Default 64.
 	MaxQueued int
+	// Store, when non-nil, makes audit jobs durable: lifecycle transitions
+	// and per-generation search checkpoints are journaled, and EnableAudits
+	// re-enqueues the journal's interrupted jobs so they resume bit-exactly
+	// after a restart. The caller owns the store and closes it after the
+	// server's Close returns.
+	Store *jobstore.Store
+	// CheckpointEvery journals every Nth generation checkpoint (default 1).
+	// Larger values trade restart granularity for journal traffic; a
+	// graceful shutdown still flushes the latest snapshot regardless.
+	CheckpointEvery int
 }
 
 // EnableAudits attaches an audit job manager over det to the server: the
 // /v1/audits route family becomes live, auditing the server's own hosted
 // models in-process. Call it once, before the server starts handling
-// requests; Close (and Serve on shutdown) stops the manager, cancelling
-// running jobs via their contexts.
-func (s *Server) EnableAudits(det *bprom.Detector, cfg AuditConfig) {
-	s.audits = audit.NewManager(det, audit.Config{Workers: cfg.Workers, MaxQueued: cfg.MaxQueued})
+// requests — and after EnableTenancy, so resumed jobs' oracles pick up
+// their tenants' quota ledgers. Close (and Serve on shutdown) stops the
+// manager; with a Store the shutdown checkpoints running jobs instead of
+// failing them, and the next EnableAudits over the same store resumes them.
+func (s *Server) EnableAudits(det *bprom.Detector, cfg AuditConfig) error {
+	acfg := audit.Config{
+		Workers:         cfg.Workers,
+		MaxQueued:       cfg.MaxQueued,
+		Store:           cfg.Store,
+		CheckpointEvery: cfg.CheckpointEvery,
+	}
+	if cfg.Store != nil {
+		// Resumed jobs rebuild their oracles here: same provider path and
+		// same quota wrap as a fresh submission, so a resumed job's queries
+		// land on the same ledger its pre-restart queries did.
+		acfg.OracleFor = func(modelID, tenant string) (oracle.Oracle, error) {
+			info, err := s.prov.Info(modelID)
+			if err != nil {
+				return nil, err
+			}
+			return s.auditOracle(info, tenant), nil
+		}
+	}
+	m, err := audit.NewManager(det, acfg)
+	if err != nil {
+		return err
+	}
+	s.audits = m
+	s.store = cfg.Store
+	return nil
 }
 
 // Audits exposes the attached audit manager (nil when audits are disabled).
@@ -168,6 +205,10 @@ type Health struct {
 	// HealthyNodes counts gateway backend nodes currently marked up
 	// (absent on single-node servers).
 	HealthyNodes int `json:"healthy_nodes,omitempty"`
+	// JobStore reports the audit journal's state when jobs are durable
+	// (absent otherwise). A gateway reports the sum over its healthy nodes
+	// (bytes and resumed jobs add; last_compaction is the newest).
+	JobStore *jobstore.Stats `json:"job_store,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -186,6 +227,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.audits != nil {
 		resp.AuditJobs = s.audits.Len()
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.JobStore = &st
 	}
 	if ha, ok := s.prov.(healthAugmenter); ok {
 		ha.augmentHealth(&resp)
@@ -239,8 +284,8 @@ func (s *Server) handleSubmitAudit(w http.ResponseWriter, r *http.Request, id st
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("model %q not auditable: %v", info.ID, err)})
 		return
 	}
-	sus := &providerOracle{prov: s.prov, id: info.ID, classes: info.Classes, inputDim: info.InputDim}
-	job, err := s.audits.Submit(info.ID, sus, inspectID)
+	tenant := tenantFrom(r.Context())
+	job, err := s.audits.Submit(info.ID, tenant, s.auditOracle(info, tenant), inspectID)
 	if err != nil {
 		s.writeError(w, err)
 		return

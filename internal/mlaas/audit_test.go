@@ -127,7 +127,9 @@ func startAuditServer(t *testing.T) (*httptest.Server, *Server) {
 		t.Fatal(err)
 	}
 	s := NewRegistryServer(reg)
-	s.EnableAudits(loaded, AuditConfig{Workers: 2})
+	if err := s.EnableAudits(loaded, AuditConfig{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(s.Close)
 	srv := httptest.NewServer(s.Handler())
 	t.Cleanup(srv.Close)

@@ -41,6 +41,11 @@ type ClientConfig struct {
 	Retries int
 	// AuditPoll is the WaitAudit polling interval. Default 250ms.
 	AuditPoll time.Duration
+	// APIKey, when set, is sent as Authorization: Bearer <key> on every
+	// request — required for mutating routes on endpoints started with an
+	// API-key file. A WithAPIKey context value overrides it per request
+	// (the gateway forwards the calling tenant's credential that way).
+	APIKey string
 	// HTTPClient overrides the transport (tests).
 	HTTPClient *http.Client
 }
@@ -567,9 +572,23 @@ func (c *Client) postJSON(ctx context.Context, u string, body, v any) error {
 	return c.doJSON(req, v)
 }
 
+// authorize attaches the API-key credential to req: the request context's
+// WithAPIKey value when present (pass-through across a gateway hop), else
+// the client's configured APIKey, else nothing.
+func (c *Client) authorize(req *http.Request) {
+	key := apiKeyFrom(req.Context())
+	if key == "" {
+		key = c.cfg.APIKey
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+}
+
 // doJSON executes req and decodes a 2xx JSON response into v; non-2xx
 // responses become *StatusError with the decoded error envelope.
 func (c *Client) doJSON(req *http.Request, v any) error {
+	c.authorize(req)
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return fmt.Errorf("mlaas: %s %s: %w", req.Method, req.URL, err)
@@ -599,6 +618,7 @@ func (c *Client) predictOnce(ctx context.Context, payload []byte, n int) (_ *ten
 		return nil, nil, false, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	c.authorize(req)
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return nil, nil, true, 0, err

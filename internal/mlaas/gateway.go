@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net/http"
+	"net/url"
 	"sort"
 	"strings"
 	"sync"
@@ -56,6 +57,7 @@ import (
 	"time"
 
 	"bprom/internal/audit"
+	"bprom/internal/jobstore"
 	"bprom/internal/tensor"
 	"bprom/internal/vp"
 )
@@ -730,12 +732,15 @@ func (g *Gateway) listAudits(ctx context.Context) ([]audit.Job, error) {
 // augmentHealth adds the fleet view to /v1/healthz: membership counts,
 // degraded status, and the nodes' aggregated audit-service state (enabled
 // iff every healthy node carries a detector — a fleet audit preflight must
-// not pass if some shard cannot audit).
+// not pass if some shard cannot audit). Nodes with durable job stores also
+// contribute an aggregated job_store block: journal bytes and resumed jobs
+// add across the fleet, last_compaction is the newest.
 func (g *Gateway) augmentHealth(h *Health) {
 	h.Nodes = len(g.nodes)
 	h.HealthyNodes = 0
 	auditsEnabled := false
 	auditJobs := 0
+	var store *jobstore.Stats
 	for _, n := range g.nodes {
 		n.mu.Lock()
 		if n.healthy {
@@ -745,14 +750,73 @@ func (g *Gateway) augmentHealth(h *Health) {
 			}
 			auditsEnabled = auditsEnabled && n.health.AuditsEnabled
 			auditJobs += n.health.AuditJobs
+			if js := n.health.JobStore; js != nil {
+				if store == nil {
+					store = &jobstore.Stats{}
+				}
+				store.JournalBytes += js.JournalBytes
+				store.JobsResumed += js.JobsResumed
+				if js.LastCompaction.After(store.LastCompaction) {
+					store.LastCompaction = js.LastCompaction
+				}
+			}
 		}
 		n.mu.Unlock()
 	}
 	h.AuditsEnabled = auditsEnabled
 	h.AuditJobs = auditJobs
+	h.JobStore = store
 	if h.HealthyNodes < h.Nodes {
 		h.Status = "degraded"
 	}
+}
+
+// tenantUsage fans the usage question out to every healthy node and sums
+// the answers: each node's journal is its own ledger of record, so fleet
+// usage is the sum of per-node spend and job counts. Quota is the maximum a
+// node reports (uniform-fleet assumption: the nodes share one key file).
+// Nodes without tenancy answer 501 and are skipped; only when no node
+// answers at all does the last error pass through.
+func (g *Gateway) tenantUsage(ctx context.Context, name string) (TenantUsage, error) {
+	agg := TenantUsage{Tenant: name}
+	var lastErr error
+	answered := false
+	for _, n := range g.nodes {
+		if !n.isHealthy() {
+			continue
+		}
+		var u TenantUsage
+		if err := n.api.getJSON(ctx, n.base+"/v1/tenants/"+url.PathEscape(name)+"/usage", &u); err != nil {
+			// A 501 is the node's deliberate "no tenancy here" — skip it
+			// without a health strike; anything else classifies normally.
+			var se *StatusError
+			if errors.As(err, &se) && se.Code == http.StatusNotImplemented {
+				lastErr = &nodeError{node: n.name, code: se.Code, msg: se.Msg}
+			} else {
+				lastErr = g.nodeRouteErr(n, err)
+			}
+			continue
+		}
+		answered = true
+		agg.Spent += u.Spent
+		agg.Jobs += u.Jobs
+		if u.Quota > agg.Quota {
+			agg.Quota = u.Quota
+		}
+	}
+	if !answered {
+		if lastErr != nil {
+			return TenantUsage{}, lastErr
+		}
+		return TenantUsage{}, fmt.Errorf("%w: tenant usage for %q (no healthy node)", ErrNoHealthyReplica, name)
+	}
+	if agg.Quota > 0 {
+		agg.Remaining = agg.Quota - agg.Spent
+		if agg.Remaining < 0 {
+			agg.Remaining = 0
+		}
+	}
+	return agg, nil
 }
 
 // --- Provider seam -------------------------------------------------------------------
@@ -770,6 +834,7 @@ var (
 	_ provider        = (*remoteProvider)(nil)
 	_ auditRouter     = (*remoteProvider)(nil)
 	_ healthAugmenter = (*remoteProvider)(nil)
+	_ usageRouter     = (*remoteProvider)(nil)
 )
 
 func (p *remoteProvider) Models() []ModelInfo {
@@ -830,6 +895,11 @@ func (p *remoteProvider) CancelAudit(ctx context.Context, jobID string) (audit.J
 
 // augmentHealth implements healthAugmenter.
 func (p *remoteProvider) augmentHealth(h *Health) { p.g.augmentHealth(h) }
+
+// TenantUsage implements usageRouter: fleet-summed tenant usage.
+func (p *remoteProvider) TenantUsage(ctx context.Context, name string) (TenantUsage, error) {
+	return p.g.tenantUsage(ctx, name)
+}
 
 // NewGatewayServer wraps the gateway in the standard HTTP Server: the full
 // wire API — listings, predicts with screening fields, audit jobs, healthz

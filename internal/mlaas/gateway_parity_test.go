@@ -72,7 +72,9 @@ func startParityNode(t *testing.T, zoo string) *httptest.Server {
 		t.Fatal(err)
 	}
 	s := NewRegistryServer(reg)
-	s.EnableAudits(det, AuditConfig{Workers: 2})
+	if err := s.EnableAudits(det, AuditConfig{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(s.Close)
 	srv := httptest.NewServer(s.Handler())
 	t.Cleanup(srv.Close)

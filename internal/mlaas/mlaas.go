@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"bprom/internal/audit"
+	"bprom/internal/jobstore"
 	"bprom/internal/nn"
 	"bprom/internal/tensor"
 	"bprom/internal/vp"
@@ -217,8 +218,11 @@ func (p *singleProvider) Predict(ctx context.Context, id string, x *tensor.Tenso
 // audit.Manager beside it.
 type Server struct {
 	prov         provider
-	screenPolicy string         // ScreenAnnotate or ScreenReject
-	audits       *audit.Manager // nil until EnableAudits
+	screenPolicy string              // ScreenAnnotate or ScreenReject
+	audits       *audit.Manager      // nil until EnableAudits
+	tenancy      *jobstore.Tenancy   // nil until EnableTenancy
+	store        *jobstore.Store     // nil until EnableAudits with a Store
+	reaudit      *jobstore.Scheduler // nil until EnableReaudit
 	once         sync.Once
 }
 
@@ -263,11 +267,16 @@ func NewRegistryServer(reg *Registry) *Server {
 	return &Server{prov: reg, screenPolicy: reg.cfg.ScreenPolicy}
 }
 
-// Close drains the audit manager (running jobs are cancelled via their
-// contexts) and then stops all model engines; queued and future requests
-// fail with 503. Safe to call more than once.
+// Close stops the re-audit scheduler, drains the audit manager (running
+// jobs checkpoint and are cancelled via their contexts), and then stops all
+// model engines; queued and future requests fail with 503. The job store
+// itself stays open — its owner closes it after Close returns. Safe to call
+// more than once.
 func (s *Server) Close() {
 	s.once.Do(func() {
+		if s.reaudit != nil {
+			s.reaudit.Close()
+		}
 		if s.audits != nil {
 			s.audits.Close()
 		}
@@ -294,6 +303,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/audits/{id}", s.handleGetAudit)
 	mux.HandleFunc("DELETE /v1/audits/{id}", s.handleDeleteAudit)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	// Tenancy routes (501 until EnableTenancy, or until a routing provider
+	// can fan the question out to nodes that run it).
+	mux.HandleFunc("GET /v1/tenants/{id}/usage", func(w http.ResponseWriter, r *http.Request) {
+		s.handleTenantUsage(w, r, r.PathValue("id"))
+	})
 	// Legacy single-model routes: aliases for the default model.
 	mux.HandleFunc("GET /v1/info", func(w http.ResponseWriter, r *http.Request) {
 		s.handleInfo(w, "")
@@ -305,7 +319,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/audits", func(w http.ResponseWriter, r *http.Request) {
 		s.handleSubmitAudit(w, r, "")
 	})
-	return mux
+	// The tenancy middleware wraps every route: it always captures the
+	// caller's bearer token for pass-through (gateways forward it to nodes),
+	// and enforces auth + rate limits on mutating routes once EnableTenancy
+	// has run.
+	return s.withTenancy(mux)
 }
 
 // infoResponse is the /v1/info and /v1/models/{id}/info payload.
@@ -365,9 +383,19 @@ type predictResponse struct {
 }
 
 // errorResponse is the uniform error envelope: every non-2xx response
-// carries {"error": "..."}.
+// carries {"error": "..."}. Tenancy-plane rejections additionally carry a
+// machine-readable code ("unauthorized", "rate_limited", "quota_exhausted")
+// and, for quota rejections, the exact oracle-query accounting.
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code classifies tenancy rejections; absent on other errors.
+	Code string `json:"code,omitempty"`
+	// Queries is the tenant's oracle-query spend as metered by
+	// oracle.Counter, present on quota_exhausted envelopes.
+	Queries int64 `json:"queries,omitempty"`
+	// Quota is the tenant's configured budget, present on quota_exhausted
+	// envelopes.
+	Quota int64 `json:"quota,omitempty"`
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -485,7 +513,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, id string
 // hosted) and from a hang.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	var ne *nodeError
+	var qe *jobstore.QuotaError
 	switch {
+	case errors.As(err, &qe):
+		// The structured 402-style quota envelope: queries carries the spend
+		// exactly as oracle.Counter metered it.
+		writeJSON(w, http.StatusPaymentRequired, errorResponse{
+			Error: err.Error(), Code: "quota_exhausted", Queries: qe.Spent, Quota: qe.Quota,
+		})
+	case errors.Is(err, ErrUnknownTenant):
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrTenancyDisabled):
+		writeJSON(w, http.StatusNotImplemented, errorResponse{Error: err.Error()})
 	case errors.As(err, &ne):
 		if ne.retryAfter > 0 {
 			w.Header().Set("Retry-After", fmt.Sprintf("%d", ne.retryAfter))

@@ -398,7 +398,9 @@ func TestQuantizedRegistryAuditCompletes(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := NewRegistryServer(reg)
-	s.EnableAudits(loaded, AuditConfig{Workers: 2})
+	if err := s.EnableAudits(loaded, AuditConfig{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(s.Close)
 	srv := httptest.NewServer(s.Handler())
 	t.Cleanup(srv.Close)
@@ -455,7 +457,9 @@ func TestAuditQueueFullCarriesRetryAfter(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := NewRegistryServer(reg)
-	s.EnableAudits(loaded, AuditConfig{Workers: 1, MaxQueued: 1})
+	if err := s.EnableAudits(loaded, AuditConfig{Workers: 1, MaxQueued: 1}); err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(s.Close)
 	srv := httptest.NewServer(s.Handler())
 	t.Cleanup(srv.Close)
@@ -467,13 +471,13 @@ func TestAuditQueueFullCarriesRetryAfter(t *testing.T) {
 	release := make(chan struct{})
 	t.Cleanup(func() { close(release) })
 	stall := &stallOracle{classes: info.Classes, dim: info.InputDim, release: release}
-	if _, err := s.Audits().Submit("stall", stall, 1); err != nil {
+	if _, err := s.Audits().Submit("stall", "", stall, 1); err != nil {
 		t.Fatal(err)
 	}
 	// Once the worker picks the wedged job up, this second submission takes
 	// the single queue slot and stays there.
 	for i := 0; ; i++ {
-		if _, err := s.Audits().Submit("stall", stall, 2); err == nil {
+		if _, err := s.Audits().Submit("stall", "", stall, 2); err == nil {
 			break
 		} else if !errors.Is(err, audit.ErrQueueFull) {
 			t.Fatal(err)

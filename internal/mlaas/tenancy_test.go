@@ -1,0 +1,443 @@
+package mlaas
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bprom/internal/audit"
+	"bprom/internal/bprom"
+	"bprom/internal/jobstore"
+)
+
+// startTenantServer serves the shared zoo with audits and tenancy enabled
+// (and optionally a durable job store) — the full multi-tenant platform
+// configuration of mlaas-server -detector -keys [-jobs-dir].
+func startTenantServer(t *testing.T, configs []jobstore.TenantConfig, store *jobstore.Store) (*httptest.Server, *Server) {
+	t.Helper()
+	env := sharedAuditEnv(t)
+	det, err := bprom.LoadFile(env.artPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := OpenRegistry(env.zoo, RegistryConfig{MaxLoaded: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewRegistryServer(reg)
+	if configs != nil {
+		var seed map[string]int64
+		if store != nil {
+			seed = store.TenantSpend()
+		}
+		s.EnableTenancy(jobstore.NewTenancy(configs, seed))
+	}
+	if err := s.EnableAudits(det, AuditConfig{Workers: 2, Store: store}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return srv, s
+}
+
+// postEnvelope POSTs to url with an optional bearer key and decodes the
+// error envelope alongside the status code.
+func postEnvelope(t *testing.T, url, key string) (int, errorResponse, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env errorResponse
+	_ = json.NewDecoder(resp.Body).Decode(&env)
+	return resp.StatusCode, env, resp.Header
+}
+
+func TestTenancyAuthEnforced(t *testing.T) {
+	srv, _ := startTenantServer(t, []jobstore.TenantConfig{
+		{Name: "alice", Key: "ka"},
+	}, nil)
+
+	// Mutating routes without (or with a wrong) key: structured 401.
+	for _, key := range []string{"", "wrong"} {
+		code, env, _ := postEnvelope(t, srv.URL+"/v1/models/clean/audits", key)
+		if code != http.StatusUnauthorized || env.Code != "unauthorized" {
+			t.Fatalf("key %q: got %d %+v, want 401 code=unauthorized", key, code, env)
+		}
+	}
+
+	// Read-only routes stay open: listings and health need no key.
+	for _, path := range []string{"/v1/models", "/v1/audits", "/v1/healthz"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s with no key: %d", path, resp.StatusCode)
+		}
+	}
+
+	// A valid key authenticates, and the job is attributed to the tenant.
+	ctx := context.Background()
+	c, err := DialModel(ctx, srv.URL, "clean", ClientConfig{APIKey: "ka"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.AuditModel(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Tenant != "alice" {
+		t.Fatalf("job tenant = %q, want alice", job.Tenant)
+	}
+	final, err := c.WaitAudit(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != audit.StateDone || final.Tenant != "alice" {
+		t.Fatalf("final job: %+v", final)
+	}
+}
+
+func TestTenantUsageRoute(t *testing.T) {
+	srv, _ := startTenantServer(t, []jobstore.TenantConfig{
+		{Name: "alice", Key: "ka"},
+	}, nil)
+	ctx := context.Background()
+	c, err := DialModel(ctx, srv.URL, "clean", ClientConfig{APIKey: "ka"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.AuditModel(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitAudit(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != audit.StateDone || final.Verdict == nil {
+		t.Fatalf("audit did not complete: %+v", final)
+	}
+
+	var u TenantUsage
+	resp, err := http.Get(srv.URL + "/v1/tenants/alice/usage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&u); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if u.Tenant != "alice" || u.Jobs != 1 {
+		t.Fatalf("usage: %+v", u)
+	}
+	// The ledger and the verdict's oracle.Counter must agree exactly.
+	if u.Spent != final.Verdict.Queries {
+		t.Fatalf("ledger %d != verdict queries %d", u.Spent, final.Verdict.Queries)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/tenants/nobody/usage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown tenant usage: %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestTenancyRateLimit(t *testing.T) {
+	srv, _ := startTenantServer(t, []jobstore.TenantConfig{
+		{Name: "bob", Key: "kb", RPS: 1}, // burst 2
+	}, nil)
+
+	var limited bool
+	for i := 0; i < 10; i++ {
+		code, env, hdr := postEnvelope(t, srv.URL+"/v1/models/nosuch/audits", "kb")
+		if code == http.StatusTooManyRequests {
+			if env.Code != "rate_limited" || hdr.Get("Retry-After") == "" {
+				t.Fatalf("429 envelope: %+v, Retry-After %q", env, hdr.Get("Retry-After"))
+			}
+			limited = true
+			break
+		}
+	}
+	if !limited {
+		t.Fatal("10 rapid mutating requests at rps=1 never hit the rate limit")
+	}
+}
+
+func TestQuotaExhaustedJobEnvelope(t *testing.T) {
+	srv, s := startTenantServer(t, []jobstore.TenantConfig{
+		{Name: "carol", Key: "kc", Quota: 50},
+	}, nil)
+	ctx := context.Background()
+	c, err := DialModel(ctx, srv.URL, "clean", ClientConfig{APIKey: "kc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.AuditModel(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitAudit(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != audit.StateFailed || final.ErrorCode != "quota_exhausted" {
+		t.Fatalf("quota failure not classified: %+v", final)
+	}
+	tenant, _ := s.Tenancy().Lookup("carol")
+	if final.Progress.Queries != tenant.Spent() {
+		t.Fatalf("job queries %d != ledger %d", final.Progress.Queries, tenant.Spent())
+	}
+	if tenant.Spent() > 50 {
+		t.Fatalf("ledger overshot the quota: %d > 50", tenant.Spent())
+	}
+
+	var u TenantUsage
+	resp, err := http.Get(srv.URL + "/v1/tenants/carol/usage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&u); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if u.Quota != 50 || u.Spent != tenant.Spent() || u.Remaining != 50-tenant.Spent() {
+		t.Fatalf("usage after quota exhaustion: %+v (ledger %d)", u, tenant.Spent())
+	}
+}
+
+func TestHealthzJobStore(t *testing.T) {
+	store, err := jobstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _ := startTenantServer(t, nil, store)
+	t.Cleanup(func() { store.Close() })
+
+	h, err := Healthz(context.Background(), srv.URL, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.JobStore == nil {
+		t.Fatal("healthz missing job_store section with a durable store")
+	}
+	if h.JobStore.LastCompaction.IsZero() {
+		t.Fatalf("job_store stats not populated: %+v", h.JobStore)
+	}
+
+	// Without a store the section is absent.
+	plain, _ := startTenantServer(t, nil, nil)
+	h2, err := Healthz(context.Background(), plain.URL, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.JobStore != nil {
+		t.Fatalf("healthz has job_store without a store: %+v", h2.JobStore)
+	}
+}
+
+func TestReauditScheduler(t *testing.T) {
+	_, s := startTenantServer(t, nil, nil)
+	if err := s.EnableReaudit(20*time.Millisecond, "reaudit"); err != nil {
+		t.Fatal(err)
+	}
+	// The sweep audits every compatible model (clean, badnets — oddshape is
+	// rejected) and attributes the jobs to the scheduler's tenant.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		byModel := make(map[string]bool)
+		for _, j := range s.Audits().List() {
+			if j.Tenant == "reaudit" {
+				byModel[j.ModelID] = true
+			}
+		}
+		if byModel["clean"] && byModel["badnets"] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("re-audit sweep never covered the zoo: %+v", s.Audits().List())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, j := range s.Audits().List() {
+		if j.ModelID == "oddshape" {
+			t.Fatalf("re-audit submitted an incompatible model: %+v", j)
+		}
+	}
+}
+
+// startTenantGateway fronts n tenant-enabled durable nodes with a gateway
+// that has no tenancy of its own: auth happens on the nodes, reached by the
+// forwarded bearer token.
+func startTenantGateway(t *testing.T, configs []jobstore.TenantConfig, nodeCount int) (*httptest.Server, *Gateway) {
+	t.Helper()
+	nodes := make([]string, nodeCount)
+	for i := range nodes {
+		store, err := jobstore.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { store.Close() })
+		srv, _ := startTenantServer(t, configs, store)
+		nodes[i] = srv.URL
+	}
+	g, err := NewGateway(context.Background(), GatewayConfig{
+		Nodes:          nodes,
+		HealthInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := NewGatewayServer(g)
+	t.Cleanup(gs.Close)
+	srv := httptest.NewServer(gs.Handler())
+	t.Cleanup(srv.Close)
+	return srv, g
+}
+
+func TestGatewayAuthPassthroughAndUsageAggregation(t *testing.T) {
+	configs := []jobstore.TenantConfig{{Name: "alice", Key: "ka"}}
+	gw, g := startTenantGateway(t, configs, 2)
+	ctx := context.Background()
+
+	// Without a key the node (not the gateway) rejects the submission, and
+	// the 401 passes through the routing hop.
+	noKey, err := DialModel(ctx, gw.URL, "clean", ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := noKey.AuditModel(ctx, 1); err == nil {
+		t.Fatal("unauthenticated submit through gateway succeeded")
+	} else {
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != http.StatusUnauthorized {
+			t.Fatalf("expected 401 through gateway, got %v", err)
+		}
+	}
+
+	// With a key: the gateway forwards the bearer, the node attributes the
+	// tenant, and the namespaced job carries it back.
+	var finals []audit.Job
+	for i, model := range []string{"clean", "badnets"} {
+		c, err := DialModel(ctx, gw.URL, model, ClientConfig{APIKey: "ka"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		job, err := c.AuditModel(ctx, i+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.Tenant != "alice" || job.Node == "" {
+			t.Fatalf("gateway job not attributed: %+v", job)
+		}
+		final, err := c.WaitAudit(ctx, job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State != audit.StateDone || final.Verdict == nil {
+			t.Fatalf("gateway audit failed: %+v", final)
+		}
+		finals = append(finals, final)
+	}
+
+	// Usage through the gateway is the fan-out sum over the nodes' ledgers.
+	var u TenantUsage
+	resp, err := http.Get(gw.URL + "/v1/tenants/alice/usage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&u); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var wantSpent int64
+	for _, f := range finals {
+		wantSpent += f.Verdict.Queries
+	}
+	if u.Tenant != "alice" || u.Spent != wantSpent || u.Jobs != 2 {
+		t.Fatalf("aggregated usage %+v, want spent %d over 2 jobs", u, wantSpent)
+	}
+
+	// Gateway healthz aggregates the nodes' job_store sections. The numbers
+	// come from the membership probes' cached health snapshots; re-probe so
+	// the aggregate reflects the journals the submissions just grew.
+	g.probeAll(ctx)
+	h, err := Healthz(ctx, gw.URL, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.JobStore == nil || h.JobStore.JournalBytes == 0 {
+		t.Fatalf("gateway healthz job_store not aggregated: %+v", h.JobStore)
+	}
+}
+
+func TestTenantSpendSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	configs := []jobstore.TenantConfig{{Name: "alice", Key: "ka"}}
+	ctx := context.Background()
+
+	store1, err := jobstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1, _ := startTenantServer(t, configs, store1)
+	c, err := DialModel(ctx, srv1.URL, "clean", ClientConfig{APIKey: "ka"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.AuditModel(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitAudit(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != audit.StateDone {
+		t.Fatalf("audit failed: %+v", final)
+	}
+	if err := store1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process over the same journal seeds the ledger with the
+	// terminal job's spend: usage picks up where the last life left off.
+	store2, err := jobstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store2.Close() })
+	srv2, _ := startTenantServer(t, configs, store2)
+	var u TenantUsage
+	resp, err := http.Get(srv2.URL + "/v1/tenants/alice/usage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&u); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if u.Spent != final.Verdict.Queries || u.Jobs != 1 {
+		t.Fatalf("restarted usage %+v, want spent %d jobs 1", u, final.Verdict.Queries)
+	}
+}

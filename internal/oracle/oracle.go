@@ -120,5 +120,11 @@ func (c *Counter) InputDim() int   { return c.inner.InputDim() }
 // Queries returns the number of samples sent to the oracle so far.
 func (c *Counter) Queries() int64 { return c.queries.Load() }
 
+// Add pre-charges the counter by n samples without touching the wrapped
+// oracle. A resumed audit job uses it to restore the query total recorded in
+// its last journal checkpoint, so the final verdict's Queries field matches
+// an uninterrupted run exactly.
+func (c *Counter) Add(n int64) { c.queries.Add(n) }
+
 // Reset zeroes the counter.
 func (c *Counter) Reset() { c.queries.Store(0) }

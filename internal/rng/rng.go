@@ -80,6 +80,38 @@ func (r *RNG) Split(label string, idx ...int) *RNG {
 	return New(splitmix64(&st))
 }
 
+// State captures the complete generator state as six words: the four
+// xoshiro256** state words, the Box–Muller spare flag (0 or 1), and the
+// cached spare variate as IEEE-754 bits. FromState(r.State()) yields a
+// generator that continues r's stream bit-exactly, which is what lets a
+// checkpointed detector search resume mid-stream after a restart.
+func (r *RNG) State() [6]uint64 {
+	st := [6]uint64{r.s[0], r.s[1], r.s[2], r.s[3], 0, math.Float64bits(r.spare)}
+	if r.haveSpare {
+		st[4] = 1
+	}
+	return st
+}
+
+// SetState overwrites r in place with a State() snapshot, for callers whose
+// generator pointer is already shared (closures, evaluator structs).
+func (r *RNG) SetState(st [6]uint64) {
+	*r = *FromState(st)
+}
+
+// FromState reconstructs a generator from a State() snapshot.
+func FromState(st [6]uint64) *RNG {
+	r := &RNG{
+		s:         [4]uint64{st[0], st[1], st[2], st[3]},
+		haveSpare: st[4] != 0,
+		spare:     math.Float64frombits(st[5]),
+	}
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
 // Float64 returns a uniform value in [0, 1).
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)

@@ -1,0 +1,103 @@
+package vp
+
+import (
+	"fmt"
+	"io"
+
+	"bprom/internal/binio"
+	"bprom/internal/cmaes"
+)
+
+// SearchState is the resumable state of a black-box prompt search at a
+// CMA-ES generation boundary: the full optimizer snapshot plus the
+// mini-batch sampling RNG. Together they determine every remaining oracle
+// query, so a search resumed from a SearchState reproduces the
+// uninterrupted run bit-for-bit — learned θ and per-image query count
+// alike. This is the payload of audit-job checkpoints in the journaled job
+// store.
+type SearchState struct {
+	CMA      cmaes.SepState
+	BatchRNG [6]uint64
+}
+
+// Clone deep-copies the state so journal encoding never races the search.
+func (st *SearchState) Clone() *SearchState {
+	c := &SearchState{CMA: st.CMA, BatchRNG: st.BatchRNG}
+	c.CMA.Mean = append([]float64(nil), st.CMA.Mean...)
+	c.CMA.Diag = append([]float64(nil), st.CMA.Diag...)
+	c.CMA.Ps = append([]float64(nil), st.CMA.Ps...)
+	c.CMA.Pc = append([]float64(nil), st.CMA.Pc...)
+	c.CMA.Best = append([]float64(nil), st.CMA.Best...)
+	return c
+}
+
+// Save writes the search state to w in the binio wire format.
+func (st *SearchState) Save(w io.Writer) error {
+	for _, v := range []uint64{uint64(st.CMA.Iter), uint64(st.CMA.Evals), uint64(st.CMA.Stale)} {
+		if err := binio.WriteU64(w, v); err != nil {
+			return err
+		}
+	}
+	for _, v := range []float64{st.CMA.Sigma, st.CMA.BestValue, st.CMA.PrevBest} {
+		if err := binio.WriteF64(w, v); err != nil {
+			return err
+		}
+	}
+	for _, s := range [][]float64{st.CMA.Mean, st.CMA.Diag, st.CMA.Ps, st.CMA.Pc, st.CMA.Best} {
+		if err := binio.WriteFloats(w, s); err != nil {
+			return err
+		}
+	}
+	for _, words := range [][6]uint64{st.CMA.RNG, st.BatchRNG} {
+		for _, v := range words {
+			if err := binio.WriteU64(w, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LoadSearchState reads a state previously written by Save.
+func LoadSearchState(r io.Reader) (*SearchState, error) {
+	st := &SearchState{}
+	var words [3]uint64
+	for i := range words {
+		v, err := binio.ReadU64(r)
+		if err != nil {
+			return nil, err
+		}
+		words[i] = v
+	}
+	st.CMA.Iter, st.CMA.Evals, st.CMA.Stale = int(words[0]), int(words[1]), int(words[2])
+	for _, dst := range []*float64{&st.CMA.Sigma, &st.CMA.BestValue, &st.CMA.PrevBest} {
+		v, err := binio.ReadF64(r)
+		if err != nil {
+			return nil, err
+		}
+		*dst = v
+	}
+	for _, dst := range []*[]float64{&st.CMA.Mean, &st.CMA.Diag, &st.CMA.Ps, &st.CMA.Pc, &st.CMA.Best} {
+		s, err := binio.ReadFloats(r)
+		if err != nil {
+			return nil, err
+		}
+		*dst = s
+	}
+	for _, dst := range []*[6]uint64{&st.CMA.RNG, &st.BatchRNG} {
+		for i := range dst {
+			v, err := binio.ReadU64(r)
+			if err != nil {
+				return nil, err
+			}
+			dst[i] = v
+		}
+	}
+	n := len(st.CMA.Mean)
+	for _, s := range [][]float64{st.CMA.Diag, st.CMA.Ps, st.CMA.Pc, st.CMA.Best} {
+		if len(s) != n {
+			return nil, fmt.Errorf("vp: search state vectors disagree on dimension (%d vs %d)", len(s), n)
+		}
+	}
+	return st, nil
+}

@@ -272,6 +272,18 @@ type BlackBoxConfig struct {
 	// behind live audit-job reporting. Ignored by SPSA. Not persisted in
 	// detector artifacts.
 	OnGeneration func(gen int)
+	// OnCheckpoint, when non-nil, is invoked after every completed CMA-ES
+	// generation with a deep-copied snapshot of the resumable search state
+	// (optimizer + mini-batch RNG). Feeding the snapshot back through
+	// Resume continues the search bit-exactly — same θ, same oracle query
+	// sequence — which is how the journaled job store survives restarts.
+	// Not supported by SPSA. Not persisted in detector artifacts.
+	OnCheckpoint func(st *SearchState)
+	// Resume, when non-nil, restarts the search from an OnCheckpoint
+	// snapshot instead of from scratch. The caller must supply the same
+	// prompt geometry, training set, and config as the original run. Not
+	// supported by SPSA. Not persisted in detector artifacts.
+	Resume *SearchState
 }
 
 func (c *BlackBoxConfig) defaults() {
@@ -316,7 +328,16 @@ func TrainBlackBox(ctx context.Context, o oracle.Oracle, p *Prompt, train *data.
 	if train.Len() == 0 {
 		return fmt.Errorf("vp: empty prompt training set")
 	}
+	if cfg.UseSPSA && (cfg.Resume != nil || cfg.OnCheckpoint != nil) {
+		return fmt.Errorf("vp: SPSA path does not support checkpoint/resume")
+	}
+	// Split order matters for determinism: the parent RNG advances once per
+	// Split, so resume must perform the same splits as the original run and
+	// only then overwrite the child states from the snapshot.
 	batchRNG := r.Split("batches")
+	if cfg.Resume != nil {
+		batchRNG.SetState(cfg.Resume.BatchRNG)
+	}
 	work := p.Clone()
 	var oracleErr error
 	n := train.Len()
@@ -346,13 +367,35 @@ func TrainBlackBox(ctx context.Context, o oracle.Oracle, p *Prompt, train *data.
 		}
 		return loss / float64(k)
 	}
+	// A generation evaluated after the oracle failed (or the context was
+	// cancelled mid-run) scored every candidate +Inf: the optimizer update
+	// after it is garbage, and checkpointing it would poison a resumed run.
+	// Gate both per-generation hooks on a healthy evaluation.
+	aborted := func() bool { return oracleErr != nil || ctx.Err() != nil }
 	opt := cmaes.Options{
 		Sigma0:   cfg.Sigma0,
 		PopSize:  cfg.PopSize,
 		MaxIters: cfg.Iterations,
 		Lo:       0,
 		Hi:       1,
-		OnIter:   cfg.OnGeneration,
+	}
+	if cfg.OnGeneration != nil {
+		opt.OnIter = func(gen int) {
+			if !aborted() {
+				cfg.OnGeneration(gen)
+			}
+		}
+	}
+	if cfg.Resume != nil {
+		opt.Resume = &cfg.Resume.CMA
+	}
+	if cfg.OnCheckpoint != nil {
+		opt.OnState = func(st *cmaes.SepState) {
+			if aborted() {
+				return
+			}
+			cfg.OnCheckpoint(&SearchState{CMA: *st, BatchRNG: batchRNG.State()})
+		}
 	}
 	if cfg.MaxQueries > 0 {
 		opt.MaxEvals = cfg.MaxQueries / cfg.BatchSize
