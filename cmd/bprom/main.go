@@ -137,6 +137,7 @@ func runAudit(args []string) error {
 		url       = fs.String("url", "", "suspicious MLaaS endpoint base URL")
 		fleet     = fs.Bool("fleet", false, "submit server-side audit jobs for every model the endpoint hosts (requires -url)")
 		key       = fs.String("key", "", "API key sent as Authorization: Bearer to the endpoint (required when the server runs with -keys)")
+		timeout   = fs.Duration("timeout", 0, "per-request deadline against the endpoint (0: client default 30s); polling an audit job waits across many requests either way")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -149,7 +150,7 @@ func runAudit(args []string) error {
 		if *detPath != "" {
 			return fmt.Errorf("audit: -fleet audits with the SERVER's detector (mlaas-server -detector); drop -detector")
 		}
-		return auditFleet(ctx, *url, *key)
+		return auditFleet(ctx, *url, *key, *timeout)
 	}
 	if (*modelPath == "") == (*url == "") {
 		return fmt.Errorf("audit: pass exactly one of -model or -url")
@@ -172,7 +173,7 @@ func runAudit(args []string) error {
 		sus = oracle.NewModelOracle(m)
 		target = *modelPath
 	} else {
-		c, err := mlaas.Dial(ctx, *url, mlaas.ClientConfig{APIKey: *key})
+		c, err := mlaas.Dial(ctx, *url, mlaas.ClientConfig{APIKey: *key, RequestTimeout: *timeout})
 		if err != nil {
 			return err
 		}
@@ -244,8 +245,8 @@ type fleetResult struct {
 // server-side audit job per model — the train-once / audit-many workload:
 // the server runs the inspections in-process on its bounded audit worker
 // pool, and the CLI only polls job state and renders the verdict table.
-func auditFleet(ctx context.Context, url, key string) error {
-	cfg := mlaas.ClientConfig{APIKey: key}
+func auditFleet(ctx context.Context, url, key string, timeout time.Duration) error {
+	cfg := mlaas.ClientConfig{APIKey: key, RequestTimeout: timeout}
 	h, err := mlaas.Healthz(ctx, url, cfg)
 	if err != nil {
 		return fmt.Errorf("endpoint health check: %w", err)
@@ -303,33 +304,38 @@ func auditFleet(ctx context.Context, url, key string) error {
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	// The node column shows which gateway backend ran each job, the tenant
 	// column which API-key tenant the server billed it to ("-" against a
-	// single server or an un-tenanted endpoint). Queries is the oracle spend
-	// the tenant's ledger was charged — reported even for FAILED jobs, where
-	// a quota-exhausted audit still spent its partial budget.
-	fmt.Fprintln(w, "model\tjob\tnode\ttenant\tverdict\tscore\tprompted-acc\tqueries")
+	// single server or an un-tenanted endpoint). The migrated column names
+	// the job a migrating gateway resumed this one from ("-" for jobs that
+	// never moved). Queries is the oracle spend the tenant's ledger was
+	// charged — reported even for FAILED jobs, where a quota-exhausted audit
+	// still spent its partial budget.
+	fmt.Fprintln(w, "model\tjob\tnode\tmigrated\ttenant\tverdict\tscore\tprompted-acc\tqueries")
 	flagged, audited, failed := 0, 0, 0
 	for _, res := range results {
-		node, tenant := res.job.Node, res.job.Tenant
+		node, tenant, migrated := res.job.Node, res.job.Tenant, res.job.MigratedFrom
 		if node == "" {
 			node = "-"
 		}
 		if tenant == "" {
 			tenant = "-"
 		}
+		if migrated == "" {
+			migrated = "-"
+		}
 		switch {
 		case res.err != nil:
 			failed++
-			fmt.Fprintf(w, "%s\t-\t-\t-\tERROR\t-\t-\t-\n", res.info.ID)
+			fmt.Fprintf(w, "%s\t-\t-\t-\t-\tERROR\t-\t-\t-\n", res.info.ID)
 		case res.skipped != "":
-			fmt.Fprintf(w, "%s\t-\t-\t-\tSKIPPED\t-\t-\t-\n", res.info.ID)
+			fmt.Fprintf(w, "%s\t-\t-\t-\t-\tSKIPPED\t-\t-\t-\n", res.info.ID)
 		case res.job.State != audit.StateDone || res.job.Verdict == nil:
 			failed++
 			verdict := "FAILED"
 			if res.job.ErrorCode != "" {
 				verdict = "FAILED:" + res.job.ErrorCode
 			}
-			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t-\t-\t%d\n",
-				res.info.ID, res.job.ID, node, tenant, verdict, res.job.Progress.Queries)
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t-\t-\t%d\n",
+				res.info.ID, res.job.ID, node, migrated, tenant, verdict, res.job.Progress.Queries)
 		default:
 			audited++
 			v := res.job.Verdict
@@ -338,8 +344,8 @@ func auditFleet(ctx context.Context, url, key string) error {
 				verdict = "BACKDOORED"
 				flagged++
 			}
-			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%.3f\t%.3f\t%d\n",
-				res.info.ID, res.job.ID, node, tenant, verdict, v.Score, v.PromptedAcc, v.Queries)
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%.3f\t%.3f\t%d\n",
+				res.info.ID, res.job.ID, node, migrated, tenant, verdict, v.Score, v.PromptedAcc, v.Queries)
 		}
 	}
 	if err := w.Flush(); err != nil {

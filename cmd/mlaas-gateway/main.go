@@ -21,6 +21,11 @@
 //
 // Audit jobs routed through the gateway get namespaced ids ("n0.a3": node
 // n0's job a3), pollable and cancellable on the usual /v1/audits routes.
+// With -migrate the gateway additionally supervises every audit it places:
+// it caches each job's newest checkpoint while the owner is healthy and,
+// when the owner stays marked down past -migrate-grace, re-submits the job
+// to the next healthy replica with the checkpoint attached — the old job id
+// keeps answering polls, forwarded to wherever the job lives now.
 // The gateway shuts down gracefully on SIGINT/SIGTERM.
 package main
 
@@ -53,7 +58,11 @@ func run() error {
 		downAfter      = flag.Int("down-after", 0, "consecutive failures before a node is marked down (0: default 2)")
 		upAfter        = flag.Int("up-after", 0, "consecutive successful probes before a marked-down node returns (0: default 2)")
 		timeout        = flag.Duration("timeout", 0, "per-request timeout against nodes (0: default 30s)")
+		probeTimeout   = flag.Duration("probe-timeout", 0, "deadline for one node's whole health probe (0: default 5s)")
 		keysPath       = flag.String("keys", "", "API-key file (tenant:key[:quota[:rps]] per line) enforcing auth and rate limits at the gateway edge; callers' keys are forwarded to nodes either way")
+		migrate        = flag.Bool("migrate", false, "supervise audit jobs and re-home them (newest checkpoint attached) when their node stays down past the grace window")
+		migrateGrace   = flag.Duration("migrate-grace", 0, "how long a node must stay marked down before its audit jobs migrate (0: default 10s)")
+		migrateEvery   = flag.Duration("migrate-interval", 0, "migration supervisor sweep period (0: default = health-interval)")
 	)
 	flag.Parse()
 	if *nodes == "" {
@@ -75,7 +84,13 @@ func run() error {
 		HealthInterval: *healthInterval,
 		MarkDownAfter:  *downAfter,
 		MarkUpAfter:    *upAfter,
+		ProbeTimeout:   *probeTimeout,
 		Client:         mlaas.ClientConfig{Timeout: *timeout},
+		Migration: mlaas.MigrationConfig{
+			Enabled:  *migrate,
+			Grace:    *migrateGrace,
+			Interval: *migrateEvery,
+		},
 	})
 	if err != nil {
 		return err

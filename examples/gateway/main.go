@@ -7,8 +7,11 @@
 // replication, membership is health-checked, and audit jobs come back with
 // namespaced ids ("n0.a2" = node n0's job a2). The defender fleet-audits
 // THROUGH the gateway — verdicts bit-identical to auditing either node
-// directly — and then one node is killed mid-serving to show the gateway
-// marking it down and failing predicts over to the survivor.
+// directly — and then the node OWNING a running audit is killed mid-run:
+// the gateway marks it down, fails predicts over to the survivor, and its
+// migration supervisor re-homes the audit job onto the survivor, where it
+// completes under its original id with the same verdict the dead node
+// would have produced.
 //
 // This is the in-process twin of the CLI topology:
 //
@@ -16,8 +19,9 @@
 //	bprom train -out detector.bpd
 //	mlaas-server -addr :8081 -models zoo/ -detector detector.bpd
 //	mlaas-server -addr :8082 -models zoo/ -detector detector.bpd
-//	mlaas-gateway -nodes http://127.0.0.1:8081,http://127.0.0.1:8082 -replication 2
-//	bprom audit -url http://127.0.0.1:8100 -fleet
+//	mlaas-gateway -nodes http://127.0.0.1:8081,http://127.0.0.1:8082 \
+//	    -replication 2 -migrate -migrate-grace 200ms
+//	bprom audit -url http://127.0.0.1:8100 -fleet -timeout 5s
 package main
 
 import (
@@ -158,13 +162,20 @@ func run() error {
 		}
 	}()
 
-	// One gateway in front: same wire API, fleet-wide membership.
+	// One gateway in front: same wire API, fleet-wide membership. The
+	// migration supervisor is on with a short grace window so the demo's
+	// node kill re-homes the running audit within a few sweeps.
 	gw, err := mlaas.NewGateway(ctx, mlaas.GatewayConfig{
 		Nodes:          nodeURLs,
 		Replication:    nodeCount,
 		HealthInterval: 100 * time.Millisecond,
 		MarkDownAfter:  1,
 		MarkUpAfter:    1,
+		Migration: mlaas.MigrationConfig{
+			Enabled:  true,
+			Grace:    200 * time.Millisecond,
+			Interval: 100 * time.Millisecond,
+		},
 	})
 	if err != nil {
 		return err
@@ -214,14 +225,28 @@ func run() error {
 			mi.ID, verdict, job.ID, job.Node, job.Verdict.Score, job.Verdict.Queries)
 	}
 
-	// Fault injection: kill node n0 and keep predicting through the
-	// gateway. The probe loop marks n0 down and every predict fails over
-	// to n1 — the answers don't change, only the healthz fleet view does.
-	fmt.Println("chaos: killing node n0 ...")
-	cancels[0]()
-	if err := <-serveErrs[0]; err != nil {
+	// Fault injection: submit one more audit, then kill the node that OWNS
+	// it mid-run. The probe loop marks the owner down, predicts fail over
+	// to the survivor, and — after the grace window — the migration
+	// supervisor re-submits the job to the survivor with the newest
+	// exported checkpoint. The original namespaced id keeps answering the
+	// whole way, and the verdict is the one the dead node owed.
+	auditClient, err := mlaas.DialModel(ctx, base, "badnets", mlaas.ClientConfig{AuditPoll: 50 * time.Millisecond})
+	if err != nil {
 		return err
 	}
+	job, err := auditClient.AuditModel(ctx, 7)
+	if err != nil {
+		return err
+	}
+	victim := int(job.Node[len(job.Node)-1] - '0')
+	survivor := 1 - victim
+	fmt.Printf("chaos: job %s is running on node %s — killing that node ...\n", job.ID, job.Node)
+	cancels[victim]()
+	if err := <-serveErrs[victim]; err != nil {
+		return err
+	}
+
 	client, err := mlaas.DialModel(ctx, base, "clean", mlaas.ClientConfig{})
 	if err != nil {
 		return err
@@ -233,6 +258,22 @@ func run() error {
 			return fmt.Errorf("predict after node kill: %w", err)
 		}
 	}
+
+	// The pre-kill id rides through the 503 window: WaitAudit keeps
+	// polling, the supervisor migrates, and the gateway forwards the old
+	// id to the new job on the survivor.
+	migCtx, migCancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer migCancel()
+	moved, err := auditClient.WaitAudit(migCtx, job.ID)
+	if err != nil {
+		return fmt.Errorf("wait for migrated audit: %w", err)
+	}
+	if moved.State != audit.StateDone || moved.Verdict == nil {
+		return fmt.Errorf("migrated job ended %s: %s", moved.State, moved.Error)
+	}
+	fmt.Printf("gateway: audit migrated %s -> %s (node n%d, continues %s): score %.3f, %d queries\n",
+		job.ID, moved.ID, survivor, moved.MigratedFrom, moved.Verdict.Score, moved.Verdict.Queries)
+
 	deadline := time.Now().Add(5 * time.Second)
 	for h.HealthyNodes != 1 && time.Now().Before(deadline) {
 		time.Sleep(50 * time.Millisecond)
@@ -240,15 +281,15 @@ func run() error {
 			return err
 		}
 	}
-	fmt.Printf("gateway: predicts kept answering; fleet now %d/%d healthy (status %s)\n",
-		h.HealthyNodes, h.Nodes, h.Status)
+	fmt.Printf("gateway: predicts kept answering; fleet now %d/%d healthy (status %s), %d job(s) migrated\n",
+		h.HealthyNodes, h.Nodes, h.Status, h.MigratedJobs)
 
 	gwCancel()
 	if err := <-gwErr; err != nil {
 		return err
 	}
-	cancels[1]()
-	if err := <-serveErrs[1]; err != nil {
+	cancels[survivor]()
+	if err := <-serveErrs[survivor]; err != nil {
 		return err
 	}
 	return nil

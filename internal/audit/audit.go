@@ -70,6 +70,10 @@ type Job struct {
 	// are namespaced "{node}.{id}" so id collisions across nodes cannot
 	// alias; Node carries the same routing fact as a first-class field.
 	Node string `json:"node,omitempty"`
+	// MigratedFrom names the job this one resumed from when a gateway
+	// migrated it off a dead node (the source's namespaced gateway id,
+	// e.g. "n0.a3"; empty for jobs that never moved).
+	MigratedFrom string `json:"migrated_from,omitempty"`
 	// Created, Started and Finished stamp the lifecycle transitions.
 	Created  time.Time `json:"created"`
 	Started  time.Time `json:"started,omitzero"`
@@ -125,6 +129,22 @@ var ErrClosed = errors.New("audit: manager closed")
 // ErrUnknownJob reports a job id the manager does not hold. The HTTP layer
 // maps it to 404.
 var ErrUnknownJob = errors.New("audit: unknown job")
+
+// ErrNoCheckpoint reports an ExportCheckpoint against a job that has not
+// completed a generation yet (nothing to resume from). The HTTP layer maps
+// it to 204: the job exists, there is just no state to ship.
+var ErrNoCheckpoint = errors.New("audit: job has no checkpoint yet")
+
+// ErrTerminalJob reports an ExportCheckpoint against a finished job —
+// terminal jobs have verdicts, not resumable state.
+var ErrTerminalJob = errors.New("audit: job already terminal")
+
+// BadCheckpointCode is the machine-readable error_code of a job that failed
+// because its resume checkpoint (journaled or handed over the wire by a
+// migrating gateway) did not decode. The job fails cleanly instead of
+// re-running from scratch, which would double-spend the tenant's already-
+// journaled queries.
+const BadCheckpointCode = "bad_checkpoint"
 
 // job is the mutable behind-the-scenes record; snap and the checkpoint
 // fields are guarded by mu.
@@ -258,7 +278,7 @@ func (m *Manager) replay() error {
 					// below the CRC layer; fail the job rather than silently
 					// re-running it from scratch (which would double-spend
 					// the tenant's journaled queries).
-					m.failResumed(j, fmt.Sprintf("resume checkpoint corrupt: %v", err))
+					m.failResumed(j, fmt.Sprintf("resume checkpoint corrupt: %v", err), BadCheckpointCode)
 					continue
 				}
 				j.resume = c
@@ -266,7 +286,7 @@ func (m *Manager) replay() error {
 			}
 			sus, err := m.cfg.OracleFor(rec.ModelID, rec.Tenant)
 			if err != nil {
-				m.failResumed(j, fmt.Sprintf("rebuilding oracle for resume: %v", err))
+				m.failResumed(j, fmt.Sprintf("rebuilding oracle for resume: %v", err), "")
 				continue
 			}
 			j.sus = sus
@@ -282,12 +302,13 @@ func (m *Manager) replay() error {
 
 // failResumed marks a journal job failed during replay (bad checkpoint,
 // unbuildable oracle) both in memory and in the journal.
-func (m *Manager) failResumed(j *job, msg string) {
+func (m *Manager) failResumed(j *job, msg, code string) {
 	j.cancel()
 	j.snap.State = StateFailed
 	j.snap.Error = msg
+	j.snap.ErrorCode = code
 	j.snap.Finished = m.now()
-	_ = m.cfg.Store.Fail(j.num, msg, "", j.snap.Progress.Queries, j.snap.Finished)
+	_ = m.cfg.Store.Fail(j.num, msg, code, j.snap.Progress.Queries, j.snap.Finished)
 	m.jobs[j.snap.ID] = j
 	m.order = append(m.order, j.snap.ID)
 }
@@ -349,6 +370,134 @@ func (m *Manager) Submit(modelID, tenant string, sus oracle.Oracle, inspectID in
 	m.mu.Unlock()
 	// Best-effort nudge: if the buffer is full, enough wakeups are already
 	// outstanding, and workers re-check the pending list before sleeping.
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+	return j.snapshot(), nil
+}
+
+// ExportCheckpoint returns the newest in-memory checkpoint of a
+// queued/running job — the state a gateway ships to a healthy replica when
+// the node owning the job dies. Jobs that have not completed a generation
+// yet fail with ErrNoCheckpoint; terminal jobs with ErrTerminalJob. The
+// caller must treat the returned checkpoint as read-only.
+func (m *Manager) ExportCheckpoint(id string) (*bprom.Checkpoint, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.snap.State.Terminal() {
+		return nil, fmt.Errorf("%w: %q is %s", ErrTerminalJob, id, j.snap.State)
+	}
+	if j.ckpt == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoCheckpoint, id)
+	}
+	return j.ckpt, nil
+}
+
+// SubmitResume enqueues a migrated audit job: an audit started elsewhere,
+// resumed here from a wire-shipped checkpoint (a jobstore CRC frame around
+// an encoded bprom.Checkpoint; nil for a from-scratch re-run that only
+// preserves identity). source names the job this one continues (the
+// gateway's namespaced id) and lands in the snapshot's MigratedFrom.
+//
+// The frame is validated here, not at the transport: a corrupt or
+// truncated checkpoint ACCEPTS the submission and immediately fails the
+// job with error code BadCheckpointCode, so a migrating supervisor sees
+// one uniform outcome (a terminal job) instead of a rejected request it
+// would be tempted to retry. Resuming from scratch on corruption is
+// deliberately not attempted — the checkpointed queries are already in the
+// source node's ledger, and re-spending them silently would double-charge
+// the tenant.
+func (m *Manager) SubmitResume(modelID, tenant string, sus oracle.Oracle, inspectID int, frame []byte, source string) (Job, error) {
+	var ckpt *bprom.Checkpoint
+	var decErr error
+	if len(frame) > 0 {
+		if payload, err := jobstore.DecodeFrame(frame); err != nil {
+			decErr = err
+		} else if c, err := bprom.DecodeCheckpoint(payload); err != nil {
+			decErr = err
+		} else {
+			ckpt = c
+		}
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Job{}, ErrClosed
+	}
+	if len(m.pending) >= m.cfg.MaxQueued {
+		m.mu.Unlock()
+		return Job{}, fmt.Errorf("%w (%d queued)", ErrQueueFull, m.cfg.MaxQueued)
+	}
+	m.seq++
+	if inspectID < 0 {
+		inspectID = m.seq
+	}
+	ctx, cancel := context.WithCancel(m.root)
+	j := &job{
+		num: uint64(m.seq),
+		snap: Job{
+			ID:           fmt.Sprintf("a%d", m.seq),
+			ModelID:      modelID,
+			InspectID:    inspectID,
+			Tenant:       tenant,
+			State:        StateQueued,
+			Created:      m.now(),
+			MigratedFrom: source,
+		},
+		sus:    sus,
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	if ckpt != nil {
+		j.resume = ckpt
+		j.ckpt = ckpt
+		j.snap.Progress = bprom.Progress{Generation: ckpt.Generation, Queries: ckpt.Queries}
+	}
+	if m.cfg.Store != nil {
+		if err := m.cfg.Store.Create(j.num, modelID, tenant, inspectID, j.snap.Created); err != nil {
+			m.seq--
+			m.mu.Unlock()
+			cancel()
+			return Job{}, fmt.Errorf("audit: journaling submission: %w", err)
+		}
+	}
+	if decErr != nil {
+		msg := fmt.Sprintf("migrated checkpoint corrupt: %v", decErr)
+		cancel()
+		j.snap.State = StateFailed
+		j.snap.Error = msg
+		j.snap.ErrorCode = BadCheckpointCode
+		j.snap.Finished = m.now()
+		if m.cfg.Store != nil {
+			_ = m.cfg.Store.Fail(j.num, msg, BadCheckpointCode, 0, j.snap.Finished)
+		}
+		m.jobs[j.snap.ID] = j
+		m.order = append(m.order, j.snap.ID)
+		m.mu.Unlock()
+		return j.snapshot(), nil
+	}
+	if ckpt != nil && m.cfg.Store != nil {
+		// Journal the carried-over checkpoint before the ack: if this node
+		// crashes before the job runs, the next boot still resumes from the
+		// migrated state, and the tenant's carried spend stays on the ledger.
+		if blob, err := ckpt.Encode(); err == nil {
+			if m.cfg.Store.Checkpoint(j.num, ckpt.Generation, ckpt.Queries, blob) == nil {
+				j.journaledGen = ckpt.Generation
+			}
+		}
+	}
+	m.pending = append(m.pending, j)
+	m.jobs[j.snap.ID] = j
+	m.order = append(m.order, j.snap.ID)
+	m.mu.Unlock()
 	select {
 	case m.wake <- struct{}{}:
 	default:
@@ -580,15 +729,15 @@ func (m *Manager) run(j *job) {
 		_ = store.Start(j.num)
 	}
 
-	var onCheckpoint func(*bprom.Checkpoint)
-	if store != nil {
-		onCheckpoint = func(c *bprom.Checkpoint) {
-			j.mu.Lock()
-			j.ckpt = c
-			j.mu.Unlock()
-			if c.Generation%m.cfg.CheckpointEvery == 0 {
-				m.journalCheckpoint(j, c)
-			}
+	// The in-memory latest checkpoint is tracked even without a Store: it is
+	// what GET /v1/audits/{id}/checkpoint exports, and a storeless node must
+	// still hand its jobs to a migrating gateway.
+	onCheckpoint := func(c *bprom.Checkpoint) {
+		j.mu.Lock()
+		j.ckpt = c
+		j.mu.Unlock()
+		if store != nil && c.Generation%m.cfg.CheckpointEvery == 0 {
+			m.journalCheckpoint(j, c)
 		}
 	}
 	v, err := m.det.InspectResumable(j.ctx, j.sus, inspectID, func(p bprom.Progress) {

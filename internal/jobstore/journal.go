@@ -41,6 +41,41 @@ const (
 // byte offset of the bad frame; match with errors.Is.
 var ErrCorrupt = errors.New("jobstore: journal corrupt")
 
+// EncodeFrame wraps payload in the journal's CRC frame (length + CRC-32
+// header, then the bytes) and returns the framed record. It is the wire
+// format for checkpoint export: a node ships a job's search state as one
+// frame so transit corruption is detected by the same CRC that guards the
+// journal on disk.
+func EncodeFrame(payload []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := appendFrame(&buf, payload); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFrame verifies and unwraps a single CRC frame produced by
+// EncodeFrame. Truncated, oversized, trailing-garbage, or CRC-mismatched
+// input fails with ErrCorrupt.
+func DecodeFrame(frame []byte) ([]byte, error) {
+	if len(frame) < frameHeaderSize {
+		return nil, fmt.Errorf("%w: %d-byte frame is shorter than its header", ErrCorrupt, len(frame))
+	}
+	length := binary.LittleEndian.Uint32(frame[0:4])
+	sum := binary.LittleEndian.Uint32(frame[4:8])
+	if length > maxFramePayload {
+		return nil, fmt.Errorf("%w: frame claims %d-byte payload", ErrCorrupt, length)
+	}
+	if int64(len(frame)) != frameHeaderSize+int64(length) {
+		return nil, fmt.Errorf("%w: frame holds %d payload bytes, header claims %d", ErrCorrupt, len(frame)-frameHeaderSize, length)
+	}
+	payload := frame[frameHeaderSize:]
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("%w: frame has CRC %#08x, payload hashes to %#08x", ErrCorrupt, sum, got)
+	}
+	return payload, nil
+}
+
 // appendFrame writes one CRC-framed record to w as a single Write call.
 func appendFrame(w io.Writer, payload []byte) error {
 	if len(payload) > maxFramePayload {

@@ -194,6 +194,80 @@ func TestCompactionDropsCheckpointChurn(t *testing.T) {
 	}
 }
 
+// TestLiveCompactionOnThreshold pins the size-triggered path: a store with
+// a byte threshold compacts DURING appends — a long-running node's journal
+// stays bounded without waiting for the next restart — and keeps accepting
+// writes afterwards (the compactor must reopen its own rewritten file; the
+// old descriptor points at an unlinked inode).
+func TestLiveCompactionOnThreshold(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	s.SetCompactThreshold(16 << 10)
+	now := time.Now()
+	if err := s.Create(1, "m", "t", 1, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(1); err != nil {
+		t.Fatal(err)
+	}
+	blob := bytes.Repeat([]byte("x"), 2048)
+	for gen := 1; gen <= 200; gen++ {
+		if err := s.Checkpoint(1, gen, int64(gen*10), blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no live compaction after 200 checkpoints over a 16KiB threshold: %+v", st)
+	}
+	// Churn collapses to roughly one live checkpoint per compaction cycle:
+	// the journal must stay well under the raw append volume (~400KiB).
+	if st.JournalBytes > 64<<10 {
+		t.Fatalf("journal grew to %d bytes despite live compaction", st.JournalBytes)
+	}
+	// The store stays writable and terminal records land after compaction.
+	if err := s.Fail(1, "boom", "", 42, now); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2 := openT(t, dir)
+	jobs := s2.Jobs()
+	if len(jobs) != 1 || jobs[0].State != StateFailed || jobs[0].Generation != 200 {
+		t.Fatalf("replay after live compaction: %+v", jobs)
+	}
+}
+
+// TestFrameRoundTrip pins the exported wire framing used for checkpoint
+// migration: EncodeFrame/DecodeFrame round-trip exactly, and any damage —
+// truncation or a flipped payload byte — surfaces as ErrCorrupt instead of
+// garbage bytes.
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("checkpoint bytes travel inside one CRC frame")
+	frame, err := EncodeFrame(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round-trip: %q", got)
+	}
+	for name, bad := range map[string][]byte{
+		"truncated header":  frame[:frameHeaderSize-1],
+		"truncated payload": frame[:len(frame)-3],
+		"flipped byte":      append(append([]byte(nil), frame[:frameHeaderSize]...), append([]byte(nil), frame[frameHeaderSize:]...)...),
+	} {
+		if name == "flipped byte" {
+			bad[frameHeaderSize] ^= 0x01
+		}
+		if _, err := DecodeFrame(bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: want ErrCorrupt, got %v", name, err)
+		}
+	}
+}
+
 func TestCancelAndFailReplay(t *testing.T) {
 	dir := t.TempDir()
 	s := openT(t, dir)

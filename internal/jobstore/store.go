@@ -97,6 +97,9 @@ type Stats struct {
 	// LastCompaction is when the journal was last rewritten to its live
 	// prefix (RFC 3339; zero before the first compaction).
 	LastCompaction time.Time `json:"last_compaction"`
+	// Compactions counts live (size-triggered) compactions since Open. The
+	// boot-time compaction is not counted: it happens on every Open.
+	Compactions int `json:"compactions,omitempty"`
 }
 
 // Store is a journal-backed job store. All methods are safe for concurrent
@@ -112,6 +115,15 @@ type Store struct {
 	bytes   int64
 	resumed int
 	compact time.Time
+
+	// Size-triggered live compaction (SetCompactThreshold): compactEvery is
+	// the byte threshold (0: boot-time compaction only), compactFloor the
+	// journal size right after the last live compaction (the hysteresis
+	// base, so a live state near the threshold cannot thrash), compactions
+	// the live-compaction counter surfaced in Stats.
+	compactEvery int64
+	compactFloor int64
+	compactions  int
 }
 
 // Open replays (and compacts) the journal in dir, creating it if needed. A
@@ -175,7 +187,24 @@ func (s *Store) Path() string { return s.path }
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{JournalBytes: s.bytes, JobsResumed: s.resumed, LastCompaction: s.compact}
+	return Stats{
+		JournalBytes: s.bytes, JobsResumed: s.resumed,
+		LastCompaction: s.compact, Compactions: s.compactions,
+	}
+}
+
+// SetCompactThreshold enables size-triggered compaction: whenever an append
+// pushes the journal past n bytes, the journal is rewritten to its live
+// prefix in place (tmp + rename, exactly the boot-time compaction) so a
+// long-lived server — a re-audit scheduler churning checkpoints for months —
+// cannot grow the journal without bound. Hysteresis keeps it from
+// thrashing when the live state itself is near n: after a live compaction
+// the next one does not trigger until the journal doubles from its
+// post-compaction size. n <= 0 disables live compaction (the default).
+func (s *Store) SetCompactThreshold(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compactEvery = n
 }
 
 // NextSeq returns the smallest job ID larger than every journaled ID, so a
@@ -317,6 +346,37 @@ func (s *Store) append(payload []byte) error {
 		return fmt.Errorf("jobstore: syncing journal: %w", err)
 	}
 	s.bytes += frameHeaderSize + int64(len(payload))
+	if s.compactEvery > 0 && s.bytes >= s.compactEvery && s.bytes >= 2*s.compactFloor {
+		return s.compactLive()
+	}
+	return nil
+}
+
+// compactLive rewrites the journal in place and swings the open append
+// handle onto the new file (the rename leaves s.f pointing at the unlinked
+// old inode). The caller holds s.mu and has already durably appended its
+// record, so a failure to *rewrite* is non-fatal — the journal just stays
+// big and the next append retries — but a failure to *reopen* after the
+// rename would leave appends going to the unlinked inode, which is silent
+// data loss; that poisons the store instead.
+func (s *Store) compactLive() error {
+	if err := s.compactLocked(); err != nil {
+		return nil
+	}
+	old := s.f
+	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.f = nil
+		old.Close()
+		return fmt.Errorf("jobstore: reopening journal after compaction: %w", err)
+	}
+	old.Close()
+	s.f = f
+	if fi, err := f.Stat(); err == nil {
+		s.bytes = fi.Size()
+	}
+	s.compactFloor = s.bytes
+	s.compactions++
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"bprom/internal/audit"
 	"bprom/internal/bprom"
@@ -90,10 +91,11 @@ func (s *Server) Audits() *audit.Manager { return s.audits }
 // gateway's remoteProvider), the /v1/audits family proxies through it —
 // same wire contract, jobs namespaced "{node}.{id}".
 type auditRouter interface {
-	SubmitAudit(ctx context.Context, modelID string, inspectID int) (audit.Job, error)
+	SubmitAudit(ctx context.Context, modelID string, inspectID int, resume *AuditResume) (audit.Job, error)
 	GetAudit(ctx context.Context, jobID string) (audit.Job, error)
 	ListAudits(ctx context.Context) ([]audit.Job, error)
 	CancelAudit(ctx context.Context, jobID string) (audit.Job, error)
+	ExportAuditCheckpoint(ctx context.Context, jobID string) (CheckpointExport, error)
 }
 
 // auditRouter returns the provider's audit-routing capability, or nil. A
@@ -173,8 +175,14 @@ type auditSubmitRequest struct {
 	// InspectID selects the inspection RNG stream (reproducibility handle:
 	// the same detector, model, and inspect_id give a bit-identical
 	// verdict). Absent or negative: the server assigns the job's
-	// submission sequence number.
+	// submission sequence number. Required (non-negative) with a resume
+	// block — a resumed search must continue the original RNG stream.
 	InspectID *int `json:"inspect_id"`
+	// Resume, when present, makes this a migrated submission: the job
+	// continues from the attached wire-exported checkpoint (or from
+	// scratch when the checkpoint is empty), attributed to the original
+	// tenant and linked to its source job.
+	Resume *AuditResume `json:"resume,omitempty"`
 }
 
 // auditListResponse is the GET /v1/audits payload.
@@ -209,6 +217,10 @@ type Health struct {
 	// (absent otherwise). A gateway reports the sum over its healthy nodes
 	// (bytes and resumed jobs add; last_compaction is the newest).
 	JobStore *jobstore.Stats `json:"job_store,omitempty"`
+	// MigratedJobs counts audit jobs the gateway's migration supervisor has
+	// re-homed off dead nodes (absent on single-node servers and when
+	// migration is disabled).
+	MigratedJobs int `json:"migrated_jobs,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -251,7 +263,10 @@ func (s *Server) handleSubmitAudit(w http.ResponseWriter, r *http.Request, id st
 		return
 	}
 	var req auditSubmitRequest
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	// The body limit leaves room for a resume block: a base64 checkpoint
+	// frame for a high-dimensional prompt is far below this, a plain
+	// submission is bytes.
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<24))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "read body: " + err.Error()})
 		return
@@ -266,8 +281,15 @@ func (s *Server) handleSubmitAudit(w http.ResponseWriter, r *http.Request, id st
 	if req.InspectID != nil {
 		inspectID = *req.InspectID
 	}
+	if req.Resume != nil && inspectID < 0 {
+		// A server-assigned stream cannot continue the original search: the
+		// resumed CMA-ES state is only meaningful on the RNG stream that
+		// produced it.
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "resume requires the original non-negative inspect_id"})
+		return
+	}
 	if rt != nil {
-		job, err := rt.SubmitAudit(r.Context(), id, inspectID)
+		job, err := rt.SubmitAudit(r.Context(), id, inspectID, req.Resume)
 		if err != nil {
 			s.writeError(w, err)
 			return
@@ -285,12 +307,100 @@ func (s *Server) handleSubmitAudit(w http.ResponseWriter, r *http.Request, id st
 		return
 	}
 	tenant := tenantFrom(r.Context())
+	if req.Resume != nil {
+		// A migrated job keeps its original tenant attribution: the
+		// supervisor resubmits with its own service credential, but spend
+		// and listings must follow the tenant who paid for the first half.
+		if req.Resume.Tenant != "" {
+			tenant = req.Resume.Tenant
+		}
+		job, err := s.audits.SubmitResume(info.ID, tenant, s.auditOracle(info, tenant), inspectID, req.Resume.Checkpoint, req.Resume.Source)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job)
+		return
+	}
 	job, err := s.audits.Submit(info.ID, tenant, s.auditOracle(info, tenant), inspectID)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job)
+}
+
+// handleExportCheckpoint serves GET /v1/audits/{id}/checkpoint: the job's
+// newest checkpoint as one CRC-framed application/octet-stream body, with
+// the job's identity in X-Audit-* headers. 204 means "job exists, nothing
+// checkpointed yet" (submit a fresh-resume instead); 409 a terminal job;
+// 404 an unknown one. On a gateway the request routes to the node that
+// owns the namespaced job.
+func (s *Server) handleExportCheckpoint(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if rt := s.auditRouter(); rt != nil {
+		exp, err := rt.ExportAuditCheckpoint(r.Context(), id)
+		if err != nil {
+			if errors.Is(err, audit.ErrNoCheckpoint) {
+				w.WriteHeader(http.StatusNoContent)
+				return
+			}
+			s.writeError(w, err)
+			return
+		}
+		writeCheckpoint(w, exp)
+		return
+	}
+	if s.audits == nil {
+		s.writeError(w, ErrAuditsDisabled)
+		return
+	}
+	c, err := s.audits.ExportCheckpoint(id)
+	if err != nil {
+		if errors.Is(err, audit.ErrNoCheckpoint) {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		s.writeError(w, err)
+		return
+	}
+	job, err := s.audits.Get(id)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	blob, err := c.Encode()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	frame, err := jobstore.EncodeFrame(blob)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeCheckpoint(w, CheckpointExport{
+		Frame:      frame,
+		Generation: c.Generation,
+		Queries:    c.Queries,
+		ModelID:    job.ModelID,
+		InspectID:  job.InspectID,
+		Tenant:     job.Tenant,
+	})
+}
+
+// writeCheckpoint emits one CheckpointExport on the wire.
+func writeCheckpoint(w http.ResponseWriter, exp CheckpointExport) {
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("X-Audit-Generation", strconv.Itoa(exp.Generation))
+	h.Set("X-Audit-Queries", strconv.FormatInt(exp.Queries, 10))
+	h.Set("X-Audit-Model", exp.ModelID)
+	h.Set("X-Audit-Inspect-Id", strconv.Itoa(exp.InspectID))
+	if exp.Tenant != "" {
+		h.Set("X-Audit-Tenant", exp.Tenant)
+	}
+	_, _ = w.Write(exp.Frame)
 }
 
 func (s *Server) handleListAudits(w http.ResponseWriter, r *http.Request) {

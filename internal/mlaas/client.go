@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"net/http"
 	"net/url"
@@ -31,6 +32,12 @@ const maxInflightChunks = 4
 type ClientConfig struct {
 	// Timeout per request. Default 30s.
 	Timeout time.Duration
+	// RequestTimeout, when positive, overrides Timeout as the per-request
+	// deadline. It exists so callers that share a ClientConfig can tighten
+	// the hang bound without disturbing the rest of the defaults: a fleet
+	// scan (`bprom audit -timeout`) or a gateway's health probes must never
+	// wait the full 30s default on a hung node.
+	RequestTimeout time.Duration
 	// Retries is the number of retry attempts after the first failure, for
 	// transient failures only (network errors, 5xx, and 429 backpressure).
 	// Zero means "use the default" (2); pass NoRetries (or any negative
@@ -146,6 +153,15 @@ func ListModels(ctx context.Context, baseURL string, cfg ClientConfig) (ModelLis
 	return list, nil
 }
 
+// reqTimeout is the effective per-request deadline: RequestTimeout when
+// set, else Timeout.
+func (c *Client) reqTimeout() time.Duration {
+	if c.cfg.RequestTimeout > 0 {
+		return c.cfg.RequestTimeout
+	}
+	return c.cfg.Timeout
+}
+
 // route builds the endpoint path for this client's model: the legacy
 // un-prefixed routes for the default model, /v1/models/{id}/... otherwise.
 func (c *Client) route(leaf string) string {
@@ -181,7 +197,7 @@ func (e *StatusError) Error() string {
 // getJSON fetches one metadata URL and decodes the response (no retries:
 // metadata fetches are cheap for the caller to re-issue).
 func (c *Client) getJSON(ctx context.Context, u string, v any) error {
-	reqCtx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	reqCtx, cancel := context.WithTimeout(ctx, c.reqTimeout())
 	defer cancel()
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, u, nil)
 	if err != nil {
@@ -496,7 +512,7 @@ func (c *Client) ListAudits(ctx context.Context) ([]audit.Job, error) {
 // a queued job never runs, a running one is context-cancelled server-side.
 // It returns the job's snapshot as of deletion.
 func (c *Client) CancelAudit(ctx context.Context, jobID string) (audit.Job, error) {
-	reqCtx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	reqCtx, cancel := context.WithTimeout(ctx, c.reqTimeout())
 	defer cancel()
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodDelete, c.base+"/v1/audits/"+url.PathEscape(jobID), nil)
 	if err != nil {
@@ -504,6 +520,116 @@ func (c *Client) CancelAudit(ctx context.Context, jobID string) (audit.Job, erro
 	}
 	var job audit.Job
 	if err := c.doJSON(req, &job); err != nil {
+		return audit.Job{}, err
+	}
+	return job, nil
+}
+
+// AuditResume is the optional resume block of an audit submission: the
+// wire form of "continue this audit here". A gateway's migration
+// supervisor fills it from a dead node's exported checkpoint; in-process
+// callers can use it to move a job between managers.
+type AuditResume struct {
+	// Checkpoint is a wire-exported checkpoint frame (the jobstore CRC
+	// frame around an encoded bprom.Checkpoint), base64 in JSON. Empty
+	// restarts the audit from generation zero while still preserving the
+	// job's identity fields below.
+	Checkpoint []byte `json:"checkpoint,omitempty"`
+	// Tenant attributes the resumed job to the tenant that submitted the
+	// original, so quota accounting and usage listings follow the job
+	// across nodes.
+	Tenant string `json:"tenant,omitempty"`
+	// Source names the job this one continues (the gateway's namespaced id
+	// of the original, e.g. "n0.a3"); it lands in the new job's
+	// migrated_from field.
+	Source string `json:"source,omitempty"`
+}
+
+// maxCheckpointWire bounds a checkpoint-export response body. It matches
+// the journal's frame-payload ceiling plus header; real checkpoints are
+// kilobytes.
+const maxCheckpointWire = (1 << 26) + 64
+
+// CheckpointExport is a running audit job's wire-exported resume state
+// (GET /v1/audits/{id}/checkpoint): the CRC-framed checkpoint bytes plus
+// the metadata a migration supervisor needs to resubmit the job elsewhere.
+type CheckpointExport struct {
+	// Frame is the opaque CRC-framed checkpoint. The client deliberately
+	// does NOT validate the CRC — the node that resumes from the frame
+	// does, so corruption anywhere in transit is caught exactly once, at
+	// the point where acting on it would do harm.
+	Frame []byte
+	// Generation and Queries mirror the checkpoint's progress metadata
+	// (X-Audit-Generation / X-Audit-Queries).
+	Generation int
+	Queries    int64
+	// ModelID, InspectID and Tenant identify the job, so a supervisor can
+	// resubmit without a second metadata fetch.
+	ModelID   string
+	InspectID int
+	Tenant    string
+}
+
+// ExportCheckpoint fetches a running job's newest checkpoint
+// (GET /v1/audits/{id}/checkpoint). A job that exists but has not
+// completed a generation yet answers 204, surfaced as audit.ErrNoCheckpoint;
+// a finished job is a 409 *StatusError (nothing to resume), an unknown one
+// a 404.
+func (c *Client) ExportCheckpoint(ctx context.Context, jobID string) (CheckpointExport, error) {
+	reqCtx, cancel := context.WithTimeout(ctx, c.reqTimeout())
+	defer cancel()
+	u := c.base + "/v1/audits/" + url.PathEscape(jobID) + "/checkpoint"
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, u, nil)
+	if err != nil {
+		return CheckpointExport{}, fmt.Errorf("mlaas: build request: %w", err)
+	}
+	c.authorize(req)
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return CheckpointExport{}, fmt.Errorf("mlaas: GET %s: %w", u, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return CheckpointExport{}, fmt.Errorf("%w (job %s)", audit.ErrNoCheckpoint, jobID)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		return CheckpointExport{}, &StatusError{Code: resp.StatusCode, URL: u, Msg: er.Error}
+	}
+	frame, err := io.ReadAll(io.LimitReader(resp.Body, maxCheckpointWire))
+	if err != nil {
+		return CheckpointExport{}, fmt.Errorf("mlaas: reading checkpoint: %w", err)
+	}
+	exp := CheckpointExport{
+		Frame:   frame,
+		ModelID: resp.Header.Get("X-Audit-Model"),
+		Tenant:  resp.Header.Get("X-Audit-Tenant"),
+	}
+	exp.Generation, _ = strconv.Atoi(resp.Header.Get("X-Audit-Generation"))
+	exp.Queries, _ = strconv.ParseInt(resp.Header.Get("X-Audit-Queries"), 10, 64)
+	exp.InspectID, _ = strconv.Atoi(resp.Header.Get("X-Audit-Inspect-Id"))
+	return exp, nil
+}
+
+// AuditModelResume submits an audit job for the bound model that resumes
+// from a wire-exported checkpoint (POST /v1/models/{id}/audits with a
+// resume block). inspectID must be the ORIGINAL job's inspect id — the
+// resumed search continues the same RNG stream, which is what makes the
+// migrated verdict bit-identical to an uninterrupted run. A corrupt
+// checkpoint still returns a job (the server accepts the submission and
+// fails it with error_code "bad_checkpoint") rather than an error.
+func (c *Client) AuditModelResume(ctx context.Context, inspectID int, resume AuditResume) (audit.Job, error) {
+	var req struct {
+		InspectID *int         `json:"inspect_id,omitempty"`
+		Resume    *AuditResume `json:"resume,omitempty"`
+	}
+	if inspectID >= 0 {
+		req.InspectID = &inspectID
+	}
+	req.Resume = &resume
+	var job audit.Job
+	if err := c.postJSON(ctx, c.route("audits"), req, &job); err != nil {
 		return audit.Job{}, err
 	}
 	return job, nil
@@ -562,7 +688,7 @@ func (c *Client) postJSON(ctx context.Context, u string, body, v any) error {
 	if err != nil {
 		return fmt.Errorf("mlaas: encode request: %w", err)
 	}
-	reqCtx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	reqCtx, cancel := context.WithTimeout(ctx, c.reqTimeout())
 	defer cancel()
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, u, bytes.NewReader(payload))
 	if err != nil {
@@ -611,7 +737,7 @@ func (c *Client) doJSON(req *http.Request, v any) error {
 }
 
 func (c *Client) predictOnce(ctx context.Context, payload []byte, n int) (_ *tensor.Tensor, _ []Screening, retryable bool, retryAfter time.Duration, _ error) {
-	reqCtx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	reqCtx, cancel := context.WithTimeout(ctx, c.reqTimeout())
 	defer cancel()
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, c.route("predict"), bytes.NewReader(payload))
 	if err != nil {

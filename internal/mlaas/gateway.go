@@ -110,11 +110,19 @@ type GatewayConfig struct {
 	// probe marks it up immediately, so a fresh gateway does not idle
 	// through the hysteresis window.
 	MarkUpAfter int
+	// ProbeTimeout bounds one node's whole health probe (healthz + listing
+	// + info). Probes used to inherit the client's 30s request default,
+	// which let a single hung node pin a probe goroutine for most of a
+	// minute per round; a probe that slow IS a failure. Default 5s.
+	ProbeTimeout time.Duration
 	// Client configures the per-node HTTP clients. Retries is forced to
 	// NoRetries: the gateway's failover across replicas replaces in-place
 	// retry — hammering a dead node with backoff would stall the caller,
 	// and end clients talking to the gateway bring their own retry loop.
 	Client ClientConfig
+	// Migration configures the audit-job migration supervisor (disabled by
+	// default). See MigrationConfig.
+	Migration MigrationConfig
 }
 
 func (c *GatewayConfig) defaults() {
@@ -130,6 +138,10 @@ func (c *GatewayConfig) defaults() {
 	if c.MarkUpAfter <= 0 {
 		c.MarkUpAfter = 2
 	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 5 * time.Second
+	}
+	c.Migration.defaults(c.HealthInterval)
 	c.Client.defaults()
 	// Re-pin AFTER normalization: ClientConfig.defaults turns the sentinel
 	// into 0, and 0 means "use the default (2)" to the next defaults() run
@@ -245,6 +257,10 @@ type Gateway struct {
 	loopStop  context.CancelFunc
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+
+	// sup is the audit-job migration supervisor (nil unless
+	// Migration.Enabled).
+	sup *supervisor
 }
 
 // NewGateway probes every configured node once (synchronously), builds the
@@ -290,6 +306,9 @@ func NewGateway(ctx context.Context, cfg GatewayConfig) (*Gateway, error) {
 	if empty {
 		return nil, errors.New("mlaas: gateway bootstrap: healthy nodes list no models")
 	}
+	if cfg.Migration.Enabled {
+		g.sup = newSupervisor(g, cfg.Migration)
+	}
 	loopCtx, cancel := context.WithCancel(context.Background())
 	g.loopStop = cancel
 	g.wg.Add(1)
@@ -306,6 +325,22 @@ func NewGateway(ctx context.Context, cfg GatewayConfig) (*Gateway, error) {
 			}
 		}
 	}()
+	if g.sup != nil {
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			ticker := time.NewTicker(g.cfg.Migration.Interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-g.done:
+					return
+				case <-ticker.C:
+					g.sup.sweep(loopCtx)
+				}
+			}
+		}()
+	}
 	return g, nil
 }
 
@@ -353,8 +388,13 @@ func (g *Gateway) probeAll(ctx context.Context) {
 }
 
 // probeNode runs one health check: liveness, zoo listing, and serving
-// limits in three requests. Any failure counts one strike.
+// limits in three requests. Any failure counts one strike. The whole probe
+// shares one ProbeTimeout deadline: a node too slow to answer three cheap
+// GETs inside it is down for routing purposes, and without the ceiling one
+// hung socket would pin this goroutine for the client's full 30s default.
 func (g *Gateway) probeNode(ctx context.Context, n *gatewayNode) {
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.ProbeTimeout)
+	defer cancel()
 	var h Health
 	if err := n.api.getJSON(ctx, n.base+"/v1/healthz", &h); err != nil {
 		n.recordFailure(g.cfg.MarkDownAfter, err)
@@ -643,7 +683,7 @@ func (g *Gateway) splitJob(jobID string) (*gatewayNode, string, error) {
 // idempotent, so unlike predicts they are never retried on another
 // replica: a node that might have accepted the job must not be shadowed
 // by a duplicate.
-func (g *Gateway) submitAudit(ctx context.Context, modelID string, inspectID int) (audit.Job, error) {
+func (g *Gateway) submitAudit(ctx context.Context, modelID string, inspectID int, resume *AuditResume) (audit.Job, error) {
 	modelID = g.resolveID(modelID)
 	replicas, backup, known := g.replicasFor(modelID)
 	if !known {
@@ -658,18 +698,56 @@ func (g *Gateway) submitAudit(ctx context.Context, modelID string, inspectID int
 	if err != nil {
 		return audit.Job{}, g.nodeRouteErr(n, err)
 	}
-	job, err := c.AuditModel(ctx, inspectID)
+	var job audit.Job
+	if resume != nil {
+		job, err = c.AuditModelResume(ctx, inspectID, *resume)
+	} else {
+		job, err = c.AuditModel(ctx, inspectID)
+	}
 	if err != nil {
 		return audit.Job{}, g.nodeRouteErr(n, err)
 	}
-	return namespaceJob(n, job), nil
+	gw := namespaceJob(n, job)
+	if g.sup != nil {
+		g.sup.track(n, gw, modelID)
+	}
+	return gw, nil
+}
+
+// exportAuditCheckpoint fetches the newest checkpoint frame for a
+// namespaced job from its node. audit.ErrNoCheckpoint passes through
+// unwrapped so the HTTP layer can answer 204 just like a single node.
+func (g *Gateway) exportAuditCheckpoint(ctx context.Context, jobID string) (CheckpointExport, error) {
+	jobID = g.forwarded(jobID)
+	n, local, err := g.splitJob(jobID)
+	if err != nil {
+		return CheckpointExport{}, err
+	}
+	exp, err := n.api.ExportCheckpoint(ctx, local)
+	if err != nil {
+		if errors.Is(err, audit.ErrNoCheckpoint) {
+			return CheckpointExport{}, err
+		}
+		return CheckpointExport{}, g.nodeRouteErr(n, err)
+	}
+	return exp, nil
+}
+
+// forwarded follows the supervisor's migration forward chain: a client
+// still polling the job id it was handed at submission keeps getting
+// answers after the job has been re-homed, from wherever it lives now.
+func (g *Gateway) forwarded(jobID string) string {
+	if g.sup == nil {
+		return jobID
+	}
+	return g.sup.resolve(jobID)
 }
 
 // getAudit polls one namespaced job on its node. The node is tried even
 // when marked down — a probe-lagged node may well still answer, and if it
 // does not the caller gets a structured 503 rather than a stale snapshot.
 func (g *Gateway) getAudit(ctx context.Context, jobID string) (audit.Job, error) {
-	n, local, err := g.splitJob(jobID)
+	n, local, err := g.splitJob(g.forwarded(jobID))
 	if err != nil {
 		return audit.Job{}, err
 	}
@@ -682,7 +760,7 @@ func (g *Gateway) getAudit(ctx context.Context, jobID string) (audit.Job, error)
 
 // cancelAudit cancels one namespaced job on its node.
 func (g *Gateway) cancelAudit(ctx context.Context, jobID string) (audit.Job, error) {
-	n, local, err := g.splitJob(jobID)
+	n, local, err := g.splitJob(g.forwarded(jobID))
 	if err != nil {
 		return audit.Job{}, err
 	}
@@ -756,6 +834,7 @@ func (g *Gateway) augmentHealth(h *Health) {
 				}
 				store.JournalBytes += js.JournalBytes
 				store.JobsResumed += js.JobsResumed
+				store.Compactions += js.Compactions
 				if js.LastCompaction.After(store.LastCompaction) {
 					store.LastCompaction = js.LastCompaction
 				}
@@ -766,6 +845,9 @@ func (g *Gateway) augmentHealth(h *Health) {
 	h.AuditsEnabled = auditsEnabled
 	h.AuditJobs = auditJobs
 	h.JobStore = store
+	if g.sup != nil {
+		h.MigratedJobs = g.sup.migrated()
+	}
 	if h.HealthyNodes < h.Nodes {
 		h.Status = "degraded"
 	}
@@ -877,8 +959,12 @@ func (p *remoteProvider) Predict(ctx context.Context, id string, x *tensor.Tenso
 
 func (p *remoteProvider) Close() { p.g.Close() }
 
-func (p *remoteProvider) SubmitAudit(ctx context.Context, modelID string, inspectID int) (audit.Job, error) {
-	return p.g.submitAudit(ctx, modelID, inspectID)
+func (p *remoteProvider) SubmitAudit(ctx context.Context, modelID string, inspectID int, resume *AuditResume) (audit.Job, error) {
+	return p.g.submitAudit(ctx, modelID, inspectID, resume)
+}
+
+func (p *remoteProvider) ExportAuditCheckpoint(ctx context.Context, jobID string) (CheckpointExport, error) {
+	return p.g.exportAuditCheckpoint(ctx, jobID)
 }
 
 func (p *remoteProvider) GetAudit(ctx context.Context, jobID string) (audit.Job, error) {

@@ -324,9 +324,15 @@ func fakeAuditNode(t *testing.T) *httptest.Server {
 // immediately, and a fleet-style WaitAudit against the degraded gateway
 // must keep polling (the job may come back) yet stop the moment its
 // context expires — the exact no-hang contract bprom -fleet relies on.
+// The kill is injected through the chaos harness rather than closing the
+// server, so the fault is revertible: the final section lifts it and
+// proves the same poll works again with no gateway restart.
 func TestGatewayAuditPollSurvivesNodeKill(t *testing.T) {
 	node := fakeAuditNode(t)
-	g, err := NewGateway(context.Background(), gwTestConfig(node.URL))
+	cfg := gwTestConfig(node.URL)
+	chaos := NewChaosTransport(nil)
+	cfg.Client.HTTPClient = &http.Client{Transport: chaos}
+	g, err := NewGateway(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +357,7 @@ func TestGatewayAuditPollSurvivesNodeKill(t *testing.T) {
 		t.Fatalf("poll before kill: %+v, %v", got, err)
 	}
 
-	node.Close() // the node holding the job dies
+	chaos.Set(hostOf(node.URL), ChaosRule{Kill: true}) // the node holding the job drops off the network
 
 	start := time.Now()
 	_, pollErr := c.GetAudit(ctx, job.ID)
@@ -377,6 +383,13 @@ func TestGatewayAuditPollSurvivesNodeKill(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Fatalf("WaitAudit hung %s past its 400ms deadline", elapsed)
+	}
+
+	// Lift the fault: the node was never actually gone, and the next poll
+	// must succeed without any gateway restart.
+	chaos.Clear(hostOf(node.URL))
+	if got, err := c.GetAudit(ctx, job.ID); err != nil || got.State != "running" {
+		t.Fatalf("poll after heal: %+v, %v", got, err)
 	}
 }
 

@@ -1,0 +1,365 @@
+package mlaas
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"bprom/internal/audit"
+)
+
+// Audit-job migration: the gateway supervises every audit it places and,
+// when the owning node dies, re-homes the job onto the next healthy replica
+// in placement order with the newest exported checkpoint attached. The
+// resumed job pre-charges the checkpoint's query count into its progress
+// counter, so the migrated verdict is bit-identical to an uninterrupted run
+// and the tenant ledger never double-charges the queries already spent.
+//
+// Ownership stays at-most-one: the supervisor only migrates after the
+// owner's mark-down has survived a full grace window (a flapping node that
+// recovers inside it resets the clock), and when a migrated-away owner
+// later returns, its stale local copy of the job is cancelled best-effort.
+
+// MigrationConfig tunes the gateway's audit-job migration supervisor.
+type MigrationConfig struct {
+	// Enabled turns the supervisor on. Off by default: migration implies
+	// the gateway may re-submit work under its own credential, which an
+	// operator must opt into.
+	Enabled bool
+	// Grace is how long a node must stay marked down before its jobs
+	// migrate. Mark-down already requires MarkDownAfter consecutive probe
+	// failures; the grace window on top keeps a flapping node (down one
+	// probe, up the next) from triggering duplicate work. Default 10s.
+	Grace time.Duration
+	// Interval is the sweep period. Defaults to the gateway's
+	// HealthInterval so ownership decisions move at the same cadence as
+	// the health picture they depend on.
+	Interval time.Duration
+	// MaxAttempts bounds re-submission attempts per job per sweep; a job
+	// that exhausts them stays tracked and is retried next sweep.
+	// Default 3.
+	MaxAttempts int
+	// BackoffBase and BackoffMax bound the capped, jittered exponential
+	// sleep between failed re-submission attempts. Defaults 100ms / 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// AttemptTimeout bounds one re-submission attempt (the POST carrying
+	// the checkpoint frame). Default 10s.
+	AttemptTimeout time.Duration
+}
+
+func (c *MigrationConfig) defaults(healthInterval time.Duration) {
+	if c.Grace <= 0 {
+		c.Grace = 10 * time.Second
+	}
+	if c.Interval <= 0 {
+		c.Interval = healthInterval
+		if c.Interval <= 0 {
+			c.Interval = 2 * time.Second
+		}
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffMax < c.BackoffBase {
+		c.BackoffMax = 2 * time.Second
+		if c.BackoffMax < c.BackoffBase {
+			c.BackoffMax = c.BackoffBase
+		}
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 10 * time.Second
+	}
+}
+
+// trackedJob is one live audit under supervision. The identity fields
+// (tenant, inspectID) are what make the migrated job the *same* job: the
+// resume submission carries them so the verdict stream and the ledger
+// attribution survive the move.
+type trackedJob struct {
+	gwID      string // namespaced gateway id ("n0.a3")
+	node      *gatewayNode
+	localID   string // node-local id ("a3")
+	modelID   string
+	inspectID int
+	tenant    string
+	frame     []byte // newest exported checkpoint frame (nil: none yet)
+	frameGen  int
+	downSince time.Time // zero while the owner is healthy
+	attempts  int       // cumulative failed migration attempts (backoff shape)
+}
+
+type staleJob struct {
+	node    *gatewayNode
+	localID string
+}
+
+type supervisor struct {
+	g   *Gateway
+	cfg MigrationConfig
+
+	sweepMu sync.Mutex // serializes whole sweeps (ticker vs. test-driven)
+
+	mu        sync.Mutex
+	tracked   map[string]*trackedJob
+	forwards  map[string]string // old gateway id -> new gateway id
+	stale     []staleJob        // migrated-away copies to cancel if the owner returns
+	nMigrated int
+}
+
+func newSupervisor(g *Gateway, cfg MigrationConfig) *supervisor {
+	return &supervisor{
+		g:        g,
+		cfg:      cfg,
+		tracked:  make(map[string]*trackedJob),
+		forwards: make(map[string]string),
+	}
+}
+
+// track registers a just-submitted (or just-migrated) job for supervision.
+// Terminal jobs have nothing left to protect and are skipped.
+func (s *supervisor) track(n *gatewayNode, gw audit.Job, modelID string) {
+	if gw.State.Terminal() {
+		return
+	}
+	tj := &trackedJob{
+		gwID:      gw.ID,
+		node:      n,
+		localID:   strings.TrimPrefix(gw.ID, n.name+"."),
+		modelID:   modelID,
+		inspectID: gw.InspectID,
+		tenant:    gw.Tenant,
+	}
+	s.mu.Lock()
+	s.tracked[gw.ID] = tj
+	s.mu.Unlock()
+}
+
+// resolve follows the forward chain left by migrations, so a client polling
+// the id it was handed at submission reaches the job wherever it lives now.
+// The chain is loop-free by construction (a forward is only ever recorded
+// to a freshly created id) but the walk is bounded anyway.
+func (s *supervisor) resolve(jobID string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i <= len(s.forwards); i++ {
+		next, ok := s.forwards[jobID]
+		if !ok {
+			break
+		}
+		jobID = next
+	}
+	return jobID
+}
+
+// migrated reports how many jobs have been re-homed.
+func (s *supervisor) migrated() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nMigrated
+}
+
+// snapshot copies the tracked set so the sweep can do network I/O without
+// holding the supervisor lock.
+func (s *supervisor) snapshot() []*trackedJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jobs := make([]*trackedJob, 0, len(s.tracked))
+	for _, tj := range s.tracked {
+		jobs = append(jobs, tj)
+	}
+	return jobs
+}
+
+func (s *supervisor) untrack(gwID string) {
+	s.mu.Lock()
+	delete(s.tracked, gwID)
+	s.mu.Unlock()
+}
+
+// sweep runs one supervision pass: poll healthy owners (dropping finished
+// jobs, caching the newest checkpoint), start or advance the grace clock on
+// down owners, migrate jobs whose owner stayed down past the grace window,
+// and cancel stale copies on owners that came back after losing a job. The
+// background loop calls it on Migration.Interval; tests drive it directly.
+func (s *supervisor) sweep(ctx context.Context) {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	now := time.Now()
+	for _, tj := range s.snapshot() {
+		if tj.node.isHealthy() {
+			s.mu.Lock()
+			tj.downSince = time.Time{} // flap protection: recovery resets the clock
+			tj.attempts = 0
+			s.mu.Unlock()
+			s.poll(ctx, tj)
+			continue
+		}
+		s.mu.Lock()
+		if tj.downSince.IsZero() {
+			tj.downSince = now
+		}
+		due := now.Sub(tj.downSince) >= s.cfg.Grace
+		s.mu.Unlock()
+		if due {
+			s.migrate(ctx, tj)
+		}
+	}
+	s.cancelStale(ctx)
+}
+
+// poll refreshes one healthy owner's view of a job: terminal or unknown
+// jobs leave supervision, live ones contribute their newest checkpoint to
+// the cache that a later migration would resume from.
+func (s *supervisor) poll(ctx context.Context, tj *trackedJob) {
+	job, err := tj.node.api.GetAudit(ctx, tj.localID)
+	if err != nil {
+		var se *StatusError
+		if errors.As(err, &se) && se.Code == http.StatusNotFound {
+			s.untrack(tj.gwID) // deleted on the node; nothing left to supervise
+		}
+		return // transient: the health probe owns strike bookkeeping
+	}
+	if job.State.Terminal() {
+		s.untrack(tj.gwID)
+		return
+	}
+	exp, err := tj.node.api.ExportCheckpoint(ctx, tj.localID)
+	if err != nil {
+		return // no checkpoint yet, or transient — keep what we have
+	}
+	s.mu.Lock()
+	if tj.frame == nil || exp.Generation >= tj.frameGen {
+		tj.frame = exp.Frame
+		tj.frameGen = exp.Generation
+	}
+	s.mu.Unlock()
+}
+
+// migrate re-homes one job: healthy hosting nodes excluding the dead owner
+// are tried in placement order (the same order submission uses, so the job
+// lands where a fresh submission would), each attempt bounded by
+// AttemptTimeout, with capped jittered backoff between failures. With no
+// cached checkpoint the job restarts from generation zero — identity
+// (tenant, inspect_id) still carries over, so the verdict is unchanged.
+//
+// A target that rejects the checkpoint as corrupt still creates the job —
+// terminal, failed, error_code "bad_checkpoint" — and that outcome is
+// final: every replica would reject the same bytes, and restarting from
+// scratch behind the tenant's back would silently re-spend their query
+// budget. The forward is recorded so the poller sees the clean failure.
+func (s *supervisor) migrate(ctx context.Context, tj *trackedJob) {
+	s.mu.Lock()
+	resume := AuditResume{Checkpoint: tj.frame, Tenant: tj.tenant, Source: tj.gwID}
+	inspectID := tj.inspectID
+	s.mu.Unlock()
+
+	g := s.g
+	g.mu.Lock()
+	hosting := g.hosts[tj.modelID]
+	g.mu.Unlock()
+	names := make([]string, 0, len(hosting))
+	for _, n := range hosting {
+		names = append(names, n.name)
+	}
+	attempts := 0
+	for _, name := range placementOrder(tj.modelID, names) {
+		n := g.byName[name]
+		if n == tj.node || !n.isHealthy() {
+			continue
+		}
+		if attempts >= s.cfg.MaxAttempts {
+			return // stay tracked; next sweep retries
+		}
+		if attempts > 0 {
+			s.mu.Lock()
+			tries := tj.attempts
+			s.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(s.backoff(tries)):
+			}
+		}
+		attempts++
+		job, err := s.resubmit(ctx, n, tj.modelID, inspectID, resume)
+		if err != nil {
+			s.mu.Lock()
+			tj.attempts++
+			s.mu.Unlock()
+			continue
+		}
+		gw := namespaceJob(n, job)
+		s.mu.Lock()
+		s.forwards[tj.gwID] = gw.ID
+		delete(s.tracked, tj.gwID)
+		s.nMigrated++
+		s.stale = append(s.stale, staleJob{node: tj.node, localID: tj.localID})
+		s.mu.Unlock()
+		s.track(n, gw, tj.modelID)
+		return
+	}
+}
+
+// resubmit posts one resume submission to one candidate node.
+func (s *supervisor) resubmit(ctx context.Context, n *gatewayNode, modelID string, inspectID int, resume AuditResume) (audit.Job, error) {
+	actx, cancel := context.WithTimeout(ctx, s.cfg.AttemptTimeout)
+	defer cancel()
+	c, err := n.predictClient(actx, modelID)
+	if err != nil {
+		return audit.Job{}, err
+	}
+	return c.AuditModelResume(actx, inspectID, resume)
+}
+
+// cancelStale enforces at-most-one-owner after the fact: when a node that
+// lost a job to migration comes back up, its local copy — orphaned, still
+// queued or running — is cancelled so two nodes never burn oracle queries
+// on the same audit. Best-effort: a failure leaves the entry for the next
+// sweep, and a 4xx (job already terminal or gone on the node) retires it.
+func (s *supervisor) cancelStale(ctx context.Context) {
+	s.mu.Lock()
+	pending := s.stale
+	s.stale = nil
+	s.mu.Unlock()
+	var keep []staleJob
+	for _, sj := range pending {
+		if !sj.node.isHealthy() {
+			keep = append(keep, sj)
+			continue
+		}
+		if _, err := sj.node.api.CancelAudit(ctx, sj.localID); err != nil {
+			var se *StatusError
+			if errors.As(err, &se) && se.Code >= 400 && se.Code < 500 {
+				continue // already terminal or deleted: settled
+			}
+			keep = append(keep, sj)
+		}
+	}
+	if keep != nil {
+		s.mu.Lock()
+		s.stale = append(s.stale, keep...)
+		s.mu.Unlock()
+	}
+}
+
+// backoff computes the sleep before the next migration attempt: capped
+// exponential from BackoffBase with the upper half jittered, same shape as
+// the client's retryBackoff but bounded by the supervisor's own knobs.
+func (s *supervisor) backoff(attempt int) time.Duration {
+	d := s.cfg.BackoffBase
+	for i := 0; i < attempt && d < s.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > s.cfg.BackoffMax {
+		d = s.cfg.BackoffMax
+	}
+	return d/2 + rand.N(d/2+1)
+}

@@ -301,6 +301,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/audits", s.handleListAudits)
 	mux.HandleFunc("GET /v1/audits/{id}", s.handleGetAudit)
+	mux.HandleFunc("GET /v1/audits/{id}/checkpoint", s.handleExportCheckpoint)
 	mux.HandleFunc("DELETE /v1/audits/{id}", s.handleDeleteAudit)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	// Tenancy routes (501 until EnableTenancy, or until a routing provider
@@ -534,6 +535,11 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 	case errors.Is(err, ErrUnknownModel), errors.Is(err, audit.ErrUnknownJob):
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+	case errors.Is(err, audit.ErrTerminalJob):
+		// Checkpoint export against a finished job: a structured conflict,
+		// not a missing resource — the job is there, it just has a verdict
+		// instead of resumable state.
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
 	case errors.Is(err, ErrAuditsDisabled):
 		writeJSON(w, http.StatusNotImplemented, errorResponse{Error: err.Error()})
 	case errors.Is(err, audit.ErrQueueFull):
