@@ -59,10 +59,11 @@ func run() error {
 		upAfter        = flag.Int("up-after", 0, "consecutive successful probes before a marked-down node returns (0: default 2)")
 		timeout        = flag.Duration("timeout", 0, "per-request timeout against nodes (0: default 30s)")
 		probeTimeout   = flag.Duration("probe-timeout", 0, "deadline for one node's whole health probe (0: default 5s)")
-		keysPath       = flag.String("keys", "", "API-key file (tenant:key[:quota[:rps]] per line) enforcing auth and rate limits at the gateway edge; callers' keys are forwarded to nodes either way")
+		keysPath       = flag.String("keys", "", "API-key file (tenant:key[:quota[:rps[:flags]]] per line) enforcing auth and rate limits at the gateway edge; callers' keys are forwarded to nodes either way")
 		migrate        = flag.Bool("migrate", false, "supervise audit jobs and re-home them (newest checkpoint attached) when their node stays down past the grace window")
 		migrateGrace   = flag.Duration("migrate-grace", 0, "how long a node must stay marked down before its audit jobs migrate (0: default 10s)")
 		migrateEvery   = flag.Duration("migrate-interval", 0, "migration supervisor sweep period (0: default = health-interval)")
+		migrateKey     = flag.String("migrate-key", "", "service-flagged API key the supervisor presents when resubmitting migrated jobs; required against tenant-enabled nodes, since only a service credential may resume on another tenant's behalf")
 	)
 	flag.Parse()
 	if *nodes == "" {
@@ -90,6 +91,7 @@ func run() error {
 			Enabled:  *migrate,
 			Grace:    *migrateGrace,
 			Interval: *migrateEvery,
+			APIKey:   *migrateKey,
 		},
 	})
 	if err != nil {

@@ -31,10 +31,18 @@ type TenantConfig struct {
 	// RPS bounds mutating API requests per second (0 = unlimited); bursts
 	// up to 2×RPS are tolerated via the token bucket.
 	RPS float64
+	// Service marks a privileged service credential (the `service` flag in
+	// the key file) — a gateway's migration supervisor, not an end tenant.
+	// Only service credentials may attribute a resume submission to a
+	// tenant other than themselves; an ordinary key that could name an
+	// arbitrary resume tenant could bill its spend to a victim's quota.
+	Service bool
 }
 
-// ParseKeyFile reads a static API-key file: one `tenant:key[:quota[:rps]]`
-// per line, with #-comments and blank lines ignored.
+// ParseKeyFile reads a static API-key file: one
+// `tenant:key[:quota[:rps[:flags]]]` per line, with #-comments and blank
+// lines ignored. flags is a comma-separated set; the only recognized flag
+// is `service` (see TenantConfig.Service).
 func ParseKeyFile(path string) ([]TenantConfig, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -53,8 +61,8 @@ func ParseKeyFile(path string) ([]TenantConfig, error) {
 			continue
 		}
 		parts := strings.Split(text, ":")
-		if len(parts) < 2 || len(parts) > 4 {
-			return nil, fmt.Errorf("jobstore: %s:%d: want tenant:key[:quota[:rps]]", path, line)
+		if len(parts) < 2 || len(parts) > 5 {
+			return nil, fmt.Errorf("jobstore: %s:%d: want tenant:key[:quota[:rps[:flags]]]", path, line)
 		}
 		tc := TenantConfig{Name: strings.TrimSpace(parts[0]), Key: strings.TrimSpace(parts[1])}
 		if tc.Name == "" || tc.Key == "" {
@@ -67,12 +75,23 @@ func ParseKeyFile(path string) ([]TenantConfig, error) {
 			}
 			tc.Quota = q
 		}
-		if len(parts) == 4 && parts[3] != "" {
+		if len(parts) >= 4 && parts[3] != "" {
 			r, err := strconv.ParseFloat(strings.TrimSpace(parts[3]), 64)
 			if err != nil || r < 0 {
 				return nil, fmt.Errorf("jobstore: %s:%d: bad rps %q", path, line, parts[3])
 			}
 			tc.RPS = r
+		}
+		if len(parts) == 5 && parts[4] != "" {
+			for _, f := range strings.Split(parts[4], ",") {
+				switch strings.TrimSpace(f) {
+				case "service":
+					tc.Service = true
+				case "":
+				default:
+					return nil, fmt.Errorf("jobstore: %s:%d: unknown flag %q (known: service)", path, line, f)
+				}
+			}
 		}
 		if prev, dup := seenKey[tc.Key]; dup {
 			return nil, fmt.Errorf("jobstore: %s:%d: key already assigned to tenant %q", path, line, prev)
@@ -99,6 +118,10 @@ type Tenant struct {
 	Name  string
 	Key   string
 	Quota int64
+	// Service reports a privileged service credential (TenantConfig.Service):
+	// the only class of caller allowed to resume a job on another tenant's
+	// behalf.
+	Service bool
 
 	mu     sync.Mutex
 	spent  int64
@@ -193,7 +216,7 @@ type Tenancy struct {
 func NewTenancy(configs []TenantConfig, seedSpend map[string]int64) *Tenancy {
 	tn := &Tenancy{byKey: make(map[string]*Tenant), byName: make(map[string]*Tenant)}
 	for _, c := range configs {
-		t := &Tenant{Name: c.Name, Key: c.Key, Quota: c.Quota, rps: c.RPS, tokens: 2 * c.RPS}
+		t := &Tenant{Name: c.Name, Key: c.Key, Quota: c.Quota, Service: c.Service, rps: c.RPS, tokens: 2 * c.RPS}
 		if t.tokens < 1 {
 			t.tokens = 1
 		}

@@ -28,13 +28,14 @@ func TestParseKeyFile(t *testing.T) {
 acme:sk-acme-1:100000:5
 globex:sk-globex-9
 initech:sk-init:0:2.5
+gateway:sk-gw:0:0:service
 `)
 	cfgs, err := ParseKeyFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cfgs) != 3 {
-		t.Fatalf("parsed %d tenants, want 3", len(cfgs))
+	if len(cfgs) != 4 {
+		t.Fatalf("parsed %d tenants, want 4", len(cfgs))
 	}
 	if cfgs[0].Name != "acme" || cfgs[0].Key != "sk-acme-1" || cfgs[0].Quota != 100000 || cfgs[0].RPS != 5 {
 		t.Fatalf("acme parsed wrong: %+v", cfgs[0])
@@ -44,6 +45,17 @@ initech:sk-init:0:2.5
 	}
 	if cfgs[2].RPS != 2.5 {
 		t.Fatalf("initech rps parsed wrong: %+v", cfgs[2])
+	}
+	if !cfgs[3].Service || cfgs[2].Service || cfgs[0].Service {
+		t.Fatalf("service flag: gateway=%v acme=%v initech=%v, want only gateway", cfgs[3].Service, cfgs[0].Service, cfgs[2].Service)
+	}
+	// The flag survives into the live tenant set.
+	tn := NewTenancy(cfgs, nil)
+	if gw, ok := tn.Lookup("gateway"); !ok || !gw.Service {
+		t.Fatalf("live gateway tenant lost the service flag: %+v ok=%v", gw, ok)
+	}
+	if a, _ := tn.Lookup("acme"); a.Service {
+		t.Fatal("acme gained a service flag it was never granted")
 	}
 }
 
@@ -56,7 +68,8 @@ func TestParseKeyFileRejects(t *testing.T) {
 		"neg-quota":     "acme:k:-5\n",
 		"dup-key":       "a:k1\nb:k1\n",
 		"dup-tenant":    "a:k1\na:k2\n",
-		"too-many-cols": "a:k:1:2:3\n",
+		"unknown-flag":  "a:k:1:2:admin\n",
+		"too-many-cols": "a:k:1:2:service:x\n",
 	} {
 		if _, err := ParseKeyFile(writeKeys(t, lines)); err == nil {
 			t.Errorf("%s: want error, got nil", name)

@@ -181,7 +181,9 @@ type auditSubmitRequest struct {
 	// Resume, when present, makes this a migrated submission: the job
 	// continues from the attached wire-exported checkpoint (or from
 	// scratch when the checkpoint is empty), attributed to the original
-	// tenant and linked to its source job.
+	// tenant and linked to its source job. On a tenancy-enabled server a
+	// resume.tenant different from the authenticated tenant requires a
+	// service credential (403 tenant_forbidden otherwise).
 	Resume *AuditResume `json:"resume,omitempty"`
 }
 
@@ -221,6 +223,11 @@ type Health struct {
 	// re-homed off dead nodes (absent on single-node servers and when
 	// migration is disabled).
 	MigratedJobs int `json:"migrated_jobs,omitempty"`
+	// MigrationFailures counts jobs the supervisor gave up migrating because
+	// every target would deterministically reject the resubmission (4xx
+	// other than 429) — surfaced so operators see abandoned jobs instead of
+	// the supervisor silently crash-looping on them.
+	MigrationFailures int `json:"migration_failures,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -250,6 +257,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// maxSubmitBody bounds a submit body: enough for the base64 encoding of
+// the largest checkpoint frame a node can export (maxCheckpointWire — the
+// journal's frame ceiling) plus JSON-envelope slack. Anything bigger cannot
+// be a legal submission. The old 16MB cap was SMALLER than a legal export,
+// so an oversized-but-valid checkpoint migrated into a deterministic 400
+// and the supervisor retried it forever; now every exportable frame fits.
+const maxSubmitBody = (maxCheckpointWire+2)/3*4 + 4096
+
 // handleSubmitAudit serves POST /v1/models/{id}/audits (and the legacy
 // default-model alias POST /v1/audits, id ""). It validates the model and
 // its detector compatibility up front, so incompatible submissions fail
@@ -263,12 +278,13 @@ func (s *Server) handleSubmitAudit(w http.ResponseWriter, r *http.Request, id st
 		return
 	}
 	var req auditSubmitRequest
-	// The body limit leaves room for a resume block: a base64 checkpoint
-	// frame for a high-dimensional prompt is far below this, a plain
-	// submission is bytes.
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<24))
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSubmitBody+1))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "read body: " + err.Error()})
+		return
+	}
+	if len(body) > maxSubmitBody {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: "submit body exceeds the checkpoint frame ceiling"})
 		return
 	}
 	if len(body) > 0 {
@@ -288,6 +304,23 @@ func (s *Server) handleSubmitAudit(w http.ResponseWriter, r *http.Request, id st
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "resume requires the original non-negative inspect_id"})
 		return
 	}
+	tenant := tenantFrom(r.Context())
+	if req.Resume != nil && req.Resume.Tenant != "" && req.Resume.Tenant != tenant && s.tenancy != nil {
+		// resume.tenant redirects billing, so honoring it is a privilege:
+		// only a service credential (the gateway's migration supervisor) may
+		// resume on another tenant's behalf. An ordinary key that could name
+		// an arbitrary tenant here would charge its oracle spend to a
+		// victim's quota — or name an unknown tenant and run unmetered.
+		// Enforced before routing too, so a tenancy-enabled gateway rejects
+		// at the edge with the same envelope as a node.
+		if t, ok := s.tenancy.Lookup(tenant); !ok || !t.Service {
+			writeJSON(w, http.StatusForbidden, errorResponse{
+				Error: fmt.Sprintf("resume.tenant %q: only a service credential may resume on another tenant's behalf", req.Resume.Tenant),
+				Code:  "tenant_forbidden",
+			})
+			return
+		}
+	}
 	if rt != nil {
 		job, err := rt.SubmitAudit(r.Context(), id, inspectID, req.Resume)
 		if err != nil {
@@ -306,11 +339,11 @@ func (s *Server) handleSubmitAudit(w http.ResponseWriter, r *http.Request, id st
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("model %q not auditable: %v", info.ID, err)})
 		return
 	}
-	tenant := tenantFrom(r.Context())
 	if req.Resume != nil {
 		// A migrated job keeps its original tenant attribution: the
-		// supervisor resubmits with its own service credential, but spend
-		// and listings must follow the tenant who paid for the first half.
+		// supervisor resubmits with its own service credential (validated
+		// above), but spend and listings must follow the tenant who paid
+		// for the first half.
 		if req.Resume.Tenant != "" {
 			tenant = req.Resume.Tenant
 		}

@@ -847,6 +847,7 @@ func (g *Gateway) augmentHealth(h *Health) {
 	h.JobStore = store
 	if g.sup != nil {
 		h.MigratedJobs = g.sup.migrated()
+		h.MigrationFailures = g.sup.failed()
 	}
 	if h.HealthyNodes < h.Nodes {
 		h.Status = "degraded"

@@ -2,7 +2,9 @@ package mlaas
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -200,7 +202,7 @@ func TestMigrationResumeCarriesTenantSpend(t *testing.T) {
 	ckpt, want := captureCheckpoint(t, "badnets", 77)
 	frame := encodeTestFrame(t, ckpt)
 	srv, _ := startTenantServer(t, []jobstore.TenantConfig{
-		{Name: "svc", Key: "ks"},
+		{Name: "svc", Key: "ks", Service: true},
 		{Name: "acme", Key: "ka"},
 	}, nil)
 	ctx := context.Background()
@@ -257,12 +259,74 @@ func TestMigrationResumeCarriesTenantSpend(t *testing.T) {
 	}
 }
 
-// resumeRecord captures what a migration target actually received.
+// TestResumeTenantRequiresServiceCredential pins the privilege boundary on
+// resume attribution: only a `service`-flagged key may name a resume tenant
+// other than its own. Without the check any authenticated tenant could bill
+// oracle spend to a victim's quota — or name an unknown tenant and run
+// unmetered, since only known tenants get quota-wrapped oracles.
+func TestResumeTenantRequiresServiceCredential(t *testing.T) {
+	srv, _ := startTenantServer(t, []jobstore.TenantConfig{
+		{Name: "svc", Key: "ks", Service: true},
+		{Name: "acme", Key: "ka"},
+		{Name: "mallory", Key: "km"},
+	}, nil)
+	ctx := context.Background()
+
+	dial := func(key string) *Client {
+		t.Helper()
+		c, err := DialModel(ctx, srv.URL, "clean", ClientConfig{APIKey: key, Retries: NoRetries})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	// An ordinary tenant naming someone else (victim or ghost): 403, before
+	// any work is enqueued.
+	for _, victim := range []string{"acme", "ghost"} {
+		_, err := dial("km").AuditModelResume(ctx, 1, AuditResume{Tenant: victim, Source: "n0.a1"})
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != http.StatusForbidden {
+			t.Fatalf("mallory resuming as %q: err=%v, want 403", victim, err)
+		}
+		if !strings.Contains(se.Msg, "service credential") {
+			t.Fatalf("403 should explain the service requirement: %q", se.Msg)
+		}
+	}
+
+	// Naming yourself (or nobody) stays open to ordinary keys: the resume
+	// route is also how a tenant restarts its own exported checkpoint.
+	for _, tenant := range []string{"", "mallory"} {
+		job, err := dial("km").AuditModelResume(ctx, 1, AuditResume{Tenant: tenant, Source: "n0.a2"})
+		if err != nil {
+			t.Fatalf("mallory resuming as %q: %v", tenant, err)
+		}
+		if job.Tenant != "mallory" {
+			t.Fatalf("resume as %q attributed to %q, want mallory", tenant, job.Tenant)
+		}
+	}
+
+	// The service credential may attribute to another tenant — the whole
+	// point of the flag: the migration supervisor resumes on the original
+	// tenant's behalf.
+	job, err := dial("ks").AuditModelResume(ctx, 1, AuditResume{Tenant: "acme", Source: "n0.a3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Tenant != "acme" {
+		t.Fatalf("service resume attributed to %q, want acme", job.Tenant)
+	}
+}
+
+// resumeRecord captures what a migration target actually received. A
+// non-zero rejectStatus scripts the target's answer to every submission
+// (with an error envelope) instead of the 202.
 type resumeRecord struct {
-	mu        sync.Mutex
-	inspectID int
-	resume    AuditResume
-	hits      int
+	mu           sync.Mutex
+	inspectID    int
+	resume       AuditResume
+	hits         int
+	rejectStatus int
 }
 
 // fakeFleetNode is a wire-compatible node hosting model "m" whose audit
@@ -288,6 +352,7 @@ func fakeFleetNode(t *testing.T, jobJSON string, ckptFrame []byte, rec *resumeRe
 		})
 	}
 	mux.HandleFunc("POST /v1/models/m/audits", func(w http.ResponseWriter, r *http.Request) {
+		reject := 0
 		if rec != nil {
 			var req struct {
 				InspectID int          `json:"inspect_id"`
@@ -300,9 +365,15 @@ func fakeFleetNode(t *testing.T, jobJSON string, ckptFrame []byte, rec *resumeRe
 			if req.Resume != nil {
 				rec.resume = *req.Resume
 			}
+			reject = rec.rejectStatus
 			rec.mu.Unlock()
 		}
 		w.Header().Set("Content-Type", "application/json")
+		if reject != 0 {
+			w.WriteHeader(reject)
+			_, _ = w.Write([]byte(`{"error":"scripted rejection","code":"scripted"}`))
+			return
+		}
 		w.WriteHeader(http.StatusAccepted)
 		_, _ = w.Write([]byte(jobJSON))
 	})
@@ -600,5 +671,198 @@ func TestChaosErrorBurstStrikesThenHeals(t *testing.T) {
 	g.probeAll(ctx) // this round succeeds end to end
 	if got := g.HealthyNodes(); got != 1 {
 		t.Fatalf("node did not heal after the burst: %d healthy", got)
+	}
+}
+
+// TestMigrationDeterministicRejectAbandons: a target that answers a resume
+// submission with a non-429 4xx would answer the same on every sweep (the
+// fleet is uniform), so the supervisor must give up — job out of
+// supervision, counted in healthz migration_failures — instead of
+// resubmitting forever.
+func TestMigrationDeterministicRejectAbandons(t *testing.T) {
+	runningJob := `{"id":"a1","model_id":"m","inspect_id":3,"state":"running","created":"2026-01-01T00:00:00Z"}`
+	owner := fakeFleetNode(t, runningJob, nil, nil)
+	rec := resumeRecord{rejectStatus: http.StatusBadRequest}
+	target := fakeFleetNode(t, runningJob, nil, &rec)
+
+	chaos := NewChaosTransport(nil)
+	cfg := migratingConfig(orderFleet(owner, target)...)
+	cfg.Replication = 2
+	cfg.Client.HTTPClient = &http.Client{Transport: chaos}
+	g, gwSrv := startGatewayServer(t, cfg)
+	ctx := context.Background()
+
+	if _, err := g.submitAudit(ctx, "m", 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	chaos.Set(hostOf(owner.URL), ChaosRule{Kill: true})
+	g.probeAll(ctx)
+	g.sup.sweep(ctx) // stamps the down clock
+	time.Sleep(5 * time.Millisecond)
+	g.sup.sweep(ctx) // grace expired: attempts, gets the 400, abandons
+	g.sup.sweep(ctx) // must NOT retry an abandoned job
+
+	rec.mu.Lock()
+	hits := rec.hits
+	rec.mu.Unlock()
+	if hits != 1 {
+		t.Fatalf("target saw %d submissions, want exactly 1 (no retry after a deterministic 4xx)", hits)
+	}
+	if got := g.sup.migrated(); got != 0 {
+		t.Fatalf("migrations: %d, want 0", got)
+	}
+	if got := g.sup.failed(); got != 1 {
+		t.Fatalf("failed counter: %d, want 1", got)
+	}
+	if got := len(g.sup.snapshot()); got != 0 {
+		t.Fatalf("abandoned job still tracked (%d)", got)
+	}
+
+	// The give-up is visible to operators on the fleet healthz.
+	resp, err := http.Get(gwSrv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.MigrationFailures != 1 {
+		t.Fatalf("healthz migration_failures = %d, want 1", h.MigrationFailures)
+	}
+}
+
+// TestMigrationBackoffDefersNotSleeps pins the no-sleeping-in-sweeps
+// contract: after a transient migration failure the job is deferred by its
+// backoff deadline — the sweep itself returns immediately (other jobs keep
+// their cadence) and later sweeps skip the job until the deadline passes.
+func TestMigrationBackoffDefersNotSleeps(t *testing.T) {
+	runningJob := `{"id":"a1","model_id":"m","inspect_id":3,"state":"running","created":"2026-01-01T00:00:00Z"}`
+	owner := fakeFleetNode(t, runningJob, nil, nil)
+	rec := resumeRecord{rejectStatus: http.StatusServiceUnavailable}
+	target := fakeFleetNode(t, runningJob, nil, &rec)
+
+	chaos := NewChaosTransport(nil)
+	cfg := migratingConfig(orderFleet(owner, target)...)
+	cfg.Replication = 2
+	// A backoff so large that any inline sleep would hang the test — and any
+	// pass before the deadline proves the deferral was ignored.
+	cfg.Migration.BackoffBase = time.Hour
+	cfg.Migration.BackoffMax = time.Hour
+	cfg.Client.HTTPClient = &http.Client{Transport: chaos}
+	g, _ := startGatewayServer(t, cfg)
+	ctx := context.Background()
+
+	if _, err := g.submitAudit(ctx, "m", 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	chaos.Set(hostOf(owner.URL), ChaosRule{Kill: true})
+	g.probeAll(ctx)
+	g.sup.sweep(ctx) // stamps the down clock
+	time.Sleep(5 * time.Millisecond)
+
+	start := time.Now()
+	g.sup.sweep(ctx) // the 503: defers with the hour-long backoff, no sleep
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("sweep with a failing target took %s: backoff must defer, not sleep", elapsed)
+	}
+	g.sup.sweep(ctx) // inside the backoff window: must not attempt again
+
+	rec.mu.Lock()
+	hits := rec.hits
+	rec.mu.Unlock()
+	if hits != 1 {
+		t.Fatalf("target saw %d submissions, want 1 (deferred by backoff)", hits)
+	}
+	snap := g.sup.snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("deferred job left supervision: %d tracked", len(snap))
+	}
+	g.sup.mu.Lock()
+	nextTry := snap[0].nextTry
+	g.sup.mu.Unlock()
+	if until := time.Until(nextTry); until < 10*time.Minute {
+		t.Fatalf("nextTry %s away, want ~an hour", until)
+	}
+
+	// Deadline passed (simulated) and the target healed: the job migrates.
+	rec.mu.Lock()
+	rec.rejectStatus = 0
+	rec.mu.Unlock()
+	g.sup.mu.Lock()
+	snap[0].nextTry = time.Now().Add(-time.Second)
+	g.sup.mu.Unlock()
+	g.sup.sweep(ctx)
+	if got := g.sup.migrated(); got != 1 {
+		t.Fatalf("migrations after backoff expiry: %d, want 1", got)
+	}
+}
+
+// TestMigrationBookkeepingPruned pins the supervisor's memory bound: the
+// forward-chain entry and the pending stale-copy cancellation left behind by
+// a migration age out ForwardTTL after the migrated job leaves supervision,
+// so a long-lived gateway under churn does not grow state forever.
+func TestMigrationBookkeepingPruned(t *testing.T) {
+	runningJob := `{"id":"a1","model_id":"m","inspect_id":3,"state":"running","created":"2026-01-01T00:00:00Z"}`
+	// The migrated job is born terminal on the target: it leaves supervision
+	// immediately, starting the forward entry's TTL clock.
+	doneJob := `{"id":"a2","model_id":"m","inspect_id":3,"state":"done","created":"2026-01-01T00:00:01Z"}`
+	owner := fakeFleetNode(t, runningJob, nil, nil)
+	var rec resumeRecord
+	target := fakeFleetNode(t, doneJob, nil, &rec)
+
+	chaos := NewChaosTransport(nil)
+	cfg := migratingConfig(orderFleet(owner, target)...)
+	cfg.Replication = 2
+	cfg.Migration.ForwardTTL = 50 * time.Millisecond
+	cfg.Client.HTTPClient = &http.Client{Transport: chaos}
+	g, _ := startGatewayServer(t, cfg)
+	ctx := context.Background()
+
+	job, err := g.submitAudit(ctx, "m", 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos.Set(hostOf(owner.URL), ChaosRule{Kill: true})
+	g.probeAll(ctx)
+	g.sup.sweep(ctx)
+	time.Sleep(5 * time.Millisecond)
+	g.sup.sweep(ctx)
+	if got := g.sup.migrated(); got != 1 {
+		t.Fatalf("migrations: %d, want 1", got)
+	}
+
+	counts := func() (forwards, stale int) {
+		g.sup.mu.Lock()
+		defer g.sup.mu.Unlock()
+		return len(g.sup.forwards), len(g.sup.stale)
+	}
+	// Inside the TTL window the bookkeeping is intact: the original id still
+	// resolves (clients poll the terminal verdict through it) and the stale
+	// copy on the dead owner is still scheduled for cancellation.
+	if f, s := counts(); f != 1 || s != 1 {
+		t.Fatalf("right after migration: %d forwards, %d stale; want 1, 1", f, s)
+	}
+	if got := g.sup.resolve(job.ID); got == job.ID {
+		t.Fatalf("forward for %s gone before TTL", job.ID)
+	}
+
+	time.Sleep(60 * time.Millisecond) // past ForwardTTL
+	g.sup.sweep(ctx)
+	if f, s := counts(); f != 0 || s != 0 {
+		t.Fatalf("after ForwardTTL: %d forwards, %d stale; want both pruned", f, s)
+	}
+}
+
+// TestSubmitBodyFitsCheckpointCeiling pins the size relationship the
+// reviewer caught inverted: every checkpoint frame a node can legally
+// export (≤ maxCheckpointWire) must fit, base64-encoded with envelope
+// slack, inside the submit body cap — otherwise a large-but-valid
+// checkpoint can never be resubmitted and migration wedges.
+func TestSubmitBodyFitsCheckpointCeiling(t *testing.T) {
+	need := base64.StdEncoding.EncodedLen(maxCheckpointWire) + 1024
+	if maxSubmitBody < need {
+		t.Fatalf("maxSubmitBody %d < base64(maxCheckpointWire)+slack %d", maxSubmitBody, need)
 	}
 }

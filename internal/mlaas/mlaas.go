@@ -385,8 +385,9 @@ type predictResponse struct {
 
 // errorResponse is the uniform error envelope: every non-2xx response
 // carries {"error": "..."}. Tenancy-plane rejections additionally carry a
-// machine-readable code ("unauthorized", "rate_limited", "quota_exhausted")
-// and, for quota rejections, the exact oracle-query accounting.
+// machine-readable code ("unauthorized", "rate_limited", "quota_exhausted",
+// "tenant_forbidden") and, for quota rejections, the exact oracle-query
+// accounting.
 type errorResponse struct {
 	Error string `json:"error"`
 	// Code classifies tenancy rejections; absent on other errors.
